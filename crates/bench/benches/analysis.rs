@@ -1,0 +1,67 @@
+//! Microbenchmarks of the analysis layer: session grouping, quantile
+//! summaries, SNMP attribution, concurrency profiling.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gvc_core::concurrency::concurrency_profile;
+use gvc_core::sessions::group_sessions;
+use gvc_core::snmp_attr::attributed_bytes;
+use gvc_logs::{Dataset, SnmpSeries, TransferRecord, TransferType};
+use gvc_stats::Summary;
+
+/// A synthetic log of `n` transfers across `pairs` server pairs.
+fn synth_log(n: usize, pairs: usize) -> Dataset {
+    let recs: Vec<TransferRecord> = (0..n)
+        .map(|i| {
+            let start = (i as i64) * 8_000_000;
+            TransferRecord::simple(
+                TransferType::Retr,
+                ((i * 37) % 1000) as u64 * 1_000_000 + 1,
+                start,
+                5_000_000 + ((i * 13) % 100) as i64 * 100_000,
+                "server",
+                Some(&format!("peer-{}", i % pairs)),
+            )
+        })
+        .collect();
+    Dataset::from_records(recs)
+}
+
+fn bench_sessions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("group_sessions");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let ds = synth_log(n, 20);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("transfers_{n}"), |b| {
+            b.iter(|| group_sessions(std::hint::black_box(&ds), 60.0));
+        });
+    }
+    g.finish();
+}
+
+fn bench_summary(c: &mut Criterion) {
+    let data: Vec<f64> = (0..100_000).map(|i| ((i * 2_654_435_761u64) % 10_000) as f64).collect();
+    c.bench_function("summary_100k", |b| {
+        b.iter(|| Summary::of(std::hint::black_box(&data)));
+    });
+}
+
+fn bench_snmp_attr(c: &mut Criterion) {
+    let mut series = SnmpSeries::thirty_second("if0", 0);
+    for i in 0..100_000i64 {
+        series.add_bytes(i * 30_000_000, (i % 1000) as u64 * 1_000);
+    }
+    c.bench_function("attributed_bytes_200bins", |b| {
+        b.iter(|| attributed_bytes(std::hint::black_box(&series), 15_000_000, 6_015_000_000));
+    });
+}
+
+fn bench_concurrency(c: &mut Criterion) {
+    let ds = synth_log(5_000, 1);
+    let target = ds.records()[2_500].clone();
+    c.bench_function("concurrency_profile_5k", |b| {
+        b.iter(|| concurrency_profile(std::hint::black_box(&ds), &target));
+    });
+}
+
+criterion_group!(benches, bench_sessions, bench_summary, bench_snmp_attr, bench_concurrency);
+criterion_main!(benches);

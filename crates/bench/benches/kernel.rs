@@ -1,0 +1,33 @@
+//! Microbenchmarks of the discrete-event kernel.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gvc_engine::{EventQueue, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("schedule_pop_{n}"), |b| {
+            // Pseudo-random but fixed schedule times.
+            let times: Vec<u64> = (0..n as u64).map(|i| (i * 2_654_435_761) % 1_000_000).collect();
+            b.iter_batched(
+                EventQueue::<u64>::new,
+                |mut q| {
+                    for (i, &t) in times.iter().enumerate() {
+                        q.schedule(SimTime::from_secs(t), i as u64);
+                    }
+                    let mut acc = 0u64;
+                    while let Some((_, e)) = q.pop() {
+                        acc = acc.wrapping_add(e);
+                    }
+                    acc
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue);
+criterion_main!(benches);

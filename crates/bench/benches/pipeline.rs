@@ -1,0 +1,47 @@
+//! End-to-end pipeline benchmarks: scenario generation through table
+//! rendering, one per experiment family. These are the "regenerate a
+//! paper artifact" costs; absolute numbers depend on the machine, but
+//! relative costs show where the simulation budget goes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gvc_bench::{run_experiment, Scale, Scenarios};
+use gvc_workload::nersc_ornl::{self, NerscOrnlConfig};
+use gvc_workload::{ncar_nics, slac_bnl};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario_generation");
+    g.sample_size(10);
+    g.bench_function("ncar_nics_small", |b| {
+        b.iter(|| ncar_nics::generate(ncar_nics::NcarNicsConfig { seed: 1, scale: 0.05 }));
+    });
+    g.bench_function("slac_bnl_small", |b| {
+        b.iter(|| slac_bnl::generate(slac_bnl::SlacBnlConfig { seed: 1, scale: 0.003 }));
+    });
+    g.bench_function("nersc_ornl_30", |b| {
+        b.iter(|| {
+            nersc_ornl::generate(NerscOrnlConfig {
+                seed: 1,
+                n_transfers: 30,
+                background: 1.0,
+            })
+        });
+    });
+    g.finish();
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let scenarios = Scenarios::generate(Scale::Quick);
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    // One representative per family: session tables, suitability grid,
+    // SNMP correlations, stream binning, Eq. 2 prediction.
+    for id in ["table1", "table4", "table11", "fig4", "fig8"] {
+        g.bench_function(id, |b| {
+            b.iter(|| run_experiment(std::hint::black_box(&scenarios), id));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_experiments);
+criterion_main!(benches);

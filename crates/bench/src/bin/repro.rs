@@ -1,0 +1,57 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--full] [exp-id ...]
+//! repro all                 # everything at quick scale
+//! repro --full all          # paper-scale datasets (slower)
+//! repro table4 fig8         # specific experiments
+//! repro --list              # available ids
+//! ```
+
+use gvc_bench::{run_experiment, Scale, Scenarios, EXPERIMENT_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for id in EXPERIMENT_IDS {
+            println!("{id}");
+        }
+        return;
+    }
+    let full = args.iter().any(|a| a == "--full");
+    let mut ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if ids.is_empty() || ids.contains(&"all") {
+        ids = EXPERIMENT_IDS.to_vec();
+    }
+
+    let scale = if full { Scale::Full } else { Scale::Quick };
+    eprintln!(
+        "generating scenarios at {scale:?} scale (seeds fixed; see DESIGN.md) ..."
+    );
+    let t0 = std::time::Instant::now();
+    let scenarios = Scenarios::generate(scale);
+    eprintln!(
+        "scenarios ready in {:.1} s: NCAR {} / SLAC {} / ORNL {} / ANL {} transfers",
+        t0.elapsed().as_secs_f64(),
+        scenarios.ncar.len(),
+        scenarios.slac.len(),
+        scenarios.ornl.log.len(),
+        scenarios.anl.len()
+    );
+
+    let mut unknown = Vec::new();
+    for id in ids {
+        match run_experiment(&scenarios, id) {
+            Some(out) => print!("{out}"),
+            None => unknown.push(id),
+        }
+    }
+    if !unknown.is_empty() {
+        eprintln!("unknown experiment ids: {unknown:?} (use --list)");
+        std::process::exit(2);
+    }
+}

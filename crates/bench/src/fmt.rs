@@ -1,0 +1,49 @@
+//! Table rendering helpers for the `repro` output.
+
+use gvc_stats::Summary;
+
+/// Renders the paper's six-column header.
+pub fn summary_header(label: &str) -> String {
+    format!(
+        "{label:<22} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "Min", "1st Qu.", "Median", "Mean", "3rd Qu.", "Max"
+    )
+}
+
+/// Renders one summary row, scaled (e.g. 1.0 for Mbps, 1e-6 for MB
+/// from bytes) with `prec` decimals.
+pub fn summary_row(label: &str, s: &Summary, scale: f64, prec: usize) -> String {
+    format!("{label:<22} {}", s.paper_row(scale, prec))
+}
+
+/// Renders an optional correlation with the paper's 3-decimal style.
+pub fn corr(c: Option<f64>) -> String {
+    match c {
+        Some(v) => format!("{v:>7.3}"),
+        None => format!("{:>7}", "--"),
+    }
+}
+
+/// A simple section banner.
+pub fn banner(title: &str) -> String {
+    format!("\n=== {title} ===\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_align() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        let h = summary_header("x");
+        let r = summary_row("x", &s, 1.0, 1);
+        assert_eq!(h.len(), r.len());
+    }
+
+    #[test]
+    fn corr_formats() {
+        assert_eq!(corr(Some(0.1234)).trim(), "0.123");
+        assert_eq!(corr(None).trim(), "--");
+    }
+}

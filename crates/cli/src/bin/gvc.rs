@@ -1,0 +1,33 @@
+//! The `gvc` command-line tool: GridFTP usage-log analysis and
+//! synthetic dataset generation from the shell.
+
+use gvc_cli::{parse_flags, run_command, COMMANDS};
+
+fn usage() {
+    eprintln!("gvc — GridFTP virtual-circuit study toolkit\n");
+    eprintln!("commands:");
+    for (_, usage, desc) in COMMANDS {
+        eprintln!("  {usage:<64} {desc}");
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "help" {
+        usage();
+        std::process::exit(if argv.is_empty() { 2 } else { 0 });
+    }
+    let parsed = match parse_flags(argv) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    if let Err(e) = run_command(&parsed, &mut lock) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

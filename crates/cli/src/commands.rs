@@ -1,0 +1,338 @@
+//! The `gvc` subcommands.
+
+use crate::args::{CliError, ParsedArgs};
+use gvc_core::gap_sensitivity::gap_sensitivity;
+use gvc_core::sessions::group_sessions;
+use gvc_core::vc_suitability::vc_suitability;
+use gvc_logs::anonymize::{anonymize_dataset, AnonymizePolicy};
+use gvc_logs::{parse_dataset, write_dataset, Dataset};
+use gvc_stats::Summary;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// `(name, usage, description)` for every subcommand.
+pub const COMMANDS: [(&str, &str, &str); 5] = [
+    ("summary", "gvc summary <log>", "descriptive statistics of a usage log"),
+    ("sessions", "gvc sessions <log> [--gap 60]", "group transfers into sessions"),
+    (
+        "suitability",
+        "gvc suitability <log> [--gap 60] [--setup 60] [--factor 10]",
+        "the Table IV virtual-circuit feasibility analysis",
+    ),
+    (
+        "generate",
+        "gvc generate <ncar|slac|anl> <out> [--scale 0.1] [--seed 42]",
+        "synthesize a calibrated dataset",
+    ),
+    (
+        "anonymize",
+        "gvc anonymize <log> <out> [--policy drop|pseudonym]",
+        "strip or pseudonymize remote endpoints",
+    ),
+];
+
+fn load(path: &str) -> Result<Dataset, CliError> {
+    let f = File::open(path).map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
+    parse_dataset(BufReader::new(f)).map_err(|e| CliError(format!("{path}: {e}")))
+}
+
+fn save(path: &str, ds: &Dataset) -> Result<(), CliError> {
+    if Path::new(path).exists() {
+        return Err(CliError(format!("{path} already exists; refusing to overwrite")));
+    }
+    let f = File::create(path).map_err(|e| CliError(format!("cannot create {path}: {e}")))?;
+    let mut w = BufWriter::new(f);
+    write_dataset(&mut w, ds)?;
+    Ok(())
+}
+
+fn print_summary<W: Write>(w: &mut W, label: &str, s: &Summary, unit: &str) -> Result<(), CliError> {
+    writeln!(
+        w,
+        "{label:<24} min {:>12.2}  q1 {:>12.2}  med {:>12.2}  mean {:>12.2}  q3 {:>12.2}  max {:>12.2}  {unit}",
+        s.min, s.q1, s.median, s.mean, s.q3, s.max
+    )?;
+    Ok(())
+}
+
+fn cmd_summary<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
+    let ds = load(a.positional(1, "log")?)?;
+    writeln!(w, "{} transfers", ds.len())?;
+    if ds.is_empty() {
+        return Ok(());
+    }
+    let sizes: Vec<f64> = ds.sizes_bytes().iter().map(|b| b / 1e6).collect();
+    let durs: Vec<f64> = ds.records().iter().map(|r| r.duration_s()).collect();
+    print_summary(w, "size", &Summary::of(&sizes).expect("non-empty"), "MB")?;
+    print_summary(w, "duration", &Summary::of(&durs).expect("non-empty"), "s")?;
+    print_summary(
+        w,
+        "throughput",
+        &Summary::of(&ds.throughputs_mbps()).expect("non-empty"),
+        "Mbps",
+    )?;
+    let anonymized = ds.records().iter().filter(|r| r.remote.is_none()).count();
+    if anonymized > 0 {
+        writeln!(w, "note: {anonymized} records have anonymized remotes (not sessionizable)")?;
+    }
+    Ok(())
+}
+
+fn cmd_sessions<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
+    let ds = load(a.positional(1, "log")?)?;
+    let gap: f64 = a.flag_or("gap", 60.0)?;
+    if gap < 0.0 {
+        return Err(CliError("--gap must be non-negative".into()));
+    }
+    let g = group_sessions(&ds, gap);
+    writeln!(w, "gap parameter g = {gap} s")?;
+    writeln!(
+        w,
+        "{} sessions over {} transfers ({} not sessionizable)",
+        g.sessions.len(),
+        g.grouped_transfers(),
+        g.ungroupable
+    )?;
+    writeln!(
+        w,
+        "single-transfer {}  multi-transfer {}  largest {} transfers",
+        g.single_transfer_sessions(),
+        g.multi_transfer_sessions(),
+        g.max_transfers()
+    )?;
+    if !g.sessions.is_empty() {
+        let sizes: Vec<f64> = g.sessions.iter().map(|s| s.size_bytes() as f64 / 1e6).collect();
+        let durs: Vec<f64> = g.sessions.iter().map(|s| s.duration_s()).collect();
+        print_summary(w, "session size", &Summary::of(&sizes).expect("non-empty"), "MB")?;
+        print_summary(w, "session duration", &Summary::of(&durs).expect("non-empty"), "s")?;
+    }
+    // A quick g sweep for context.
+    writeln!(w, "\nsensitivity:")?;
+    for row in gap_sensitivity(&ds, &[0.0, 60.0, 120.0, 300.0]) {
+        writeln!(
+            w,
+            "  g={:>4.0}s  sessions {:>7}  single {:>7}  max {:>7}",
+            row.gap_s, row.sessions, row.single_transfer, row.max_transfers
+        )?;
+    }
+    Ok(())
+}
+
+fn cmd_suitability<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
+    let ds = load(a.positional(1, "log")?)?;
+    let gap: f64 = a.flag_or("gap", 60.0)?;
+    let setup: f64 = a.flag_or("setup", 60.0)?;
+    let factor: f64 = a.flag_or("factor", 10.0)?;
+    if setup <= 0.0 || factor <= 0.0 {
+        return Err(CliError("--setup and --factor must be positive".into()));
+    }
+    let grouping = group_sessions(&ds, gap);
+    let v = vc_suitability(&grouping, &ds, setup, factor);
+    writeln!(
+        w,
+        "g = {gap} s, setup delay = {setup} s, overhead factor = {factor}"
+    )?;
+    writeln!(w, "q3 transfer throughput: {:.1} Mbps", v.q3_throughput_mbps)?;
+    writeln!(
+        w,
+        "suitable sessions:  {}/{} ({:.2}%)",
+        v.suitable_sessions,
+        v.total_sessions,
+        v.pct_sessions()
+    )?;
+    writeln!(
+        w,
+        "suitable transfers: {}/{} ({:.2}%)",
+        v.suitable_transfers,
+        v.total_transfers,
+        v.pct_transfers()
+    )?;
+    Ok(())
+}
+
+fn cmd_generate<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
+    let scenario = a.positional(1, "scenario")?.to_owned();
+    let out = a.positional(2, "out")?.to_owned();
+    let scale: f64 = a.flag_or("scale", 0.1)?;
+    let seed: u64 = a.flag_or("seed", 42u64)?;
+    if scale <= 0.0 || scale.is_nan() {
+        return Err(CliError("--scale must be positive".into()));
+    }
+    let ds = match scenario.as_str() {
+        "ncar" => gvc_workload::ncar_nics::generate(gvc_workload::ncar_nics::NcarNicsConfig {
+            seed,
+            scale,
+        }),
+        "slac" => gvc_workload::slac_bnl::generate(gvc_workload::slac_bnl::SlacBnlConfig {
+            seed,
+            scale,
+        }),
+        "anl" => gvc_workload::nersc_anl::generate(gvc_workload::nersc_anl::NerscAnlConfig {
+            seed,
+            scale,
+            production_sessions_per_day: 60.0,
+            horizon_days: 50.0 * scale.clamp(0.1, 1.0),
+        }),
+        other => {
+            return Err(CliError(format!(
+                "unknown scenario {other:?} (want ncar|slac|anl)"
+            )))
+        }
+    };
+    save(&out, &ds)?;
+    writeln!(w, "wrote {} transfers to {out}", ds.len())?;
+    Ok(())
+}
+
+fn cmd_anonymize<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
+    let input = a.positional(1, "log")?.to_owned();
+    let out = a.positional(2, "out")?.to_owned();
+    let policy = match a.str_flag_or("policy", "drop") {
+        "drop" => AnonymizePolicy::Drop,
+        "pseudonym" => AnonymizePolicy::Pseudonym,
+        other => return Err(CliError(format!("unknown --policy {other:?}"))),
+    };
+    let ds = load(&input)?;
+    let anon = anonymize_dataset(&ds, policy);
+    save(&out, &anon)?;
+    writeln!(w, "wrote {} anonymized transfers to {out}", anon.len())?;
+    Ok(())
+}
+
+/// Dispatches one parsed command line to its implementation.
+pub fn run_command<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
+    match a.positional(0, "command")? {
+        "summary" => cmd_summary(a, w),
+        "sessions" => cmd_sessions(a, w),
+        "suitability" => cmd_suitability(a, w),
+        "generate" => cmd_generate(a, w),
+        "anonymize" => cmd_anonymize(a, w),
+        other => Err(CliError(format!(
+            "unknown command {other:?}; available: {}",
+            COMMANDS.map(|(n, _, _)| n).join(", ")
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_flags;
+    use gvc_logs::{TransferRecord, TransferType};
+
+    fn args(v: &[&str]) -> ParsedArgs {
+        parse_flags(v.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn run(v: &[&str]) -> Result<String, CliError> {
+        let mut out = Vec::new();
+        run_command(&args(v), &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8"))
+    }
+
+    fn tmpfile(name: &str) -> String {
+        let dir = std::env::temp_dir().join("gvc-cli-tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let p = dir.join(format!("{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p.to_string_lossy().into_owned()
+    }
+
+    fn sample_log(path: &str) {
+        let mut ds = Dataset::new();
+        for i in 0..20i64 {
+            ds.push(TransferRecord::simple(
+                TransferType::Retr,
+                (i as u64 + 1) * 50_000_000,
+                i * 30_000_000,
+                10_000_000,
+                "srv.example",
+                Some("peer.example"),
+            ));
+        }
+        ds.sort();
+        let f = File::create(path).expect("create");
+        let mut w = BufWriter::new(f);
+        write_dataset(&mut w, &ds).expect("write");
+    }
+
+    #[test]
+    fn summary_reports_counts_and_stats() {
+        let log = tmpfile("summary.log");
+        sample_log(&log);
+        let out = run(&["summary", &log]).unwrap();
+        assert!(out.contains("20 transfers"));
+        assert!(out.contains("throughput"));
+    }
+
+    #[test]
+    fn sessions_with_custom_gap() {
+        let log = tmpfile("sessions.log");
+        sample_log(&log);
+        // 30 s starts, 10 s durations -> 20 s gaps: one session at
+        // g=60, twenty at g=0.
+        let out = run(&["sessions", &log, "--gap", "60"]).unwrap();
+        assert!(out.contains("1 sessions over 20 transfers"), "{out}");
+        let out0 = run(&["sessions", &log, "--gap", "0"]).unwrap();
+        assert!(out0.contains("20 sessions"), "{out0}");
+    }
+
+    #[test]
+    fn suitability_outputs_percentages() {
+        let log = tmpfile("suit.log");
+        sample_log(&log);
+        let out = run(&["suitability", &log, "--setup", "0.05"]).unwrap();
+        assert!(out.contains("suitable sessions"), "{out}");
+        assert!(out.contains('%'));
+    }
+
+    #[test]
+    fn generate_roundtrips_through_summary() {
+        let out_path = tmpfile("gen.log");
+        let msg = run(&["generate", "ncar", &out_path, "--scale", "0.02", "--seed", "7"]).unwrap();
+        assert!(msg.contains("wrote"), "{msg}");
+        let sum = run(&["summary", &out_path]).unwrap();
+        assert!(sum.contains("transfers"));
+        std::fs::remove_file(&out_path).ok();
+    }
+
+    #[test]
+    fn generate_refuses_overwrite() {
+        let out_path = tmpfile("no-overwrite.log");
+        std::fs::write(&out_path, "precious").unwrap();
+        let err = run(&["generate", "ncar", &out_path, "--scale", "0.01"]).unwrap_err();
+        assert!(err.0.contains("refusing to overwrite"));
+        std::fs::remove_file(&out_path).ok();
+    }
+
+    #[test]
+    fn anonymize_drop_policy() {
+        let log = tmpfile("anon-in.log");
+        let out_path = tmpfile("anon-out.log");
+        sample_log(&log);
+        run(&["anonymize", &log, &out_path, "--policy", "drop"]).unwrap();
+        let sum = run(&["summary", &out_path]).unwrap();
+        assert!(sum.contains("anonymized remotes"), "{sum}");
+        std::fs::remove_file(&out_path).ok();
+    }
+
+    #[test]
+    fn unknown_command_lists_available() {
+        let err = run(&["frobnicate"]).unwrap_err();
+        assert!(err.0.contains("unknown command"));
+        assert!(err.0.contains("summary"));
+    }
+
+    #[test]
+    fn missing_file_is_clean_error() {
+        let err = run(&["summary", "/nonexistent/path.log"]).unwrap_err();
+        assert!(err.0.contains("cannot open"));
+    }
+
+    #[test]
+    fn bad_scenario_is_clean_error() {
+        let err = run(&["generate", "mars", "/tmp/x.log"]).unwrap_err();
+        assert!(err.0.contains("unknown scenario"));
+    }
+}

@@ -1,0 +1,22 @@
+//! Command implementations behind the `gvc` binary.
+//!
+//! Kept as a library so the commands are unit-testable without
+//! spawning processes: each command takes parsed arguments and a
+//! writer, returns `Result<(), CliError>`, and the binary is a thin
+//! argv dispatcher.
+//!
+//! ```text
+//! gvc summary <log>                      descriptive stats of a usage log
+//! gvc sessions <log> [--gap 60]          session grouping (Table I/III view)
+//! gvc suitability <log> [--gap 60] [--setup 60] [--factor 10]
+//!                                        the Table IV analysis
+//! gvc generate <scenario> <out> [--scale 0.1] [--seed 42]
+//!                                        synthesize a dataset (ncar|slac|anl)
+//! gvc anonymize <log> <out> [--policy drop|pseudonym]
+//! ```
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_flags, CliError};
+pub use commands::{run_command, COMMANDS};

@@ -1,0 +1,111 @@
+//! Spawns the real `gvc` binary end to end: generate → summary →
+//! sessions → anonymize → summary, through actual files and argv.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn gvc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gvc"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("gvc-bin-tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let p = dir.join(format!("{}-{name}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+#[test]
+fn help_lists_commands_and_exits_zero() {
+    let out = gvc().arg("--help").output().expect("spawn");
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    for cmd in ["summary", "sessions", "suitability", "generate", "anonymize"] {
+        assert!(err.contains(cmd), "help missing {cmd}: {err}");
+    }
+}
+
+#[test]
+fn no_args_exits_2() {
+    let out = gvc().output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn unknown_command_exits_1_with_message() {
+    let out = gvc().arg("frobnicate").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn full_workflow_through_files() {
+    let log = tmp("wf.log");
+    let anon = tmp("wf-anon.log");
+
+    // generate
+    let out = gvc()
+        .args(["generate", "ncar", log.to_str().unwrap(), "--scale", "0.02", "--seed", "9"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("wrote"));
+
+    // summary
+    let out = gvc().args(["summary", log.to_str().unwrap()]).output().expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("transfers"));
+    assert!(stdout.contains("throughput"));
+
+    // sessions
+    let out = gvc()
+        .args(["sessions", log.to_str().unwrap(), "--gap", "60"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("sessions over"));
+
+    // suitability
+    let out = gvc().args(["suitability", log.to_str().unwrap()]).output().expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("suitable transfers"));
+
+    // anonymize + summary of the anonymized copy
+    let out = gvc()
+        .args(["anonymize", log.to_str().unwrap(), anon.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = gvc().args(["summary", anon.to_str().unwrap()]).output().expect("spawn");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("anonymized remotes"));
+
+    // anonymized copy cannot be sessionized
+    let out = gvc()
+        .args(["sessions", anon.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("0 sessions"));
+
+    std::fs::remove_file(&log).ok();
+    std::fs::remove_file(&anon).ok();
+}
+
+#[test]
+fn determinism_across_processes() {
+    let a = tmp("det-a.log");
+    let b = tmp("det-b.log");
+    for p in [&a, &b] {
+        let out = gvc()
+            .args(["generate", "slac", p.to_str().unwrap(), "--scale", "0.002", "--seed", "5"])
+            .output()
+            .expect("spawn");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+    let ca = std::fs::read(&a).expect("read a");
+    let cb = std::fs::read(&b).expect("read b");
+    assert_eq!(ca, cb, "same seed must produce identical files");
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+}

@@ -1,0 +1,110 @@
+//! Table III: impact of the gap parameter `g` on session structure.
+//!
+//! "The 1 min value for g appears to offer significant advantages
+//! relative to a 0 value, by decreasing the number of single-transfer
+//! sessions" (§VI-A) — this analysis quantifies that, per `g` value.
+
+use crate::sessions::group_sessions;
+use gvc_logs::Dataset;
+
+/// One Table III row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GapRow {
+    /// The gap value, seconds.
+    pub gap_s: f64,
+    /// Total sessions.
+    pub sessions: usize,
+    /// Sessions with exactly one transfer.
+    pub single_transfer: usize,
+    /// Sessions with more than one transfer.
+    pub multi_transfer: usize,
+    /// Percent of sessions with 1 or 2 transfers.
+    pub pct_with_1_or_2: f64,
+    /// Highest number of transfers in a session.
+    pub max_transfers: usize,
+    /// Sessions with ≥ 100 transfers.
+    pub with_100_plus: usize,
+}
+
+/// Computes Table III rows for the given `g` values (the paper uses
+/// 0 s, 60 s, 120 s).
+pub fn gap_sensitivity(ds: &Dataset, gaps_s: &[f64]) -> Vec<GapRow> {
+    gaps_s
+        .iter()
+        .map(|&g| {
+            let grouping = group_sessions(ds, g);
+            GapRow {
+                gap_s: g,
+                sessions: grouping.sessions.len(),
+                single_transfer: grouping.single_transfer_sessions(),
+                multi_transfer: grouping.multi_transfer_sessions(),
+                pct_with_1_or_2: grouping.frac_with_at_most_two() * 100.0,
+                max_transfers: grouping.max_transfers(),
+                with_100_plus: grouping.sessions_with_at_least(100),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvc_logs::{TransferRecord, TransferType};
+
+    fn rec(start_s: f64, dur_s: f64) -> TransferRecord {
+        TransferRecord::simple(
+            TransferType::Retr,
+            1,
+            (start_s * 1e6) as i64,
+            (dur_s * 1e6) as i64,
+            "srv",
+            Some("peer"),
+        )
+    }
+
+    /// Transfers 30 s apart: one session at g = 60, singletons at g = 0.
+    fn spaced_dataset(n: usize) -> Dataset {
+        Dataset::from_records((0..n).map(|i| rec(i as f64 * 40.0, 10.0)).collect())
+    }
+
+    #[test]
+    fn larger_gap_fewer_sessions() {
+        let ds = spaced_dataset(10);
+        let rows = gap_sensitivity(&ds, &[0.0, 60.0, 120.0]);
+        assert_eq!(rows[0].sessions, 10);
+        assert_eq!(rows[0].single_transfer, 10);
+        assert_eq!(rows[1].sessions, 1);
+        assert_eq!(rows[1].multi_transfer, 1);
+        assert_eq!(rows[2].sessions, 1);
+        assert!(rows[0].pct_with_1_or_2 > rows[1].pct_with_1_or_2);
+    }
+
+    #[test]
+    fn max_and_hundred_counters() {
+        let mut recs: Vec<TransferRecord> = (0..120).map(|i| rec(i as f64 * 5.0, 4.0)).collect();
+        recs.push(rec(100_000.0, 1.0));
+        let ds = Dataset::from_records(recs);
+        let rows = gap_sensitivity(&ds, &[10.0]);
+        assert_eq!(rows[0].sessions, 2);
+        assert_eq!(rows[0].max_transfers, 120);
+        assert_eq!(rows[0].with_100_plus, 1);
+    }
+
+    #[test]
+    fn monotone_in_g() {
+        // Session count is non-increasing in g.
+        let ds = spaced_dataset(50);
+        let rows = gap_sensitivity(&ds, &[0.0, 10.0, 30.0, 60.0, 120.0]);
+        for w in rows.windows(2) {
+            assert!(w[1].sessions <= w[0].sessions);
+        }
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let rows = gap_sensitivity(&Dataset::new(), &[0.0, 60.0]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].sessions, 0);
+        assert_eq!(rows[0].pct_with_1_or_2, 0.0);
+    }
+}

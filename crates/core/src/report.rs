@@ -1,0 +1,144 @@
+//! The headline feasibility report (finding i).
+//!
+//! Bundles the session, gap-sensitivity and VC-suitability analyses
+//! for one dataset into the numbers the paper leads with: "Of the
+//! NCAR–NICS sessions analyzed, 56% of all sessions (90% of all
+//! transfers) would have been long enough to be served with dynamic VC
+//! service."
+
+use crate::gap_sensitivity::{gap_sensitivity, GapRow};
+use crate::sessions::group_sessions;
+use crate::tables::{session_table, SessionTable};
+use crate::vc_suitability::{vc_suitability, VcSuitability, DEFAULT_OVERHEAD_FACTOR};
+use gvc_logs::Dataset;
+
+/// The paper's standard parameter grid.
+pub const PAPER_GAPS_S: [f64; 3] = [0.0, 60.0, 120.0];
+/// Table IV's two setup-delay assumptions: the ESnet 1 min and the
+/// hardware 50 ms.
+pub const PAPER_SETUP_DELAYS_S: [f64; 2] = [60.0, 0.05];
+
+/// Everything finding (i) needs for one dataset.
+#[derive(Debug, Clone)]
+pub struct FeasibilityReport {
+    /// Transfers in the dataset.
+    pub n_transfers: usize,
+    /// Table I/II-style summary at g = 1 min (`None` for an empty
+    /// dataset).
+    pub session_table_g1: Option<SessionTable>,
+    /// Table III rows over the paper's g grid.
+    pub gap_rows: Vec<GapRow>,
+    /// Table IV cells over the (g, setup delay) grid, in
+    /// `for g { for delay }` order.
+    pub suitability: Vec<VcSuitability>,
+}
+
+impl FeasibilityReport {
+    /// The Table IV cell for a given g and setup delay (seconds).
+    pub fn cell(&self, gap_s: f64, setup_delay_s: f64) -> Option<&VcSuitability> {
+        self.suitability
+            .iter()
+            .find(|c| c.gap_s == gap_s && c.setup_delay_s == setup_delay_s)
+    }
+
+    /// The headline: % sessions and % transfers suitable at g = 1 min
+    /// under the deployed 1-minute setup delay.
+    pub fn headline(&self) -> Option<(f64, f64)> {
+        self.cell(60.0, 60.0)
+            .map(|c| (c.pct_sessions(), c.pct_transfers()))
+    }
+}
+
+/// Runs the full finding-(i) analysis over a dataset.
+pub fn feasibility_report(ds: &Dataset) -> FeasibilityReport {
+    let g1 = group_sessions(ds, 60.0);
+    let mut suitability = Vec::new();
+    for &g in &PAPER_GAPS_S {
+        let grouping = group_sessions(ds, g);
+        for &d in &PAPER_SETUP_DELAYS_S {
+            suitability.push(vc_suitability(&grouping, ds, d, DEFAULT_OVERHEAD_FACTOR));
+        }
+    }
+    FeasibilityReport {
+        n_transfers: ds.len(),
+        session_table_g1: session_table(&g1, ds),
+        gap_rows: gap_sensitivity(ds, &PAPER_GAPS_S),
+        suitability,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvc_logs::{TransferRecord, TransferType};
+
+    fn dataset() -> Dataset {
+        // Ten sessions: five large multi-transfer, five tiny
+        // singletons, all at ~8 Mbps.
+        let mut recs = Vec::new();
+        let mut t = 0i64;
+        for s in 0..5 {
+            for _ in 0..10 {
+                recs.push(TransferRecord::simple(
+                    TransferType::Retr,
+                    500_000_000,
+                    t,
+                    500_000_000, // 500 s
+                    "srv",
+                    Some(&format!("big{s}")),
+                ));
+                t += 510_000_000;
+            }
+            t += 3_600_000_000;
+        }
+        for s in 0..5 {
+            recs.push(TransferRecord::simple(
+                TransferType::Retr,
+                1_000_000,
+                t,
+                1_000_000,
+                "srv",
+                Some(&format!("small{s}")),
+            ));
+            t += 3_600_000_000;
+        }
+        Dataset::from_records(recs)
+    }
+
+    #[test]
+    fn report_structure() {
+        let r = feasibility_report(&dataset());
+        assert_eq!(r.n_transfers, 55);
+        assert_eq!(r.gap_rows.len(), 3);
+        assert_eq!(r.suitability.len(), 6);
+        assert!(r.session_table_g1.is_some());
+    }
+
+    #[test]
+    fn headline_cell_exists_and_is_consistent() {
+        let r = feasibility_report(&dataset());
+        let (pct_s, pct_t) = r.headline().unwrap();
+        // Five big sessions of 5 GB are suitable (hypothetical
+        // duration 5000 s >> 600 s); five tiny are not.
+        assert!((pct_s - 50.0).abs() < 1e-9, "{pct_s}");
+        assert!((pct_t - 50.0 / 55.0 * 100.0).abs() < 1e-9, "{pct_t}");
+    }
+
+    #[test]
+    fn faster_setup_weakly_improves_suitability() {
+        let r = feasibility_report(&dataset());
+        for &g in &PAPER_GAPS_S {
+            let slow = r.cell(g, 60.0).unwrap().pct_sessions();
+            let fast = r.cell(g, 0.05).unwrap().pct_sessions();
+            assert!(fast >= slow);
+        }
+    }
+
+    #[test]
+    fn empty_dataset_report() {
+        let r = feasibility_report(&Dataset::new());
+        assert_eq!(r.n_transfers, 0);
+        assert!(r.session_table_g1.is_none());
+        assert_eq!(r.headline(), Some((0.0, 0.0)));
+    }
+}

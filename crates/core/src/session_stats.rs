@@ -1,0 +1,169 @@
+//! Session-level narratives and trends.
+//!
+//! Beyond the Table I/II summaries, the paper's §VI-A discussion calls
+//! out individual sessions — "The largest session of size 12 TB in the
+//! SLAC-BNL dataset took 26 hours and 24 minutes to complete,
+//! receiving an effective throughput of 1.06 Gbps. The longest-
+//! duration session occurred in the NCAR-NICS data set, with a
+//! duration of 13 hours and 27 minutes … This session throughput is
+//! lower than even the third-quartile throughput" — plus, implicitly,
+//! the year-over-year decline of Table VIII. This module computes
+//! those call-outs and trend fits.
+
+use crate::sessions::{Session, SessionGrouping};
+use gvc_logs::Dataset;
+use gvc_stats::regression::{linear_fit, LinearFit};
+use gvc_stats::{quantile, Summary};
+
+/// The §VI-A call-out facts for one grouping.
+#[derive(Debug, Clone)]
+pub struct SessionHighlights {
+    /// `(size_bytes, duration_s, effective_mbps)` of the largest
+    /// session by size.
+    pub largest: Option<(u64, f64, f64)>,
+    /// `(size_bytes, duration_s, effective_mbps)` of the longest
+    /// session by duration.
+    pub longest: Option<(u64, f64, f64)>,
+    /// Effective session-throughput summary (Mbps).
+    pub effective_throughput_mbps: Option<Summary>,
+    /// Fraction of sessions whose effective throughput is below the
+    /// q3 *transfer* throughput — the paper's observation that session
+    /// rates sit below transfer rates (idle gaps, slow members).
+    pub frac_below_transfer_q3: f64,
+}
+
+fn triple(s: &Session) -> (u64, f64, f64) {
+    (s.size_bytes(), s.duration_s(), s.effective_throughput_mbps())
+}
+
+/// Computes the highlights for a grouping over dataset `ds`.
+pub fn session_highlights(grouping: &SessionGrouping, ds: &Dataset) -> SessionHighlights {
+    let largest = grouping
+        .sessions
+        .iter()
+        .max_by_key(|s| s.size_bytes())
+        .map(triple);
+    let longest = grouping
+        .sessions
+        .iter()
+        .max_by(|a, b| {
+            a.duration_s()
+                .partial_cmp(&b.duration_s())
+                .expect("no NaN durations")
+        })
+        .map(triple);
+    let rates: Vec<f64> = grouping
+        .sessions
+        .iter()
+        .map(Session::effective_throughput_mbps)
+        .collect();
+    let q3_transfer = quantile(&ds.throughputs_mbps(), 0.75).unwrap_or(0.0);
+    let below = if rates.is_empty() {
+        0.0
+    } else {
+        rates.iter().filter(|&&r| r < q3_transfer).count() as f64 / rates.len() as f64
+    };
+    SessionHighlights {
+        largest,
+        longest,
+        effective_throughput_mbps: Summary::of(&rates),
+        frac_below_transfer_q3: below,
+    }
+}
+
+/// OLS fit of per-transfer throughput (Mbps) against start year —
+/// quantifying the Table VIII decline as a slope (Mbps/year) with r².
+pub fn yearly_trend(ds: &Dataset) -> Option<LinearFit> {
+    let x: Vec<f64> = ds
+        .records()
+        .iter()
+        .map(|r| f64::from(r.start_civil().year))
+        .collect();
+    let y: Vec<f64> = ds.throughputs_mbps();
+    linear_fit(&x, &y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sessions::group_sessions;
+    use gvc_logs::{TransferRecord, TransferType};
+
+    fn rec(start_s: f64, dur_s: f64, size: u64, remote: &str) -> TransferRecord {
+        TransferRecord::simple(
+            TransferType::Retr,
+            size,
+            (start_s * 1e6) as i64,
+            (dur_s * 1e6) as i64,
+            "srv",
+            Some(remote),
+        )
+    }
+
+    fn fixture() -> (SessionGrouping, Dataset) {
+        // Session A: 2 x 1 GB back to back over 200 s (big).
+        // Session B: 1 x 1 MB over 1000 s (long and slow).
+        let ds = Dataset::from_records(vec![
+            rec(0.0, 100.0, 1_000_000_000, "a"),
+            rec(101.0, 99.0, 1_000_000_000, "a"),
+            rec(0.0, 1000.0, 1_000_000, "b"),
+        ]);
+        (group_sessions(&ds, 60.0), ds)
+    }
+
+    #[test]
+    fn largest_and_longest_identified() {
+        let (g, ds) = fixture();
+        let h = session_highlights(&g, &ds);
+        let (size, dur, mbps) = h.largest.unwrap();
+        assert_eq!(size, 2_000_000_000);
+        assert!((dur - 200.0).abs() < 1e-6);
+        assert!((mbps - 80.0).abs() < 0.1);
+        let (lsize, ldur, _) = h.longest.unwrap();
+        assert_eq!(lsize, 1_000_000);
+        assert!((ldur - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn session_rates_sit_below_transfer_q3() {
+        let (g, ds) = fixture();
+        let h = session_highlights(&g, &ds);
+        // The slow 1 MB session is below q3; the big one is at the
+        // transfer rate.
+        assert!(h.frac_below_transfer_q3 >= 0.5);
+        assert!(h.effective_throughput_mbps.is_some());
+    }
+
+    #[test]
+    fn empty_grouping() {
+        let ds = Dataset::new();
+        let g = group_sessions(&ds, 60.0);
+        let h = session_highlights(&g, &ds);
+        assert!(h.largest.is_none());
+        assert!(h.longest.is_none());
+        assert!(h.effective_throughput_mbps.is_none());
+        assert_eq!(h.frac_below_transfer_q3, 0.0);
+    }
+
+    #[test]
+    fn yearly_trend_detects_decline() {
+        // 2009 fast, 2011 slow.
+        const Y2009: f64 = 1_230_768_000.0;
+        const Y2011: f64 = 1_293_840_000.0;
+        let mut recs = Vec::new();
+        for i in 0..20 {
+            recs.push(rec(Y2009 + i as f64 * 1e5, 8.0, 1_000_000_000, "p")); // 1000 Mbps
+            recs.push(rec(Y2011 + i as f64 * 1e5, 24.0, 1_000_000_000, "p")); // 333 Mbps
+        }
+        let ds = Dataset::from_records(recs);
+        let fit = yearly_trend(&ds).unwrap();
+        assert!(fit.slope < -200.0, "slope {}", fit.slope);
+        assert!(fit.r_squared > 0.9);
+    }
+
+    #[test]
+    fn yearly_trend_none_for_single_year() {
+        let ds = Dataset::from_records(vec![rec(0.0, 1.0, 1, "p"), rec(10.0, 1.0, 1, "p")]);
+        assert!(yearly_trend(&ds).is_none());
+    }
+}

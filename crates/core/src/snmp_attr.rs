@@ -1,0 +1,153 @@
+//! Eq. 1 byte attribution and link-load statistics (Tables X, XIII).
+//!
+//! "The start and end times of the GridFTP transfers will typically
+//! not align with the 30-sec SNMP time bins" (§VII-C), so the paper
+//! prorates the first and last bins by their overlap with the transfer
+//! interval:
+//!
+//! ```text
+//! B_i = b_1 · (τ_i2 − s_i)/W + Σ_{j=2}^{m−2} b_j
+//!     + b_{m−1} · (s_i + D_i − τ_i(m−1))/W
+//! ```
+//!
+//! with `W` the bin width (30 s). [`attributed_bytes`] implements
+//! exactly that; [`link_load_bps`] divides by the duration for the
+//! Table XIII average-load rows.
+
+use gvc_logs::SnmpSeries;
+
+/// The paper's Eq. 1: total bytes estimated to have crossed an
+/// interface during `[start_us, end_us)`, prorating partial head and
+/// tail bins. Returns 0 for an empty interval.
+pub fn attributed_bytes(series: &SnmpSeries, start_us: i64, end_us: i64) -> f64 {
+    if end_us <= start_us {
+        return 0.0;
+    }
+    let w = series.bin_width_us as f64;
+    series
+        .samples_overlapping(start_us, end_us)
+        .iter()
+        .map(|s| {
+            let bin_start = s.bin_start_us;
+            let bin_end = bin_start + series.bin_width_us;
+            let overlap = (end_us.min(bin_end) - start_us.max(bin_start)).max(0) as f64;
+            s.bytes as f64 * overlap / w
+        })
+        .sum()
+}
+
+/// Average load (bits per second) on the interface over the transfer
+/// interval: `B_i / D_i` — the Table XIII statistic.
+pub fn link_load_bps(series: &SnmpSeries, start_us: i64, end_us: i64) -> f64 {
+    if end_us <= start_us {
+        return 0.0;
+    }
+    let bytes = attributed_bytes(series, start_us, end_us);
+    bytes * 8.0 / ((end_us - start_us) as f64 / 1e6)
+}
+
+/// Table X: the raw per-bin byte counts whose bins overlap a transfer
+/// interval, as `(bin_start_us, bytes)`.
+pub fn raw_bins(series: &SnmpSeries, start_us: i64, end_us: i64) -> Vec<(i64, u64)> {
+    series
+        .samples_overlapping(start_us, end_us)
+        .into_iter()
+        .map(|s| (s.bin_start_us, s.bytes))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A series with 30 s bins holding the given byte counts.
+    fn series(bins: &[u64]) -> SnmpSeries {
+        let mut s = SnmpSeries::thirty_second("if0", 0);
+        for (i, &b) in bins.iter().enumerate() {
+            s.add_bytes(i as i64 * 30_000_000, b);
+        }
+        s
+    }
+
+    const S30: i64 = 30_000_000;
+
+    #[test]
+    fn aligned_interval_sums_exact_bins() {
+        let s = series(&[100, 200, 300, 400]);
+        let b = attributed_bytes(&s, S30, 3 * S30);
+        assert!((b - 500.0).abs() < 1e-9); // bins 1 and 2
+    }
+
+    #[test]
+    fn partial_head_and_tail_prorated() {
+        let s = series(&[300, 600, 900]);
+        // Interval [15 s, 75 s): half of bin0 + all of bin1 + half of bin2.
+        let b = attributed_bytes(&s, S30 / 2, 2 * S30 + S30 / 2);
+        assert!((b - (150.0 + 600.0 + 450.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interval_inside_one_bin() {
+        let s = series(&[3000]);
+        // 10 s of the 30 s bin: one third.
+        let b = attributed_bytes(&s, 5_000_000, 15_000_000);
+        assert!((b - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_interval_is_zero() {
+        let s = series(&[100]);
+        assert_eq!(attributed_bytes(&s, 10, 10), 0.0);
+        assert_eq!(attributed_bytes(&s, 20, 10), 0.0);
+        assert_eq!(link_load_bps(&s, 20, 10), 0.0);
+    }
+
+    #[test]
+    fn link_load_units() {
+        // 30 s bin with 37.5 MB = 10 Mbps average over the bin.
+        let s = series(&[37_500_000]);
+        let load = link_load_bps(&s, 0, S30);
+        assert!((load - 10e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn raw_bins_table_x_shape() {
+        let s = series(&[10, 20, 30, 40]);
+        let rows = raw_bins(&s, 35_000_000, 95_000_000);
+        assert_eq!(rows, vec![(S30, 20), (2 * S30, 30), (3 * S30, 40)]);
+    }
+
+    proptest! {
+        /// Attribution is additive over a split point: B[a,c] =
+        /// B[a,b] + B[b,c].
+        #[test]
+        fn prop_additive(
+            a in 0i64..100_000_000,
+            len1 in 1i64..100_000_000,
+            len2 in 1i64..100_000_000,
+            bins in proptest::collection::vec(0u64..1_000_000, 1..12),
+        ) {
+            let s = series(&bins);
+            let b = a + len1;
+            let c = b + len2;
+            let whole = attributed_bytes(&s, a, c);
+            let parts = attributed_bytes(&s, a, b) + attributed_bytes(&s, b, c);
+            prop_assert!((whole - parts).abs() < 1e-3, "{whole} vs {parts}");
+        }
+
+        /// Attribution never exceeds the series total and is
+        /// non-negative.
+        #[test]
+        fn prop_bounded(
+            a in 0i64..200_000_000,
+            len in 1i64..400_000_000,
+            bins in proptest::collection::vec(0u64..1_000_000, 1..12),
+        ) {
+            let s = series(&bins);
+            let b = attributed_bytes(&s, a, a + len);
+            prop_assert!(b >= 0.0);
+            prop_assert!(b <= s.total_bytes() as f64 + 1e-6);
+        }
+    }
+}

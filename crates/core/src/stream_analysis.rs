@@ -1,0 +1,192 @@
+//! Figures 3–5: stream count × file size.
+//!
+//! §VII-B's binning: "For transfers of size [0 GB, 1 GB], the bin size
+//! is chosen to be 1 MB, while for transfers of size (1 GB, 4 GB], the
+//! bin size is chosen to be 100 MB." Transfers in each bin are split
+//! into the 1-stream and 8-stream groups and the *median* throughput
+//! per group per bin is reported ("to avoid the effects of outliers"),
+//! together with per-bin observation counts (Fig. 5).
+
+use gvc_logs::Dataset;
+use gvc_stats::BinnedSeries;
+
+/// MB and GB in the paper's binning (10⁶ / 10⁹ bytes).
+const MB: f64 = 1e6;
+const GB: f64 = 1e9;
+
+/// One point of the Fig. 3/4 series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamBinPoint {
+    /// Bin center, bytes.
+    pub size_bytes: f64,
+    /// Median throughput of the group, Mbps.
+    pub median_mbps: f64,
+    /// Observations in the group for this bin (Fig. 5).
+    pub count: usize,
+}
+
+/// The Fig. 3/4/5 data: per-bin medians for the 1-stream and 8-stream
+/// groups.
+#[derive(Debug, Clone)]
+pub struct StreamAnalysis {
+    /// 1-stream group series.
+    pub one_stream: Vec<StreamBinPoint>,
+    /// 8-stream group series.
+    pub eight_streams: Vec<StreamBinPoint>,
+}
+
+impl StreamAnalysis {
+    /// Median of a group's medians over a size range — a scalar
+    /// summary used to compare the regimes ("8-stream beats 1-stream
+    /// below ~150 MB").
+    pub fn regime_median(series: &[StreamBinPoint], lo_bytes: f64, hi_bytes: f64) -> Option<f64> {
+        let vals: Vec<f64> = series
+            .iter()
+            .filter(|p| p.size_bytes >= lo_bytes && p.size_bytes < hi_bytes)
+            .map(|p| p.median_mbps)
+            .collect();
+        gvc_stats::median(&vals)
+    }
+}
+
+fn series_for(ds: &Dataset, streams: u32, lo: f64, hi: f64, bin: f64) -> Vec<StreamBinPoint> {
+    let nbins = ((hi - lo) / bin).round() as usize;
+    let mut b = BinnedSeries::new(lo, hi, nbins);
+    for r in ds.records() {
+        if r.num_streams == streams {
+            b.insert(r.size_bytes as f64, r.throughput_mbps());
+        }
+    }
+    b.median_series()
+        .into_iter()
+        .map(|(center, median, count)| StreamBinPoint {
+            size_bytes: center,
+            median_mbps: median,
+            count,
+        })
+        .collect()
+}
+
+/// Fig. 3: sizes (0, 1 GB], 1 MB bins.
+pub fn stream_analysis_small(ds: &Dataset) -> StreamAnalysis {
+    StreamAnalysis {
+        one_stream: series_for(ds, 1, 0.0, GB, MB),
+        eight_streams: series_for(ds, 8, 0.0, GB, MB),
+    }
+}
+
+/// Fig. 4's upper range: sizes (1 GB, 4 GB], 100 MB bins. (Fig. 4
+/// plots both ranges; combine with [`stream_analysis_small`].)
+pub fn stream_analysis_large(ds: &Dataset) -> StreamAnalysis {
+    StreamAnalysis {
+        one_stream: series_for(ds, 1, GB, 4.0 * GB, 100.0 * MB),
+        eight_streams: series_for(ds, 8, GB, 4.0 * GB, 100.0 * MB),
+    }
+}
+
+/// The full Fig. 4 view: small-range and large-range series
+/// concatenated (paper bins: 1 MB below 1 GB, 100 MB above).
+pub fn stream_analysis_full(ds: &Dataset) -> StreamAnalysis {
+    let small = stream_analysis_small(ds);
+    let large = stream_analysis_large(ds);
+    StreamAnalysis {
+        one_stream: [small.one_stream, large.one_stream].concat(),
+        eight_streams: [small.eight_streams, large.eight_streams].concat(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvc_logs::{TransferRecord, TransferType};
+
+    fn rec(size: u64, dur_s: f64, streams: u32) -> TransferRecord {
+        let mut r = TransferRecord::simple(
+            TransferType::Retr,
+            size,
+            0,
+            (dur_s * 1e6) as i64,
+            "srv",
+            Some("peer"),
+        );
+        r.num_streams = streams;
+        r
+    }
+
+    #[test]
+    fn bins_are_paper_sized() {
+        // 1 MB bins below 1 GB: two 10 MB-ish transfers land in
+        // distinct adjacent bins.
+        let ds = Dataset::from_records(vec![
+            rec(10_400_000, 1.0, 8),
+            rec(11_600_000, 1.0, 8),
+        ]);
+        let a = stream_analysis_small(&ds);
+        assert_eq!(a.eight_streams.len(), 2);
+        assert!((a.eight_streams[0].size_bytes - 10_500_000.0).abs() < 1.0);
+        assert!((a.eight_streams[1].size_bytes - 11_500_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn groups_split_by_stream_count() {
+        let ds = Dataset::from_records(vec![
+            rec(50_000_000, 2.0, 1),
+            rec(50_000_000, 1.0, 8),
+            rec(50_000_000, 4.0, 4), // neither group
+        ]);
+        let a = stream_analysis_small(&ds);
+        assert_eq!(a.one_stream.len(), 1);
+        assert_eq!(a.eight_streams.len(), 1);
+        assert!(a.eight_streams[0].median_mbps > a.one_stream[0].median_mbps);
+        assert_eq!(a.one_stream[0].count, 1);
+    }
+
+    #[test]
+    fn median_within_bin() {
+        let ds = Dataset::from_records(vec![
+            rec(5_200_000, 1.0, 8), // 41.6 Mbps
+            rec(5_300_000, 2.0, 8), // 21.2 Mbps
+            rec(5_700_000, 4.0, 8), // 11.4 Mbps
+        ]);
+        let a = stream_analysis_small(&ds);
+        assert_eq!(a.eight_streams.len(), 1);
+        assert!((a.eight_streams[0].median_mbps - 21.2).abs() < 0.01);
+        assert_eq!(a.eight_streams[0].count, 3);
+    }
+
+    #[test]
+    fn large_range_uses_coarse_bins() {
+        let ds = Dataset::from_records(vec![
+            rec(1_510_000_000, 10.0, 1),
+            rec(1_590_000_000, 12.0, 1), // same 100 MB bin
+            rec(2_250_000_000, 10.0, 1),
+        ]);
+        let a = stream_analysis_large(&ds);
+        assert_eq!(a.one_stream.len(), 2);
+        assert_eq!(a.one_stream[0].count, 2);
+    }
+
+    #[test]
+    fn full_concatenates_ranges() {
+        let ds = Dataset::from_records(vec![
+            rec(500_000_000, 5.0, 8),
+            rec(2_000_000_500, 20.0, 8),
+        ]);
+        let a = stream_analysis_full(&ds);
+        assert_eq!(a.eight_streams.len(), 2);
+        assert!(a.eight_streams[0].size_bytes < 1e9);
+        assert!(a.eight_streams[1].size_bytes > 1e9);
+    }
+
+    #[test]
+    fn regime_median_filters_by_size() {
+        let pts = vec![
+            StreamBinPoint { size_bytes: 1e6, median_mbps: 10.0, count: 1 },
+            StreamBinPoint { size_bytes: 2e6, median_mbps: 20.0, count: 1 },
+            StreamBinPoint { size_bytes: 9e8, median_mbps: 99.0, count: 1 },
+        ];
+        let m = StreamAnalysis::regime_median(&pts, 0.0, 5e6).unwrap();
+        assert_eq!(m, 15.0);
+        assert!(StreamAnalysis::regime_median(&pts, 1e9, 2e9).is_none());
+    }
+}

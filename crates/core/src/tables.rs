@@ -1,0 +1,235 @@
+//! Descriptive-summary tables (Tables I, II, V, VI, VII).
+//!
+//! Tables I and II characterize *session* sizes (MB) and durations
+//! (s) but *transfer* throughput (Mbps) — "session throughputs could
+//! be lower if some of the individual transfers within a session had
+//! lower throughput" (§VI-A). Tables V–VII are plain transfer
+//! summaries over a filtered slice.
+
+use crate::sessions::SessionGrouping;
+use gvc_logs::{Dataset, EndpointKind};
+use gvc_stats::Summary;
+
+/// The Table I/II triple: session sizes, session durations, transfer
+/// throughputs.
+#[derive(Debug, Clone)]
+pub struct SessionTable {
+    /// Session sizes in megabytes (10⁶ bytes).
+    pub session_size_mb: Summary,
+    /// Session durations in seconds.
+    pub session_duration_s: Summary,
+    /// Per-transfer throughput in Mbps.
+    pub transfer_throughput_mbps: Summary,
+}
+
+/// Builds Table I/II from a grouping and its source dataset.
+/// Returns `None` when either is empty.
+pub fn session_table(grouping: &SessionGrouping, ds: &Dataset) -> Option<SessionTable> {
+    let sizes: Vec<f64> = grouping
+        .sessions
+        .iter()
+        .map(|s| s.size_bytes() as f64 / 1e6)
+        .collect();
+    let durations: Vec<f64> = grouping.sessions.iter().map(|s| s.duration_s()).collect();
+    let throughputs = ds.throughputs_mbps();
+    Some(SessionTable {
+        session_size_mb: Summary::of(&sizes)?,
+        session_duration_s: Summary::of(&durations)?,
+        transfer_throughput_mbps: Summary::of(&throughputs)?,
+    })
+}
+
+/// Table V/VII-style transfer summary: duration and throughput of a
+/// slice of transfers.
+#[derive(Debug, Clone)]
+pub struct TransferTable {
+    /// Durations, seconds.
+    pub duration_s: Summary,
+    /// Throughputs, Mbps.
+    pub throughput_mbps: Summary,
+}
+
+/// Builds a transfer summary for a dataset slice.
+pub fn transfer_table(ds: &Dataset) -> Option<TransferTable> {
+    let durations: Vec<f64> = ds.records().iter().map(|r| r.duration_s()).collect();
+    Some(TransferTable {
+        duration_s: Summary::of(&durations)?,
+        throughput_mbps: Summary::of(&ds.throughputs_mbps())?,
+    })
+}
+
+/// The four NERSC–ANL endpoint-type categories of Table VI / Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EndpointCategory {
+    /// memory → memory
+    MemMem,
+    /// memory → disk
+    MemDisk,
+    /// disk → memory
+    DiskMem,
+    /// disk → disk
+    DiskDisk,
+}
+
+impl EndpointCategory {
+    /// All categories in the paper's column order.
+    pub const ALL: [EndpointCategory; 4] = [
+        EndpointCategory::MemMem,
+        EndpointCategory::MemDisk,
+        EndpointCategory::DiskMem,
+        EndpointCategory::DiskDisk,
+    ];
+
+    /// The paper's column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            EndpointCategory::MemMem => "mem-mem",
+            EndpointCategory::MemDisk => "mem-disk",
+            EndpointCategory::DiskMem => "disk-mem",
+            EndpointCategory::DiskDisk => "disk-disk",
+        }
+    }
+
+    fn matches(self, src: EndpointKind, dst: EndpointKind) -> bool {
+        use EndpointKind::{Disk, Memory};
+        matches!(
+            (self, src, dst),
+            (EndpointCategory::MemMem, Memory, Memory)
+                | (EndpointCategory::MemDisk, Memory, Disk)
+                | (EndpointCategory::DiskMem, Disk, Memory)
+                | (EndpointCategory::DiskDisk, Disk, Disk)
+        )
+    }
+}
+
+/// One Table VI column: throughput summary + CV for a category.
+#[derive(Debug, Clone)]
+pub struct EndpointTypeRow {
+    /// Which category.
+    pub category: EndpointCategory,
+    /// Throughput summary, Mbps.
+    pub throughput_mbps: Summary,
+    /// Coefficient of variation (fraction; the paper prints %).
+    pub cv: f64,
+}
+
+/// Builds Table VI: per-category throughput summaries. Records with
+/// unknown endpoint kinds are skipped; empty categories are omitted.
+pub fn endpoint_type_table(ds: &Dataset) -> Vec<EndpointTypeRow> {
+    EndpointCategory::ALL
+        .iter()
+        .filter_map(|&cat| {
+            let slice: Vec<f64> = ds
+                .records()
+                .iter()
+                .filter(|r| match (r.src_kind, r.dst_kind) {
+                    (Some(s), Some(d)) => cat.matches(s, d),
+                    _ => false,
+                })
+                .map(|r| r.throughput_mbps())
+                .collect();
+            let throughput_mbps = Summary::of(&slice)?;
+            let cv = throughput_mbps.cv().unwrap_or(0.0);
+            Some(EndpointTypeRow {
+                category: cat,
+                throughput_mbps,
+                cv,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sessions::group_sessions;
+    use gvc_logs::{TransferRecord, TransferType};
+
+    fn rec(start_s: f64, dur_s: f64, size: u64) -> TransferRecord {
+        TransferRecord::simple(
+            TransferType::Retr,
+            size,
+            (start_s * 1e6) as i64,
+            (dur_s * 1e6) as i64,
+            "srv",
+            Some("peer"),
+        )
+    }
+
+    #[test]
+    fn session_table_units() {
+        let ds = Dataset::from_records(vec![
+            rec(0.0, 10.0, 10_000_000),  // 10 MB, 8 Mbps
+            rec(100.0, 10.0, 30_000_000), // 30 MB, 24 Mbps
+        ]);
+        let g = group_sessions(&ds, 1.0);
+        assert_eq!(g.sessions.len(), 2);
+        let t = session_table(&g, &ds).unwrap();
+        assert_eq!(t.session_size_mb.min, 10.0);
+        assert_eq!(t.session_size_mb.max, 30.0);
+        assert_eq!(t.session_duration_s.mean, 10.0);
+        assert_eq!(t.transfer_throughput_mbps.min, 8.0);
+        assert_eq!(t.transfer_throughput_mbps.max, 24.0);
+    }
+
+    #[test]
+    fn empty_dataset_gives_none() {
+        let ds = Dataset::new();
+        let g = group_sessions(&ds, 1.0);
+        assert!(session_table(&g, &ds).is_none());
+        assert!(transfer_table(&ds).is_none());
+    }
+
+    #[test]
+    fn transfer_table_durations() {
+        let ds = Dataset::from_records(vec![rec(0.0, 60.0, 1), rec(1.0, 120.0, 1)]);
+        let t = transfer_table(&ds).unwrap();
+        assert_eq!(t.duration_s.min, 60.0);
+        assert_eq!(t.duration_s.max, 120.0);
+    }
+
+    #[test]
+    fn endpoint_categories_partition() {
+        use EndpointKind::{Disk, Memory};
+        let mk = |s, d, dur| {
+            let mut r = rec(0.0, dur, 1_000_000_000);
+            r.src_kind = Some(s);
+            r.dst_kind = Some(d);
+            r
+        };
+        let ds = Dataset::from_records(vec![
+            mk(Memory, Memory, 4.0),
+            mk(Memory, Memory, 5.0),
+            mk(Memory, Disk, 8.0),
+            mk(Disk, Memory, 6.0),
+            mk(Disk, Disk, 10.0),
+        ]);
+        let rows = endpoint_type_table(&ds);
+        assert_eq!(rows.len(), 4);
+        let get = |c: EndpointCategory| {
+            rows.iter()
+                .find(|r| r.category == c)
+                .unwrap()
+                .throughput_mbps
+                .median
+        };
+        assert!(get(EndpointCategory::MemMem) > get(EndpointCategory::MemDisk));
+        assert!(get(EndpointCategory::DiskMem) > get(EndpointCategory::DiskDisk));
+        assert_eq!(
+            rows.iter().map(|r| r.throughput_mbps.n).sum::<usize>(),
+            5
+        );
+    }
+
+    #[test]
+    fn unknown_kinds_skipped() {
+        let ds = Dataset::from_records(vec![rec(0.0, 1.0, 1)]);
+        assert!(endpoint_type_table(&ds).is_empty());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(EndpointCategory::MemMem.label(), "mem-mem");
+        assert_eq!(EndpointCategory::DiskDisk.label(), "disk-disk");
+    }
+}

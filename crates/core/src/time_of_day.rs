@@ -1,0 +1,97 @@
+//! Fig. 6: throughput as a function of time of day.
+//!
+//! The 32 GB NERSC–ORNL test transfers "all started at either 2 AM or
+//! 8 AM"; the figure scatters throughput against start hour, and the
+//! paper concludes the time-of-day factor "appears to have a minor
+//! impact".
+
+use gvc_logs::Dataset;
+use gvc_stats::Summary;
+use std::collections::BTreeMap;
+
+/// One scatter point: (fractional start hour, throughput Mbps).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeOfDayPoint {
+    /// Start hour of day, 0.0 ≤ h < 24.0 (UTC).
+    pub hour: f64,
+    /// Transfer throughput, Mbps.
+    pub throughput_mbps: f64,
+}
+
+/// The Fig. 6 scatter.
+pub fn time_of_day_scatter(ds: &Dataset) -> Vec<TimeOfDayPoint> {
+    ds.records()
+        .iter()
+        .map(|r| TimeOfDayPoint {
+            hour: r.start_civil().hour_of_day(),
+            throughput_mbps: r.throughput_mbps(),
+        })
+        .collect()
+}
+
+/// Per-start-hour throughput summaries (integer hour buckets), for
+/// the "some of the transfers at 2 AM appear to have received higher
+/// levels of throughput, but there is significant variance within each
+/// set" comparison.
+pub fn by_hour(ds: &Dataset) -> Vec<(u32, Summary)> {
+    let mut groups: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
+    for r in ds.records() {
+        groups
+            .entry(r.start_civil().hour)
+            .or_default()
+            .push(r.throughput_mbps());
+    }
+    groups
+        .into_iter()
+        .filter_map(|(h, v)| Some((h, Summary::of(&v)?)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvc_logs::{TransferRecord, TransferType};
+
+    /// Transfer starting at the given UTC hour on 2010-09-14.
+    fn rec(hour: u32, dur_s: f64) -> TransferRecord {
+        let day = 1_284_422_400i64; // 2010-09-14T00:00:00Z
+        TransferRecord::simple(
+            TransferType::Retr,
+            32_000_000_000,
+            (day + i64::from(hour) * 3600) * 1_000_000,
+            (dur_s * 1e6) as i64,
+            "srv",
+            Some("peer"),
+        )
+    }
+
+    #[test]
+    fn scatter_maps_hours() {
+        let ds = Dataset::from_records(vec![rec(2, 100.0), rec(8, 200.0)]);
+        let pts = time_of_day_scatter(&ds);
+        assert_eq!(pts.len(), 2);
+        assert!((pts[0].hour - 2.0).abs() < 1e-9);
+        assert!((pts[1].hour - 8.0).abs() < 1e-9);
+        assert!(pts[0].throughput_mbps > pts[1].throughput_mbps);
+    }
+
+    #[test]
+    fn hour_buckets() {
+        let ds = Dataset::from_records(vec![
+            rec(2, 100.0),
+            rec(2, 110.0),
+            rec(8, 150.0),
+        ]);
+        let rows = by_hour(&ds);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, 2);
+        assert_eq!(rows[0].1.n, 2);
+        assert_eq!(rows[1].0, 8);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(time_of_day_scatter(&Dataset::new()).is_empty());
+        assert!(by_hour(&Dataset::new()).is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! α-flow classification.
+//!
+//! The paper's §I defines α flows after Sarvotham et al.: large
+//! transfers over high-bottleneck-bandwidth paths that dominate
+//! general-purpose traffic. Operationally (and in the HNTES follow-on
+//! work) a flow record is classified α when it is both *large* (bytes
+//! threshold — Lan & Heidemann's "elephant") and *fast* (rate
+//! threshold — their "cheetah"); either test alone admits too much:
+//! a huge-but-slow backup is no burst risk, and a fast-but-tiny web
+//! object is gone before a circuit could help.
+
+use crate::flowrec::FlowRecord;
+
+/// Classification outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowClass {
+    /// Large and fast: circuit-worthy science traffic.
+    Alpha,
+    /// Everything else (general-purpose / background).
+    Beta,
+}
+
+/// Threshold classifier over flow records.
+///
+/// ```
+/// use gvc_hntes::{AlphaClassifier, FlowRecord};
+/// use gvc_topology::NodeId;
+///
+/// let c = AlphaClassifier::default();
+/// let science = FlowRecord {
+///     ingress: NodeId(0), egress: NodeId(1),
+///     bytes: 20_000_000_000, start_unix_us: 0, end_unix_us: 80_000_000,
+/// };
+/// assert!(c.is_alpha(&science)); // 20 GB at 2 Gbps
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AlphaClassifier {
+    /// Minimum flow size, bytes.
+    pub min_bytes: u64,
+    /// Minimum mean rate, bits per second.
+    pub min_rate_bps: f64,
+}
+
+impl Default for AlphaClassifier {
+    fn default() -> AlphaClassifier {
+        AlphaClassifier {
+            // 1 GB and 200 Mbps: comfortably above general-purpose
+            // flows, comfortably below the study's science transfers.
+            min_bytes: 1_000_000_000,
+            min_rate_bps: 200e6,
+        }
+    }
+}
+
+impl AlphaClassifier {
+    /// Classifies one record.
+    pub fn classify(&self, r: &FlowRecord) -> FlowClass {
+        if r.bytes >= self.min_bytes && r.rate_bps() >= self.min_rate_bps {
+            FlowClass::Alpha
+        } else {
+            FlowClass::Beta
+        }
+    }
+
+    /// True when the record is α.
+    pub fn is_alpha(&self, r: &FlowRecord) -> bool {
+        self.classify(r) == FlowClass::Alpha
+    }
+
+    /// Splits records into (α, β) partitions.
+    pub fn partition<'a>(&self, records: &'a [FlowRecord]) -> (Vec<&'a FlowRecord>, Vec<&'a FlowRecord>) {
+        records.iter().partition(|r| self.is_alpha(r))
+    }
+
+    /// Fraction of total bytes carried by α flows — the paper's
+    /// finding (iv) quantity seen from the provider side.
+    pub fn alpha_byte_fraction(&self, records: &[FlowRecord]) -> f64 {
+        let total: u64 = records.iter().map(|r| r.bytes).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let alpha: u64 = records
+            .iter()
+            .filter(|r| self.is_alpha(r))
+            .map(|r| r.bytes)
+            .sum();
+        alpha as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvc_topology::NodeId;
+
+    fn rec(bytes: u64, dur_s: f64) -> FlowRecord {
+        FlowRecord {
+            ingress: NodeId(0),
+            egress: NodeId(1),
+            bytes,
+            start_unix_us: 0,
+            end_unix_us: (dur_s * 1e6) as i64,
+        }
+    }
+
+    #[test]
+    fn both_thresholds_required() {
+        let c = AlphaClassifier::default();
+        // Large and fast: 10 GB in 40 s = 2 Gbps.
+        assert!(c.is_alpha(&rec(10_000_000_000, 40.0)));
+        // Large but slow: 10 GB in 10 000 s = 8 Mbps.
+        assert!(!c.is_alpha(&rec(10_000_000_000, 10_000.0)));
+        // Fast but small: 100 MB in 0.4 s = 2 Gbps.
+        assert!(!c.is_alpha(&rec(100_000_000, 0.4)));
+        // Neither.
+        assert!(!c.is_alpha(&rec(1_000_000, 10.0)));
+    }
+
+    #[test]
+    fn boundary_inclusive() {
+        let c = AlphaClassifier {
+            min_bytes: 1000,
+            min_rate_bps: 8000.0,
+        };
+        // Exactly 1000 bytes in exactly 1 s = 8000 bps.
+        assert!(c.is_alpha(&rec(1000, 1.0)));
+    }
+
+    #[test]
+    fn partition_and_byte_fraction() {
+        let c = AlphaClassifier::default();
+        let records = vec![
+            rec(20_000_000_000, 80.0), // alpha, 20 GB
+            rec(5_000_000, 1.0),       // beta
+            rec(15_000_000_000, 60.0), // alpha, 15 GB
+            rec(80_000_000, 100.0),    // beta
+        ];
+        let (a, b) = c.partition(&records);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+        let frac = c.alpha_byte_fraction(&records);
+        let expect = 35_000_000_000.0 / 35_085_000_000.0;
+        assert!((frac - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_records() {
+        let c = AlphaClassifier::default();
+        assert_eq!(c.alpha_byte_fraction(&[]), 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Router flow records.
+//!
+//! A provider's visibility is not GridFTP logs — it is per-flow
+//! accounting exported by its own routers (NetFlow/IPFIX style):
+//! endpoints, byte count, first/last packet times. The HNTES
+//! controller works exclusively from these, which is what makes it
+//! deployable without end-system cooperation (§IV's point).
+
+use gvc_topology::NodeId;
+
+/// One exported flow record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowRecord {
+    /// Ingress node (where the flow enters the provider).
+    pub ingress: NodeId,
+    /// Egress node (where it leaves).
+    pub egress: NodeId,
+    /// Total bytes carried.
+    pub bytes: u64,
+    /// First-packet time, unix µs.
+    pub start_unix_us: i64,
+    /// Last-packet time, unix µs.
+    pub end_unix_us: i64,
+}
+
+impl FlowRecord {
+    /// Flow duration in seconds (0 for degenerate records).
+    pub fn duration_s(&self) -> f64 {
+        ((self.end_unix_us - self.start_unix_us).max(0)) as f64 / 1e6
+    }
+
+    /// Mean rate in bits per second (0 for degenerate records).
+    pub fn rate_bps(&self) -> f64 {
+        let d = self.duration_s();
+        if d <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 * 8.0 / d
+        }
+    }
+
+    /// The ingress-egress pair this record belongs to — HNTES installs
+    /// redirection per pair, not per flow ("preconfigured between
+    /// ingress-egress router pairs").
+    pub fn pair(&self) -> (NodeId, NodeId) {
+        (self.ingress, self.egress)
+    }
+}
+
+/// Derives provider flow records from a GridFTP usage log, resolving
+/// the logged server/remote host names to provider-edge nodes with
+/// `edge_of` (returning `None` drops the record — traffic not crossing
+/// this provider). STOR records flow remote → server, RETR records
+/// server → remote.
+pub fn from_transfer_log<F>(ds: &gvc_logs::Dataset, mut edge_of: F) -> Vec<FlowRecord>
+where
+    F: FnMut(&str) -> Option<NodeId>,
+{
+    ds.records()
+        .iter()
+        .filter_map(|r| {
+            let remote = r.remote.as_deref()?;
+            let server = edge_of(&r.server)?;
+            let peer = edge_of(remote)?;
+            let (ingress, egress) = match r.transfer_type {
+                gvc_logs::TransferType::Retr => (server, peer),
+                gvc_logs::TransferType::Store => (peer, server),
+            };
+            Some(FlowRecord {
+                ingress,
+                egress,
+                bytes: r.size_bytes,
+                start_unix_us: r.start_unix_us,
+                end_unix_us: r.end_unix_us(),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(bytes: u64, dur_s: f64) -> FlowRecord {
+        FlowRecord {
+            ingress: NodeId(0),
+            egress: NodeId(1),
+            bytes,
+            start_unix_us: 1_000_000,
+            end_unix_us: 1_000_000 + (dur_s * 1e6) as i64,
+        }
+    }
+
+    #[test]
+    fn rate_and_duration() {
+        let r = rec(125_000_000, 1.0); // 1 Gbps
+        assert!((r.duration_s() - 1.0).abs() < 1e-9);
+        assert!((r.rate_bps() - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn degenerate_duration_rate_zero() {
+        let mut r = rec(100, 0.0);
+        assert_eq!(r.rate_bps(), 0.0);
+        r.end_unix_us = r.start_unix_us - 5;
+        assert_eq!(r.duration_s(), 0.0);
+        assert_eq!(r.rate_bps(), 0.0);
+    }
+
+    #[test]
+    fn pair_key() {
+        let r = rec(1, 1.0);
+        assert_eq!(r.pair(), (NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn from_transfer_log_maps_directions() {
+        use gvc_logs::{Dataset, TransferRecord, TransferType};
+        let retr = TransferRecord::simple(TransferType::Retr, 100, 0, 1_000_000, "srv", Some("peer"));
+        let stor = TransferRecord::simple(TransferType::Store, 200, 5, 1_000_000, "srv", Some("peer"));
+        let anon = TransferRecord::simple(TransferType::Retr, 300, 9, 1_000_000, "srv", None);
+        let foreign = TransferRecord::simple(TransferType::Retr, 400, 11, 1_000_000, "srv", Some("offnet"));
+        let ds = Dataset::from_records(vec![retr, stor, anon, foreign]);
+        let flows = from_transfer_log(&ds, |name| match name {
+            "srv" => Some(NodeId(1)),
+            "peer" => Some(NodeId(2)),
+            _ => None,
+        });
+        assert_eq!(flows.len(), 2, "anonymized and off-net records dropped");
+        assert_eq!(flows[0].pair(), (NodeId(1), NodeId(2))); // RETR: srv -> peer
+        assert_eq!(flows[1].pair(), (NodeId(2), NodeId(1))); // STOR: peer -> srv
+        assert_eq!(flows[0].bytes, 100);
+        assert_eq!(flows[1].bytes, 200);
+    }
+}

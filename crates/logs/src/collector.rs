@@ -1,0 +1,243 @@
+//! The central usage-statistics collector.
+//!
+//! §II: "GridFTP servers send usage statistics in UDP packets at the
+//! end of each transfer to a server maintained by the Globus
+//! organization. Administrators of GridFTP servers have the option to
+//! disable this feature." The centrally collected dataset is therefore
+//! a *lossy, partial* view of the local logs: UDP packets drop, and
+//! whole sites opt out. The paper's authors used both channels ("We
+//! used both methods for this data procurement"), so the analysis
+//! layer must tolerate missing records — this module models the damage
+//! and lets the robustness of each analysis be measured against it.
+
+use crate::Dataset;
+use gvc_stats::rng::component_rng;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Collection impairments between local logs and the central dataset.
+#[derive(Debug, Clone)]
+pub struct CollectorModel {
+    /// Probability an individual usage packet is lost in transit.
+    pub udp_loss: f64,
+    /// Servers whose administrators disabled reporting entirely.
+    pub disabled_servers: HashSet<String>,
+}
+
+impl Default for CollectorModel {
+    fn default() -> CollectorModel {
+        CollectorModel {
+            // WAN UDP loss to a single central listener; a few percent
+            // under load.
+            udp_loss: 0.02,
+            disabled_servers: HashSet::new(),
+        }
+    }
+}
+
+impl CollectorModel {
+    /// Marks a server as opted out, returning `self`.
+    pub fn with_disabled(mut self, server: &str) -> CollectorModel {
+        self.disabled_servers.insert(server.to_owned());
+        self
+    }
+
+    /// Produces the central collector's view of a set of local logs:
+    /// records from disabled servers vanish entirely, the rest survive
+    /// independently with probability `1 − udp_loss`. Deterministic in
+    /// `seed`.
+    pub fn collect(&self, local: &Dataset, seed: u64) -> Dataset {
+        assert!(
+            (0.0..=1.0).contains(&self.udp_loss),
+            "udp_loss must be a probability"
+        );
+        let mut rng = component_rng(seed, "usage-collector");
+        local
+            .records()
+            .iter()
+            .filter(|r| {
+                if self.disabled_servers.contains(&r.server) {
+                    return false;
+                }
+                rng.gen::<f64>() >= self.udp_loss
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Expected surviving fraction for a dataset (ignoring disabled
+    /// servers' records entirely).
+    pub fn expected_yield(&self, local: &Dataset) -> f64 {
+        if local.is_empty() {
+            return 0.0;
+        }
+        let reporting = local
+            .records()
+            .iter()
+            .filter(|r| !self.disabled_servers.contains(&r.server))
+            .count();
+        reporting as f64 / local.len() as f64 * (1.0 - self.udp_loss)
+    }
+}
+
+/// Quantifies how much a lossy collection perturbs the headline
+/// feasibility analysis: returns `(local_pct_transfers,
+/// central_pct_transfers)` for the g = 1 min / setup 1 min cell.
+pub fn robustness_check(local: &Dataset, model: &CollectorModel, seed: u64) -> (f64, f64) {
+    let central = model.collect(local, seed);
+    (
+        analysis_support::group_for_robustness(local),
+        analysis_support::group_for_robustness(&central),
+    )
+}
+
+/// Internal support so the robustness check does not depend on
+/// `gvc-core` (which depends on this crate): a minimal inline
+/// re-implementation of "fraction of transfers in ≥ 10-minute-capable
+/// sessions" sufficient for comparing local vs central views.
+pub(crate) mod analysis_support {
+    use crate::record::TransferRecord;
+    use crate::Dataset;
+    use std::collections::BTreeMap;
+
+    /// Fraction of transfers (0–100) living in sessions whose total
+    /// size at the dataset's q3 throughput would run ≥ 600 s.
+    pub fn group_for_robustness(ds: &Dataset) -> f64 {
+        if ds.is_empty() {
+            return 0.0;
+        }
+        let mut tps: Vec<f64> = ds.records().iter().map(TransferRecord::throughput_mbps).collect();
+        tps.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let q3 = tps[(tps.len() as f64 * 0.75) as usize % tps.len()];
+        let q3_bps = (q3 * 1e6).max(1.0);
+
+        let mut pairs: BTreeMap<(String, String), Vec<&TransferRecord>> = BTreeMap::new();
+        for r in ds.records() {
+            if let Some((s, p)) = r.pair_key() {
+                pairs.entry((s.to_owned(), p.to_owned())).or_default().push(r);
+            }
+        }
+        let gap_us = 60_000_000i64;
+        let mut suitable = 0usize;
+        let mut total = 0usize;
+        for (_, recs) in pairs {
+            let mut size = 0u64;
+            let mut count = 0usize;
+            let mut end = i64::MIN;
+            let mut flush = |size: &mut u64, count: &mut usize| {
+                total += *count;
+                if (*size as f64) * 8.0 / q3_bps >= 600.0 {
+                    suitable += *count;
+                }
+                *size = 0;
+                *count = 0;
+            };
+            for r in recs {
+                if count > 0 && r.start_unix_us - end > gap_us {
+                    flush(&mut size, &mut count);
+                    end = i64::MIN;
+                }
+                size += r.size_bytes;
+                count += 1;
+                end = end.max(r.end_unix_us());
+            }
+            flush(&mut size, &mut count);
+        }
+        if total == 0 {
+            0.0
+        } else {
+            suitable as f64 / total as f64 * 100.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{TransferRecord, TransferType};
+
+    fn dataset(n: usize, server: &str) -> Dataset {
+        Dataset::from_records(
+            (0..n)
+                .map(|i| {
+                    TransferRecord::simple(
+                        TransferType::Retr,
+                        1_000_000_000,
+                        i as i64 * 5_000_000,
+                        4_000_000,
+                        server,
+                        Some("peer"),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn lossless_collection_is_identity() {
+        let ds = dataset(50, "srv");
+        let m = CollectorModel {
+            udp_loss: 0.0,
+            disabled_servers: HashSet::new(),
+        };
+        assert_eq!(m.collect(&ds, 1), ds);
+        assert!((m.expected_yield(&ds) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn udp_loss_drops_roughly_the_expected_fraction() {
+        let ds = dataset(2_000, "srv");
+        let m = CollectorModel {
+            udp_loss: 0.10,
+            disabled_servers: HashSet::new(),
+        };
+        let central = m.collect(&ds, 7);
+        let frac = central.len() as f64 / ds.len() as f64;
+        assert!((frac - 0.90).abs() < 0.03, "survived {frac}");
+    }
+
+    #[test]
+    fn disabled_server_vanishes() {
+        let mut ds = dataset(30, "reports");
+        ds.extend(dataset(30, "optout"));
+        let m = CollectorModel::default().with_disabled("optout");
+        let central = m.collect(&ds, 3);
+        assert!(central.records().iter().all(|r| r.server == "reports"));
+        assert!(m.expected_yield(&ds) < 0.5);
+    }
+
+    #[test]
+    fn collection_is_deterministic_in_seed() {
+        let ds = dataset(500, "srv");
+        let m = CollectorModel {
+            udp_loss: 0.2,
+            disabled_servers: HashSet::new(),
+        };
+        assert_eq!(m.collect(&ds, 9), m.collect(&ds, 9));
+        assert_ne!(m.collect(&ds, 9), m.collect(&ds, 10));
+    }
+
+    #[test]
+    fn robustness_check_stays_close_under_mild_loss() {
+        // One big session: the transfer-percentage metric barely moves
+        // when a few records drop.
+        let ds = dataset(400, "srv");
+        let m = CollectorModel {
+            udp_loss: 0.05,
+            disabled_servers: HashSet::new(),
+        };
+        let (local, central) = robustness_check(&ds, &m, 11);
+        assert!(local > 90.0, "local {local}");
+        assert!((local - central).abs() < 15.0, "local {local} central {central}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_loss_panics() {
+        let m = CollectorModel {
+            udp_loss: 1.5,
+            disabled_servers: HashSet::new(),
+        };
+        m.collect(&Dataset::new(), 0);
+    }
+}

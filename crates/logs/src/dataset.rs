@@ -1,0 +1,220 @@
+//! Dataset container: the unit the analyses consume.
+
+use crate::record::{TransferRecord, TransferType};
+
+/// An ordered collection of transfer records (one GridFTP log extract,
+/// e.g. "the SLAC–BNL data set").
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dataset {
+    records: Vec<TransferRecord>,
+}
+
+impl Dataset {
+    /// An empty dataset.
+    pub fn new() -> Dataset {
+        Dataset::default()
+    }
+
+    /// Wraps records, sorting by start time (the order the session
+    /// analysis requires).
+    pub fn from_records(mut records: Vec<TransferRecord>) -> Dataset {
+        records.sort_by_key(|r| (r.start_unix_us, r.duration_us));
+        Dataset { records }
+    }
+
+    /// Appends a record, keeping start-time order lazily (call
+    /// [`Dataset::sort`] after bulk pushes).
+    pub fn push(&mut self, r: TransferRecord) {
+        self.records.push(r);
+    }
+
+    /// Restores start-time order after pushes.
+    pub fn sort(&mut self) {
+        self.records.sort_by_key(|r| (r.start_unix_us, r.duration_us));
+    }
+
+    /// Number of transfers.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no transfers.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records in start-time order.
+    pub fn records(&self) -> &[TransferRecord] {
+        &self.records
+    }
+
+    /// Consumes into the record vector.
+    pub fn into_records(self) -> Vec<TransferRecord> {
+        self.records
+    }
+
+    /// Transfers whose size lies in `[lo, hi)` bytes — the paper's
+    /// "32 GB transfers" / "[16, 17) GB" / "[4, 5) GB" slices.
+    pub fn filter_size(&self, lo: u64, hi: u64) -> Dataset {
+        Dataset {
+            records: self
+                .records
+                .iter()
+                .filter(|r| r.size_bytes >= lo && r.size_bytes < hi)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Transfers of one direction.
+    pub fn filter_type(&self, t: TransferType) -> Dataset {
+        Dataset {
+            records: self.records.iter().filter(|r| r.transfer_type == t).cloned().collect(),
+        }
+    }
+
+    /// Transfers with the given stream count.
+    pub fn filter_streams(&self, n: u32) -> Dataset {
+        Dataset {
+            records: self.records.iter().filter(|r| r.num_streams == n).cloned().collect(),
+        }
+    }
+
+    /// Transfers with the given stripe count.
+    pub fn filter_stripes(&self, n: u32) -> Dataset {
+        Dataset {
+            records: self.records.iter().filter(|r| r.num_stripes == n).cloned().collect(),
+        }
+    }
+
+    /// Transfers whose remote endpoint matches (sessionizable subset
+    /// for one path).
+    pub fn filter_pair(&self, server: &str, remote: &str) -> Dataset {
+        Dataset {
+            records: self
+                .records
+                .iter()
+                .filter(|r| r.server == server && r.remote.as_deref() == Some(remote))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Transfers starting in `[lo_us, hi_us)` unix microseconds.
+    pub fn filter_start(&self, lo_us: i64, hi_us: i64) -> Dataset {
+        Dataset {
+            records: self
+                .records
+                .iter()
+                .filter(|r| r.start_unix_us >= lo_us && r.start_unix_us < hi_us)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Retains transfers matching an arbitrary predicate.
+    pub fn filter<F: Fn(&TransferRecord) -> bool>(&self, pred: F) -> Dataset {
+        Dataset {
+            records: self.records.iter().filter(|r| pred(r)).cloned().collect(),
+        }
+    }
+
+    /// Per-transfer throughputs in Mbps (the Tables I/II/V–IX sample).
+    pub fn throughputs_mbps(&self) -> Vec<f64> {
+        self.records.iter().map(TransferRecord::throughput_mbps).collect()
+    }
+
+    /// Per-transfer sizes in bytes as `f64`.
+    pub fn sizes_bytes(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.size_bytes as f64).collect()
+    }
+
+    /// Total bytes across all transfers.
+    pub fn total_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.size_bytes).sum()
+    }
+
+    /// Merges another dataset in, restoring order.
+    pub fn extend(&mut self, other: Dataset) {
+        self.records.extend(other.records);
+        self.sort();
+    }
+}
+
+impl FromIterator<TransferRecord> for Dataset {
+    fn from_iter<I: IntoIterator<Item = TransferRecord>>(iter: I) -> Dataset {
+        Dataset::from_records(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(start: i64, size: u64, streams: u32) -> TransferRecord {
+        let mut r = TransferRecord::simple(
+            TransferType::Store,
+            size,
+            start,
+            1_000_000,
+            "s",
+            Some("r"),
+        );
+        r.num_streams = streams;
+        r
+    }
+
+    #[test]
+    fn from_records_sorts_by_start() {
+        let d = Dataset::from_records(vec![rec(30, 1, 1), rec(10, 2, 1), rec(20, 3, 1)]);
+        let starts: Vec<i64> = d.records().iter().map(|r| r.start_unix_us).collect();
+        assert_eq!(starts, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn size_filter_is_half_open() {
+        let d = Dataset::from_records(vec![rec(0, 100, 1), rec(1, 200, 1), rec(2, 300, 1)]);
+        let f = d.filter_size(100, 300);
+        assert_eq!(f.len(), 2);
+        assert!(f.records().iter().all(|r| r.size_bytes < 300));
+    }
+
+    #[test]
+    fn stream_filter() {
+        let d = Dataset::from_records(vec![rec(0, 1, 1), rec(1, 1, 8), rec(2, 1, 8)]);
+        assert_eq!(d.filter_streams(8).len(), 2);
+        assert_eq!(d.filter_streams(1).len(), 1);
+        assert_eq!(d.filter_streams(4).len(), 0);
+    }
+
+    #[test]
+    fn pair_filter_respects_anonymization() {
+        let mut anon = rec(0, 1, 1);
+        anon.remote = None;
+        let d = Dataset::from_records(vec![anon, rec(1, 1, 1)]);
+        assert_eq!(d.filter_pair("s", "r").len(), 1);
+    }
+
+    #[test]
+    fn totals_and_throughputs() {
+        let d = Dataset::from_records(vec![rec(0, 1_000_000, 1), rec(1, 2_000_000, 1)]);
+        assert_eq!(d.total_bytes(), 3_000_000);
+        let tps = d.throughputs_mbps();
+        assert_eq!(tps.len(), 2);
+        assert!((tps[0] - 8.0).abs() < 1e-9); // 1 MB in 1 s = 8 Mbps
+    }
+
+    #[test]
+    fn extend_restores_order() {
+        let mut d = Dataset::from_records(vec![rec(10, 1, 1)]);
+        d.extend(Dataset::from_records(vec![rec(5, 1, 1)]));
+        assert_eq!(d.records()[0].start_unix_us, 5);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let d: Dataset = (0..5).map(|i| rec(i, 1, 1)).collect();
+        assert_eq!(d.len(), 5);
+        assert!(!d.is_empty());
+    }
+}

@@ -1,0 +1,271 @@
+//! Text serialization of transfer logs.
+//!
+//! One record per line, 12 pipe-separated fields mirroring the Globus
+//! usage-statistics field set (§II), with a `#`-prefixed header. The
+//! format is lossless (microsecond timestamps are written as raw
+//! integers) so datasets round-trip exactly, and diff-friendly so
+//! generated datasets can be inspected and committed as fixtures.
+//!
+//! ```text
+//! # gvc-transfer-log v1
+//! STOR|34359738368|1284429600000000|120500000|dtn1.nersc.gov|-|8|1|4194304|262144|disk|disk
+//! ```
+
+use crate::record::{EndpointKind, TransferRecord, TransferType};
+use crate::Dataset;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// The header line identifying the format version.
+pub const HEADER: &str = "# gvc-transfer-log v1";
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn opt_token(v: Option<&str>) -> &str {
+    v.unwrap_or("-")
+}
+
+fn kind_token(v: Option<EndpointKind>) -> &'static str {
+    v.map(EndpointKind::token).unwrap_or("-")
+}
+
+/// Writes one record as a log line (no trailing newline).
+pub fn format_record(r: &TransferRecord) -> String {
+    format!(
+        "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
+        r.transfer_type.token(),
+        r.size_bytes,
+        r.start_unix_us,
+        r.duration_us,
+        r.server,
+        opt_token(r.remote.as_deref()),
+        r.num_streams,
+        r.num_stripes,
+        r.tcp_buffer_bytes,
+        r.block_size_bytes,
+        kind_token(r.src_kind),
+        kind_token(r.dst_kind),
+    )
+}
+
+/// Parses one log line (without newline).
+pub fn parse_record(line: &str) -> Result<TransferRecord, String> {
+    let fields: Vec<&str> = line.split('|').collect();
+    if fields.len() != 12 {
+        return Err(format!("expected 12 fields, got {}", fields.len()));
+    }
+    let parse_num = |s: &str, what: &str| -> Result<i64, String> {
+        s.parse::<i64>().map_err(|_| format!("bad {what}: {s:?}"))
+    };
+    let transfer_type =
+        TransferType::parse(fields[0]).ok_or_else(|| format!("bad transfer type: {:?}", fields[0]))?;
+    let size_bytes = parse_num(fields[1], "size")? as u64;
+    let start_unix_us = parse_num(fields[2], "start")?;
+    let duration_us = parse_num(fields[3], "duration")?;
+    if fields[4].is_empty() {
+        return Err("empty server name".to_owned());
+    }
+    let server = fields[4].to_owned();
+    let remote = if fields[5] == "-" {
+        None
+    } else {
+        Some(fields[5].to_owned())
+    };
+    let num_streams = parse_num(fields[6], "streams")? as u32;
+    let num_stripes = parse_num(fields[7], "stripes")? as u32;
+    let tcp_buffer_bytes = parse_num(fields[8], "tcp buffer")? as u64;
+    let block_size_bytes = parse_num(fields[9], "block size")? as u64;
+    let parse_kind = |s: &str, what: &str| -> Result<Option<EndpointKind>, String> {
+        if s == "-" {
+            Ok(None)
+        } else {
+            EndpointKind::parse(s)
+                .map(Some)
+                .ok_or_else(|| format!("bad {what}: {s:?}"))
+        }
+    };
+    Ok(TransferRecord {
+        transfer_type,
+        size_bytes,
+        start_unix_us,
+        duration_us,
+        server,
+        remote,
+        num_streams,
+        num_stripes,
+        tcp_buffer_bytes,
+        block_size_bytes,
+        src_kind: parse_kind(fields[10], "src kind")?,
+        dst_kind: parse_kind(fields[11], "dst kind")?,
+    })
+}
+
+/// Writes a dataset (header + one line per record).
+///
+/// ```
+/// use gvc_logs::{parse_dataset, write_dataset, Dataset, TransferRecord, TransferType};
+///
+/// let ds = Dataset::from_records(vec![TransferRecord::simple(
+///     TransferType::Store, 1 << 30, 0, 5_000_000, "srv", Some("peer"),
+/// )]);
+/// let mut buf = Vec::new();
+/// write_dataset(&mut buf, &ds).unwrap();
+/// assert_eq!(parse_dataset(&buf[..]).unwrap(), ds);
+/// ```
+pub fn write_dataset<W: Write>(w: &mut W, ds: &Dataset) -> std::io::Result<()> {
+    writeln!(w, "{HEADER}")?;
+    for r in ds.records() {
+        writeln!(w, "{}", format_record(r))?;
+    }
+    Ok(())
+}
+
+/// Parses a dataset written by [`write_dataset`]. Blank lines and
+/// additional `#` comments are skipped; the header is optional (so
+/// hand-built fixtures stay easy).
+pub fn parse_dataset<R: BufRead>(r: R) -> Result<Dataset, ParseError> {
+    let mut records = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line.map_err(|e| ParseError {
+            line: idx + 1,
+            reason: format!("io error: {e}"),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        records.push(parse_record(trimmed).map_err(|reason| ParseError {
+            line: idx + 1,
+            reason,
+        })?);
+    }
+    Ok(Dataset::from_records(records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rec() -> TransferRecord {
+        let mut r = TransferRecord::simple(
+            TransferType::Retr,
+            34_359_738_368,
+            1_284_429_600_000_000,
+            120_500_000,
+            "dtn1.nersc.gov",
+            None,
+        );
+        r.num_streams = 8;
+        r.src_kind = Some(EndpointKind::Disk);
+        r
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let r = rec();
+        let line = format_record(&r);
+        assert_eq!(parse_record(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn anonymized_remote_renders_dash() {
+        let line = format_record(&rec());
+        assert!(line.contains("|-|"));
+    }
+
+    #[test]
+    fn dataset_round_trip() {
+        let mut ds = Dataset::new();
+        for i in 0..10 {
+            ds.push(TransferRecord::simple(
+                TransferType::Store,
+                1000 * i,
+                i as i64 * 1_000_000,
+                500_000,
+                "a.example",
+                Some("b.example"),
+            ));
+        }
+        ds.sort();
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &ds).unwrap();
+        let parsed = parse_dataset(&buf[..]).unwrap();
+        assert_eq!(parsed, ds);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = format!("{HEADER}\n\n# comment\n{}\n", format_record(&rec()));
+        let ds = parse_dataset(text.as_bytes()).unwrap();
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn bad_field_count_reports_line() {
+        let text = "STOR|1|2\n";
+        let err = parse_dataset(text.as_bytes()).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.reason.contains("12 fields"));
+    }
+
+    #[test]
+    fn bad_transfer_type_rejected() {
+        let mut line = format_record(&rec());
+        line.replace_range(0..4, "XFER");
+        assert!(parse_record(&line).is_err());
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let line = "STOR|notanumber|0|0|s|-|1|1|0|0|-|-";
+        let err = parse_record(line).unwrap_err();
+        assert!(err.contains("bad size"));
+    }
+
+    #[test]
+    fn empty_server_rejected() {
+        let line = "STOR|1|0|0||-|1|1|0|0|-|-";
+        assert!(parse_record(line).is_err());
+    }
+
+    proptest! {
+        /// Every syntactically valid record round-trips through the
+        /// text format bit-for-bit.
+        #[test]
+        fn prop_round_trip(
+            store in proptest::bool::ANY,
+            size in 0u64..1u64 << 45,
+            start in 0i64..2_000_000_000_000_000,
+            dur in 0i64..100_000_000_000,
+            streams in 1u32..64,
+            stripes in 1u32..8,
+            remote_present in proptest::bool::ANY,
+        ) {
+            let mut r = TransferRecord::simple(
+                if store { TransferType::Store } else { TransferType::Retr },
+                size, start, dur, "server.example",
+                remote_present.then_some("remote.example"),
+            );
+            r.num_streams = streams;
+            r.num_stripes = stripes;
+            let line = format_record(&r);
+            prop_assert_eq!(parse_record(&line).unwrap(), r);
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! Max-min fair bandwidth allocation by progressive filling.
+//!
+//! Each flow crosses a set of capacity constraints (network links and
+//! server resources, treated uniformly). Allocation starts at each
+//! flow's guaranteed minimum (its virtual-circuit reservation, 0 for
+//! best-effort flows) and grows uniformly across all unfrozen flows
+//! until either a constraint saturates (its flows freeze at the fair
+//! share) or a flow reaches its own maximum (it freezes at its cap).
+//! The result is the classic max-min fair allocation with floors and
+//! ceilings.
+
+/// Index of a capacity constraint in the solver's constraint table.
+pub type ConstraintIx = usize;
+
+/// One capacity constraint (a link direction or a server resource).
+#[derive(Debug, Clone, Copy)]
+pub struct CapacityConstraint {
+    /// Capacity in bits per second.
+    pub capacity_bps: f64,
+}
+
+/// One flow's demand for the solver.
+#[derive(Debug, Clone)]
+pub struct FlowDemand {
+    /// Constraints the flow crosses (indices into the constraint
+    /// table). Duplicate entries are permitted and count once.
+    pub constraints: Vec<ConstraintIx>,
+    /// Guaranteed minimum rate (virtual-circuit reservation), bps.
+    pub min_rate_bps: f64,
+    /// Maximum useful rate (TCP window cap etc.), bps. Use
+    /// `f64::INFINITY` for unconstrained.
+    pub max_rate_bps: f64,
+}
+
+/// Tolerance for saturation tests. Absolute, in the allocation's rate
+/// unit; tiny relative to any real capacity.
+const EPS: f64 = 1e-9;
+
+/// Computes the max-min fair allocation. Returns one rate per flow, in
+/// input order.
+///
+/// Guarantees that exceed a constraint's capacity are scaled down
+/// proportionally on that constraint (over-admission is the admission
+/// controller's bug, but the solver stays well-defined). Flows with an
+/// empty constraint list receive their `max_rate_bps` (or 0 if
+/// infinite).
+pub fn max_min_allocation(constraints: &[CapacityConstraint], flows: &[FlowDemand]) -> Vec<f64> {
+    let mut alloc: Vec<f64> = flows
+        .iter()
+        .map(|f| f.min_rate_bps.min(f.max_rate_bps))
+        .collect();
+
+    // De-duplicate each flow's constraint list once up front.
+    let flow_constraints: Vec<Vec<ConstraintIx>> = flows
+        .iter()
+        .map(|f| {
+            let mut v = f.constraints.clone();
+            v.sort_unstable();
+            v.dedup();
+            for &c in &v {
+                assert!(c < constraints.len(), "constraint index out of range");
+            }
+            v
+        })
+        .collect();
+
+    // Scale guarantees down where over-admitted.
+    for (ci, c) in constraints.iter().enumerate() {
+        let committed: f64 = flows
+            .iter()
+            .enumerate()
+            .filter(|(fi, _)| flow_constraints[*fi].contains(&ci))
+            .map(|(fi, _)| alloc[fi])
+            .sum();
+        if committed > c.capacity_bps {
+            let scale = c.capacity_bps / committed;
+            for (fi, _) in flows.iter().enumerate() {
+                if flow_constraints[fi].contains(&ci) {
+                    alloc[fi] *= scale;
+                }
+            }
+        }
+    }
+
+    let mut remaining: Vec<f64> = constraints.iter().map(|c| c.capacity_bps).collect();
+    for (fi, _) in flows.iter().enumerate() {
+        for &c in &flow_constraints[fi] {
+            remaining[c] -= alloc[fi];
+        }
+    }
+    for r in &mut remaining {
+        *r = r.max(0.0);
+    }
+
+    // Active = can still grow: below max and on no saturated constraint.
+    let mut active: Vec<bool> = flows
+        .iter()
+        .enumerate()
+        .map(|(fi, f)| {
+            !flow_constraints[fi].is_empty() && alloc[fi] + EPS < f.max_rate_bps
+        })
+        .collect();
+    // Flows with no constraints get their cap immediately (nothing to
+    // share against); infinite caps degrade to zero extra.
+    for (fi, f) in flows.iter().enumerate() {
+        if flow_constraints[fi].is_empty() && f.max_rate_bps.is_finite() {
+            alloc[fi] = f.max_rate_bps;
+        }
+    }
+
+    loop {
+        // Count active flows per constraint.
+        let mut counts = vec![0usize; constraints.len()];
+        for (fi, _) in flows.iter().enumerate() {
+            if active[fi] {
+                for &c in &flow_constraints[fi] {
+                    counts[c] += 1;
+                }
+            }
+        }
+
+        // Freeze flows on already-saturated constraints.
+        let mut changed = false;
+        for (fi, _) in flows.iter().enumerate() {
+            if active[fi]
+                && flow_constraints[fi]
+                    .iter()
+                    .any(|&c| remaining[c] <= EPS && counts[c] > 0)
+            {
+                // Saturated constraint with active flows: no growth room.
+                if flow_constraints[fi].iter().any(|&c| remaining[c] <= EPS) {
+                    active[fi] = false;
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            continue;
+        }
+
+        if !active.iter().any(|&a| a) {
+            break;
+        }
+
+        // Largest uniform increment before a constraint saturates or a
+        // flow hits its cap.
+        let mut delta = f64::INFINITY;
+        for (ci, _) in constraints.iter().enumerate() {
+            if counts[ci] > 0 {
+                delta = delta.min(remaining[ci] / counts[ci] as f64);
+            }
+        }
+        for (fi, f) in flows.iter().enumerate() {
+            if active[fi] {
+                delta = delta.min(f.max_rate_bps - alloc[fi]);
+            }
+        }
+        if !delta.is_finite() || delta <= 0.0 {
+            break;
+        }
+
+        for (fi, f) in flows.iter().enumerate() {
+            if active[fi] {
+                alloc[fi] += delta;
+                for &c in &flow_constraints[fi] {
+                    remaining[c] -= delta;
+                }
+                if alloc[fi] + EPS >= f.max_rate_bps {
+                    active[fi] = false;
+                }
+            }
+        }
+        for r in &mut remaining {
+            *r = r.max(0.0);
+        }
+        for (fi, _) in flows.iter().enumerate() {
+            if active[fi] && flow_constraints[fi].iter().any(|&c| remaining[c] <= EPS) {
+                active[fi] = false;
+            }
+        }
+    }
+
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn caps(v: &[f64]) -> Vec<CapacityConstraint> {
+        v.iter().map(|&c| CapacityConstraint { capacity_bps: c }).collect()
+    }
+
+    fn flow(cs: &[usize], min: f64, max: f64) -> FlowDemand {
+        FlowDemand {
+            constraints: cs.to_vec(),
+            min_rate_bps: min,
+            max_rate_bps: max,
+        }
+    }
+
+    #[test]
+    fn equal_split_single_link() {
+        let a = max_min_allocation(
+            &caps(&[10e9]),
+            &[flow(&[0], 0.0, f64::INFINITY), flow(&[0], 0.0, f64::INFINITY)],
+        );
+        assert!((a[0] - 5e9).abs() < 1e3);
+        assert!((a[1] - 5e9).abs() < 1e3);
+    }
+
+    #[test]
+    fn capped_flow_frees_capacity() {
+        let a = max_min_allocation(
+            &caps(&[10e9]),
+            &[flow(&[0], 0.0, 2e9), flow(&[0], 0.0, f64::INFINITY)],
+        );
+        assert!((a[0] - 2e9).abs() < 1e3);
+        assert!((a[1] - 8e9).abs() < 1e3);
+    }
+
+    #[test]
+    fn classic_three_flow_two_link() {
+        // Link0: f0, f2. Link1: f1, f2. caps 10, 4.
+        // f2 bottlenecked on link1 at 2, f1 gets 2, f0 gets 8.
+        let a = max_min_allocation(
+            &caps(&[10.0, 4.0]),
+            &[
+                flow(&[0], 0.0, f64::INFINITY),
+                flow(&[1], 0.0, f64::INFINITY),
+                flow(&[0, 1], 0.0, f64::INFINITY),
+            ],
+        );
+        assert!((a[2] - 2.0).abs() < 1e-6, "{a:?}");
+        assert!((a[1] - 2.0).abs() < 1e-6, "{a:?}");
+        assert!((a[0] - 8.0).abs() < 1e-6, "{a:?}");
+    }
+
+    #[test]
+    fn guaranteed_minimum_respected() {
+        // Circuit flow guaranteed 6 of 10; one best-effort competitor.
+        let a = max_min_allocation(
+            &caps(&[10.0]),
+            &[flow(&[0], 6.0, 6.0), flow(&[0], 0.0, f64::INFINITY)],
+        );
+        assert!((a[0] - 6.0).abs() < 1e-6);
+        assert!((a[1] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn circuit_can_scavenge_above_guarantee() {
+        // Guarantee 2, cap inf: alone on the link it takes everything.
+        let a = max_min_allocation(&caps(&[10.0]), &[flow(&[0], 2.0, f64::INFINITY)]);
+        assert!((a[0] - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn over_admitted_guarantees_scale_down() {
+        let a = max_min_allocation(
+            &caps(&[10.0]),
+            &[flow(&[0], 8.0, 8.0), flow(&[0], 8.0, 8.0)],
+        );
+        assert!((a[0] - 5.0).abs() < 1e-6);
+        assert!((a[1] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_constraint_list_gets_cap() {
+        let a = max_min_allocation(&caps(&[]), &[flow(&[], 0.0, 7.0)]);
+        assert_eq!(a, vec![7.0]);
+    }
+
+    #[test]
+    fn duplicate_constraints_count_once() {
+        let a = max_min_allocation(&caps(&[10.0]), &[flow(&[0, 0, 0], 0.0, f64::INFINITY)]);
+        assert!((a[0] - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_flows_is_empty() {
+        assert!(max_min_allocation(&caps(&[1.0]), &[]).is_empty());
+    }
+
+    #[test]
+    fn server_resource_models_eq2_sharing() {
+        // Eq. 2's premise: a server cap R shared by concurrent
+        // transfers. Three transfers through one server resource
+        // (R = 2.19 Gbps) on otherwise-idle 10 G links.
+        let a = max_min_allocation(
+            &caps(&[2.19e9, 10e9, 10e9, 10e9]),
+            &[
+                flow(&[0, 1], 0.0, f64::INFINITY),
+                flow(&[0, 2], 0.0, f64::INFINITY),
+                flow(&[0, 3], 0.0, f64::INFINITY),
+            ],
+        );
+        for r in a {
+            assert!((r - 0.73e9).abs() < 1e3);
+        }
+    }
+
+    proptest! {
+        /// Feasibility: no constraint is ever over-allocated, and every
+        /// flow is within [scaled-min, max].
+        #[test]
+        fn prop_feasible(
+            ncons in 1usize..6,
+            flows in proptest::collection::vec(
+                (proptest::collection::vec(0usize..6, 0..4), 0.0f64..5.0, 0.1f64..50.0),
+                1..12,
+            ),
+        ) {
+            let constraints = caps(&vec![10.0; ncons]);
+            let demands: Vec<FlowDemand> = flows
+                .iter()
+                .map(|(cs, min, max)| {
+                    let cs: Vec<usize> = cs.iter().map(|&c| c % ncons).collect();
+                    flow(&cs, min.min(*max), *max)
+                })
+                .collect();
+            let alloc = max_min_allocation(&constraints, &demands);
+            // Per-constraint feasibility.
+            for ci in 0..ncons {
+                let used: f64 = demands
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, d)| d.constraints.contains(&ci))
+                    .map(|(fi, _)| alloc[fi])
+                    .sum();
+                prop_assert!(used <= 10.0 + 1e-3, "constraint {ci} used {used}");
+            }
+            // Per-flow bounds.
+            for (fi, d) in demands.iter().enumerate() {
+                prop_assert!(alloc[fi] <= d.max_rate_bps + 1e-6);
+                prop_assert!(alloc[fi] >= -1e-9);
+            }
+        }
+
+        /// Pareto efficiency: any flow below its cap must cross at
+        /// least one (numerically) saturated constraint.
+        #[test]
+        fn prop_pareto(
+            flows in proptest::collection::vec(
+                proptest::collection::vec(0usize..3, 1..3),
+                1..8,
+            ),
+        ) {
+            let constraints = caps(&[9.0, 9.0, 9.0]);
+            let demands: Vec<FlowDemand> = flows
+                .iter()
+                .map(|cs| flow(cs, 0.0, f64::INFINITY))
+                .collect();
+            let alloc = max_min_allocation(&constraints, &demands);
+            let mut used = [0.0f64; 3];
+            for (fi, d) in demands.iter().enumerate() {
+                let mut cs = d.constraints.clone();
+                cs.sort_unstable();
+                cs.dedup();
+                for c in cs {
+                    used[c] += alloc[fi];
+                }
+            }
+            for (fi, d) in demands.iter().enumerate() {
+                // Every flow here has infinite cap, so it must be
+                // bottlenecked by a saturated constraint.
+                let sat = d.constraints.iter().any(|&c| used[c] >= 9.0 - 1e-3);
+                prop_assert!(sat, "flow {fi} rate {} not bottlenecked: used={used:?}", alloc[fi]);
+            }
+        }
+    }
+}

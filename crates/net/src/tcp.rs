@@ -1,0 +1,313 @@
+//! TCP throughput caps and the slow-start penalty.
+//!
+//! Two TCP effects drive the paper's Figs. 3–5:
+//!
+//! 1. **Window cap.** A transfer with `n` parallel streams, TCP buffer
+//!    `B` bytes per stream, over RTT `τ` cannot exceed `n·B·8/τ` bps
+//!    regardless of link capacity. On the 80 ms SLAC–BNL path this is
+//!    what bounds 1-stream transfers.
+//! 2. **Slow start.** Each stream's congestion window starts at one
+//!    MSS and doubles per RTT, so small files finish before reaching
+//!    the steady rate — and `n` streams ramp `n×` faster, which is why
+//!    "the aggregate throughput of 8 TCP-stream transfers is higher
+//!    than that of 1 TCP-stream transfers for small files, but not for
+//!    large files" (finding iii). Because losses are rare on these
+//!    paths (finding iii again), the steady state is window- or
+//!    share-limited rather than loss-limited; loss is modelled as a
+//!    rare per-transfer event that halves one stream's window.
+
+/// TCP model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpModel {
+    /// Maximum segment size, bytes (1460 for Ethernet).
+    pub mss_bytes: f64,
+    /// Initial congestion window per stream, segments.
+    pub init_cwnd_segments: f64,
+    /// Per-transfer probability that at least one loss event occurs.
+    pub loss_probability: f64,
+    /// Window warm-up length in RTTs for a single stream: the time a
+    /// connection takes to actually reach its steady window, dominated
+    /// in practice by receiver-window autotuning and conservative
+    /// congestion-avoidance growth rather than pure exponential slow
+    /// start. `n` parallel streams each need 1/n of the window, so the
+    /// aggregate warms up `n`× faster — the §VII-B mechanism that lets
+    /// 8-stream transfers beat 1-stream transfers for small files and
+    /// tie for large ones (Figs. 3–4).
+    pub warmup_rtts: f64,
+}
+
+impl Default for TcpModel {
+    fn default() -> TcpModel {
+        TcpModel {
+            mss_bytes: 1460.0,
+            init_cwnd_segments: 1.0,
+            // "packet losses are rare if any" — a fraction of a percent
+            // of transfers see one.
+            loss_probability: 0.002,
+            // ~12 s to full window on an 80 ms path for one stream,
+            // matching the paper's 1-stream convergence in the
+            // hundreds-of-MB range at ~200 Mbps.
+            warmup_rtts: 150.0,
+        }
+    }
+}
+
+impl TcpModel {
+    /// The aggregate window-limited rate cap in bps for `n_streams`
+    /// parallel connections with `buf_bytes` TCP buffer each over
+    /// `rtt_s` seconds RTT.
+    pub fn window_cap_bps(&self, n_streams: u32, buf_bytes: f64, rtt_s: f64) -> f64 {
+        assert!(rtt_s > 0.0, "RTT must be positive");
+        f64::from(n_streams.max(1)) * buf_bytes * 8.0 / rtt_s
+    }
+
+    /// Time (seconds) and payload (bytes) consumed ramping from the
+    /// initial window to `target_bps` aggregate, doubling each RTT.
+    ///
+    /// Returns `(ramp_time_s, ramp_bytes)`. If the initial window
+    /// already sustains `target_bps`, both are zero.
+    pub fn slow_start_ramp(&self, target_bps: f64, rtt_s: f64, n_streams: u32) -> (f64, f64) {
+        assert!(rtt_s > 0.0, "RTT must be positive");
+        let n = f64::from(n_streams.max(1));
+        let w0 = n * self.init_cwnd_segments * self.mss_bytes; // bytes/RTT
+        let target_per_rtt = target_bps * rtt_s / 8.0; // bytes/RTT
+        if w0 >= target_per_rtt || target_per_rtt <= 0.0 {
+            return (0.0, 0.0);
+        }
+        // Rounds until w0 * 2^k >= target: k = ceil(log2(target/w0)).
+        let k = (target_per_rtt / w0).log2().ceil().max(0.0);
+        // Bytes sent over k doubling rounds: w0 (2^k − 1).
+        let bytes = w0 * ((2f64).powf(k) - 1.0);
+        (k * rtt_s, bytes)
+    }
+
+    /// Extra transfer time attributable to slow start, relative to
+    /// running at `target_bps` from t = 0, for a transfer of
+    /// `size_bytes` (seconds). This is how the fluid simulator applies
+    /// slow start: the flow runs at its steady cap and the analytic
+    /// penalty is added to the logged duration.
+    pub fn slow_start_penalty_s(
+        &self,
+        size_bytes: f64,
+        target_bps: f64,
+        rtt_s: f64,
+        n_streams: u32,
+    ) -> f64 {
+        if target_bps <= 0.0 || size_bytes <= 0.0 {
+            return 0.0;
+        }
+        let (ramp_t, ramp_b) = self.slow_start_ramp(target_bps, rtt_s, n_streams);
+        if ramp_b >= size_bytes {
+            // The file completes inside the ramp: find the doubling
+            // round where cumulative bytes reach the file size.
+            let n = f64::from(n_streams.max(1));
+            let w0 = n * self.init_cwnd_segments * self.mss_bytes;
+            // Smallest k with w0 (2^k − 1) >= size.
+            let k = ((size_bytes / w0) + 1.0).log2().ceil().max(1.0);
+            let t = k * rtt_s;
+            return (t - size_bytes * 8.0 / target_bps).max(0.0);
+        }
+        // Time the ramp bytes *would* have taken at the steady rate.
+        let ideal_t = ramp_b * 8.0 / target_bps;
+        (ramp_t - ideal_t).max(0.0)
+    }
+
+    /// Extra transfer time from the linear window warm-up: the flow's
+    /// rate ramps 0 → `target_bps` over `warmup_rtts × rtt / n`
+    /// seconds, so relative to running at `target_bps` from t = 0 the
+    /// transfer loses up to half the warm-up. Files that complete
+    /// inside the ramp lose less (their duration is the root of the
+    /// ramp integral), which produces the proportional-to-size rise at
+    /// the left edge of Fig. 3.
+    pub fn warmup_penalty_s(
+        &self,
+        size_bytes: f64,
+        target_bps: f64,
+        rtt_s: f64,
+        n_streams: u32,
+    ) -> f64 {
+        if target_bps <= 0.0 || size_bytes <= 0.0 || rtt_s <= 0.0 {
+            return 0.0;
+        }
+        let warmup = self.warmup_rtts * rtt_s / f64::from(n_streams.max(1));
+        if warmup <= 0.0 {
+            return 0.0;
+        }
+        let ideal_s = size_bytes * 8.0 / target_bps;
+        // Bytes movable during the full linear ramp.
+        let ramp_bytes = target_bps * warmup / 16.0;
+        if size_bytes <= ramp_bytes {
+            // Completes inside the ramp: S = cap·t²/(2·warmup·8).
+            let t = (2.0 * size_bytes * 8.0 * warmup / target_bps).sqrt();
+            (t - ideal_s).max(0.0)
+        } else {
+            warmup / 2.0
+        }
+    }
+
+    /// Total ramp-up penalty: the slow-start rounds plus the window
+    /// warm-up (the two phases overlap, so take the larger).
+    pub fn ramp_penalty_s(
+        &self,
+        size_bytes: f64,
+        target_bps: f64,
+        rtt_s: f64,
+        n_streams: u32,
+    ) -> f64 {
+        let ss = self.slow_start_penalty_s(size_bytes, target_bps, rtt_s, n_streams);
+        let wu = self.warmup_penalty_s(size_bytes, target_bps, rtt_s, n_streams);
+        ss.max(wu)
+    }
+
+    /// Multiplicative rate penalty applied to a transfer that suffers
+    /// one loss event: one of its `n` streams halves its window for
+    /// roughly half the transfer, so the aggregate factor is
+    /// `1 − 1/(4n)`. With 8 streams the hit is ~3 %; with one stream
+    /// 25 % — exactly why rare loss leaves the Fig. 4 medians equal.
+    pub fn loss_penalty_factor(&self, n_streams: u32) -> f64 {
+        1.0 - 1.0 / (4.0 * f64::from(n_streams.max(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> TcpModel {
+        TcpModel::default()
+    }
+
+    #[test]
+    fn window_cap_scales_with_streams_and_rtt() {
+        let m = m();
+        let one = m.window_cap_bps(1, 4.0 * 1024.0 * 1024.0, 0.080);
+        let eight = m.window_cap_bps(8, 4.0 * 1024.0 * 1024.0, 0.080);
+        assert!((eight / one - 8.0).abs() < 1e-9);
+        // 4 MiB buffer over 80 ms: ~419 Mbps per stream.
+        assert!((one - 4.0 * 1024.0 * 1024.0 * 8.0 / 0.080).abs() < 1.0);
+        // Shorter RTT, higher cap.
+        assert!(m.window_cap_bps(1, 4e6, 0.040) > m.window_cap_bps(1, 4e6, 0.080));
+    }
+
+    #[test]
+    fn zero_streams_treated_as_one() {
+        let m = m();
+        assert_eq!(m.window_cap_bps(0, 1e6, 0.1), m.window_cap_bps(1, 1e6, 0.1));
+    }
+
+    #[test]
+    fn ramp_zero_when_target_below_initial_window() {
+        let m = m();
+        let (t, b) = m.slow_start_ramp(10.0, 0.080, 1);
+        assert_eq!((t, b), (0.0, 0.0));
+    }
+
+    #[test]
+    fn ramp_time_logarithmic_in_target() {
+        let m = m();
+        let (t1, _) = m.slow_start_ramp(1e9, 0.080, 1);
+        let (t2, _) = m.slow_start_ramp(2e9, 0.080, 1);
+        assert!((t2 - t1 - 0.080).abs() < 1e-9, "doubling target adds one RTT");
+    }
+
+    #[test]
+    fn more_streams_ramp_faster() {
+        let m = m();
+        let (t1, _) = m.slow_start_ramp(1e9, 0.080, 1);
+        let (t8, _) = m.slow_start_ramp(1e9, 0.080, 8);
+        assert!((t1 - t8 - 3.0 * 0.080).abs() < 1e-9, "8 streams saves log2(8)=3 RTTs");
+    }
+
+    #[test]
+    fn penalty_larger_for_fewer_streams() {
+        let m = m();
+        let p1 = m.slow_start_penalty_s(100e6, 1e9, 0.080, 1);
+        let p8 = m.slow_start_penalty_s(100e6, 1e9, 0.080, 8);
+        assert!(p1 > p8, "p1={p1} p8={p8}");
+        assert!(p1 > 0.0);
+    }
+
+    #[test]
+    fn penalty_negligible_relative_to_large_files() {
+        let m = m();
+        // A 32 GB transfer at 1 Gbps lasts 256 s; penalty must be tiny
+        // in comparison (this is why stream count stops mattering).
+        let p = m.slow_start_penalty_s(32e9, 1e9, 0.080, 1);
+        assert!(p < 3.0, "penalty {p}");
+        let duration = 32e9 * 8.0 / 1e9;
+        assert!(p / duration < 0.01);
+    }
+
+    #[test]
+    fn penalty_dominates_small_files_single_stream() {
+        let m = m();
+        // A 1 MB transfer at 1 Gbps would ideally take 8 ms; slow
+        // start makes it take several RTTs more.
+        let p = m.slow_start_penalty_s(1e6, 1e9, 0.080, 1);
+        let ideal = 1e6 * 8.0 / 1e9;
+        assert!(p > ideal, "p={p} ideal={ideal}");
+    }
+
+    #[test]
+    fn penalty_zero_for_degenerate_inputs() {
+        let m = m();
+        assert_eq!(m.slow_start_penalty_s(0.0, 1e9, 0.08, 1), 0.0);
+        assert_eq!(m.slow_start_penalty_s(1e6, 0.0, 0.08, 1), 0.0);
+    }
+
+    #[test]
+    fn loss_penalty_shrinks_with_streams() {
+        let m = m();
+        assert!((m.loss_penalty_factor(1) - 0.75).abs() < 1e-12);
+        assert!((m.loss_penalty_factor(8) - (1.0 - 1.0 / 32.0)).abs() < 1e-12);
+        assert!(m.loss_penalty_factor(8) > m.loss_penalty_factor(1));
+    }
+}
+
+#[cfg(test)]
+mod warmup_tests {
+    use super::*;
+
+    #[test]
+    fn warmup_scales_inversely_with_streams() {
+        let m = TcpModel::default();
+        // Large file: full warm-up penalty = warmup/2.
+        let p1 = m.warmup_penalty_s(50e9, 200e6, 0.080, 1);
+        let p8 = m.warmup_penalty_s(50e9, 200e6, 0.080, 8);
+        assert!((p1 / p8 - 8.0).abs() < 1e-9, "p1={p1} p8={p8}");
+        assert!((p1 - 150.0 * 0.080 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_files_lose_less_than_full_warmup() {
+        let m = TcpModel::default();
+        let full = m.warmup_penalty_s(50e9, 200e6, 0.080, 1);
+        let small = m.warmup_penalty_s(1e6, 200e6, 0.080, 1);
+        assert!(small < full);
+        assert!(small > 0.0);
+    }
+
+    #[test]
+    fn warmup_creates_the_fig3_separation() {
+        // 100 MB at a 215 Mbps cap over 80 ms: the 8-stream effective
+        // throughput must clearly beat 1-stream; by 4 GB they tie.
+        let m = TcpModel::default();
+        let tput = |size: f64, n: u32| {
+            let cap = 215e6;
+            let d = size * 8.0 / cap + m.ramp_penalty_s(size, cap, 0.080, n) + 0.2;
+            size * 8.0 / d
+        };
+        let ratio_small = tput(100e6, 8) / tput(100e6, 1);
+        let ratio_large = tput(4e9, 8) / tput(4e9, 1);
+        assert!(ratio_small > 1.8, "small-file ratio {ratio_small}");
+        assert!(ratio_large < 1.15, "large-file ratio {ratio_large}");
+    }
+
+    #[test]
+    fn degenerate_inputs_zero() {
+        let m = TcpModel::default();
+        assert_eq!(m.warmup_penalty_s(0.0, 1e9, 0.08, 1), 0.0);
+        assert_eq!(m.warmup_penalty_s(1e6, 0.0, 0.08, 1), 0.0);
+        assert_eq!(m.warmup_penalty_s(1e6, 1e9, 0.0, 1), 0.0);
+    }
+}

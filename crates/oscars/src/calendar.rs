@@ -1,0 +1,253 @@
+//! Advance-reservation bandwidth calendars.
+//!
+//! A link's calendar is the set of bandwidth commitments over time.
+//! Admission of a new reservation `[start, end) @ rate` requires that
+//! the *peak* committed bandwidth over the window plus `rate` stays
+//! within the link's reservable capacity. "Such advance-reservation
+//! service is required when the requested circuit rate is a significant
+//! portion of link capacity if the network is to be operated at high
+//! utilization and with low call blocking probability" (§II).
+
+use gvc_engine::SimTime;
+use gvc_topology::LinkId;
+use std::collections::HashMap;
+
+/// One committed window on a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Commitment {
+    start: SimTime,
+    end: SimTime,
+    rate_bps: f64,
+    /// Owner token so commitments can be released individually.
+    owner: u64,
+}
+
+/// Bandwidth commitments on a single link.
+#[derive(Debug, Clone, Default)]
+pub struct LinkCalendar {
+    commitments: Vec<Commitment>,
+}
+
+impl LinkCalendar {
+    /// An empty calendar.
+    pub fn new() -> LinkCalendar {
+        LinkCalendar::default()
+    }
+
+    /// Peak committed bandwidth over `[start, end)`.
+    pub fn peak_committed_bps(&self, start: SimTime, end: SimTime) -> f64 {
+        // Sweep over breakpoints inside the window.
+        let mut points: Vec<SimTime> = vec![start];
+        for c in &self.commitments {
+            if c.start > start && c.start < end {
+                points.push(c.start);
+            }
+        }
+        points
+            .into_iter()
+            .map(|t| {
+                self.commitments
+                    .iter()
+                    .filter(|c| c.start <= t && c.end > t)
+                    .map(|c| c.rate_bps)
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Committed bandwidth at instant `t`.
+    pub fn committed_at(&self, t: SimTime) -> f64 {
+        self.commitments
+            .iter()
+            .filter(|c| c.start <= t && c.end > t)
+            .map(|c| c.rate_bps)
+            .sum()
+    }
+
+    /// Records a commitment.
+    pub fn commit(&mut self, owner: u64, start: SimTime, end: SimTime, rate_bps: f64) {
+        assert!(end > start, "commitment window must be non-empty");
+        assert!(rate_bps > 0.0, "commitment rate must be positive");
+        self.commitments.push(Commitment {
+            start,
+            end,
+            rate_bps,
+            owner,
+        });
+    }
+
+    /// Releases all commitments of `owner` from `at` onward: windows
+    /// entirely in the future disappear, the active one is truncated.
+    /// Returns the number of commitments affected.
+    pub fn release(&mut self, owner: u64, at: SimTime) -> usize {
+        let mut touched = 0;
+        self.commitments.retain_mut(|c| {
+            if c.owner != owner {
+                return true;
+            }
+            if c.start >= at {
+                touched += 1;
+                false // future window: drop entirely
+            } else if c.end > at {
+                touched += 1;
+                c.end = at; // active window: truncate
+                true
+            } else {
+                true // already past
+            }
+        });
+        touched
+    }
+
+    /// Number of commitments on record.
+    pub fn len(&self) -> usize {
+        self.commitments.len()
+    }
+
+    /// True when no commitments.
+    pub fn is_empty(&self) -> bool {
+        self.commitments.is_empty()
+    }
+}
+
+/// Calendars for every link in a topology.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkCalendar {
+    links: HashMap<LinkId, LinkCalendar>,
+}
+
+impl NetworkCalendar {
+    /// An empty network calendar.
+    pub fn new() -> NetworkCalendar {
+        NetworkCalendar::default()
+    }
+
+    /// The calendar of `link` (created on first touch).
+    pub fn link_mut(&mut self, link: LinkId) -> &mut LinkCalendar {
+        self.links.entry(link).or_default()
+    }
+
+    /// Read-only access; `None` when never touched.
+    pub fn link(&self, link: LinkId) -> Option<&LinkCalendar> {
+        self.links.get(&link)
+    }
+
+    /// Spare reservable bandwidth on `link` over `[start, end)` given
+    /// its reservable `capacity_bps`.
+    pub fn available_bps(&self, link: LinkId, capacity_bps: f64, start: SimTime, end: SimTime) -> f64 {
+        let committed = self
+            .links
+            .get(&link)
+            .map(|c| c.peak_committed_bps(start, end))
+            .unwrap_or(0.0);
+        (capacity_bps - committed).max(0.0)
+    }
+
+    /// Commits `rate` on every link of `path_links`.
+    pub fn commit_path(
+        &mut self,
+        owner: u64,
+        path_links: &[LinkId],
+        start: SimTime,
+        end: SimTime,
+        rate_bps: f64,
+    ) {
+        for &l in path_links {
+            self.link_mut(l).commit(owner, start, end, rate_bps);
+        }
+    }
+
+    /// Releases `owner`'s commitments on the given links from `at`.
+    pub fn release_path(&mut self, owner: u64, path_links: &[LinkId], at: SimTime) {
+        for &l in path_links {
+            self.link_mut(l).release(owner, at);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn empty_calendar_has_zero_commitment() {
+        let c = LinkCalendar::new();
+        assert_eq!(c.peak_committed_bps(t(0), t(100)), 0.0);
+        assert_eq!(c.committed_at(t(50)), 0.0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn overlapping_windows_sum() {
+        let mut c = LinkCalendar::new();
+        c.commit(1, t(0), t(100), 2e9);
+        c.commit(2, t(50), t(150), 3e9);
+        assert_eq!(c.committed_at(t(25)), 2e9);
+        assert_eq!(c.committed_at(t(75)), 5e9);
+        assert_eq!(c.committed_at(t(120)), 3e9);
+        assert_eq!(c.peak_committed_bps(t(0), t(150)), 5e9);
+        assert_eq!(c.peak_committed_bps(t(0), t(50)), 2e9);
+        // Window ending exactly at an overlap start excludes it.
+        assert_eq!(c.peak_committed_bps(t(100), t(150)), 3e9);
+    }
+
+    #[test]
+    fn peak_sees_commitment_starting_inside_window() {
+        let mut c = LinkCalendar::new();
+        c.commit(1, t(60), t(80), 4e9);
+        assert_eq!(c.peak_committed_bps(t(0), t(100)), 4e9);
+        assert_eq!(c.peak_committed_bps(t(0), t(60)), 0.0);
+    }
+
+    #[test]
+    fn release_future_and_truncate_active() {
+        let mut c = LinkCalendar::new();
+        c.commit(7, t(0), t(100), 1e9);
+        c.commit(7, t(200), t(300), 1e9);
+        c.commit(9, t(0), t(300), 2e9);
+        let n = c.release(7, t(50));
+        assert_eq!(n, 2);
+        assert_eq!(c.committed_at(t(75)), 2e9); // truncated at 50
+        assert_eq!(c.committed_at(t(25)), 3e9); // history intact
+        assert_eq!(c.committed_at(t(250)), 2e9); // future dropped
+    }
+
+    #[test]
+    fn release_wrong_owner_is_noop() {
+        let mut c = LinkCalendar::new();
+        c.commit(1, t(0), t(10), 1e9);
+        assert_eq!(c.release(2, t(0)), 0);
+        assert_eq!(c.committed_at(t(5)), 1e9);
+    }
+
+    #[test]
+    fn network_calendar_availability() {
+        let mut nc = NetworkCalendar::new();
+        let l = LinkId(3);
+        assert_eq!(nc.available_bps(l, 10e9, t(0), t(10)), 10e9);
+        nc.commit_path(1, &[l], t(0), t(10), 4e9);
+        assert_eq!(nc.available_bps(l, 10e9, t(0), t(10)), 6e9);
+        assert_eq!(nc.available_bps(l, 10e9, t(10), t(20)), 10e9);
+        nc.release_path(1, &[l], t(0));
+        assert_eq!(nc.available_bps(l, 10e9, t(0), t(10)), 10e9);
+    }
+
+    #[test]
+    fn availability_clamps_at_zero() {
+        let mut nc = NetworkCalendar::new();
+        let l = LinkId(0);
+        nc.commit_path(1, &[l], t(0), t(10), 12e9);
+        assert_eq!(nc.available_bps(l, 10e9, t(0), t(10)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn empty_window_panics() {
+        let mut c = LinkCalendar::new();
+        c.commit(1, t(10), t(10), 1e9);
+    }
+}

@@ -1,0 +1,350 @@
+//! The Inter-Domain Controller: admission, provisioning, teardown.
+//!
+//! Admission runs CSPF against the advance-reservation calendar: a
+//! request is admitted iff some path has spare reservable bandwidth ≥
+//! the requested rate over the whole window (§II: advance reservations
+//! let the network run at high utilization with low blocking). The
+//! reservable fraction of each link defaults to 100 % of line rate; a
+//! provider policy can cap it (e.g. reserve headroom for IP traffic).
+
+use crate::calendar::NetworkCalendar;
+use crate::reservation::{Reservation, ReservationId, ReservationRequest, ReservationState};
+use crate::setup::SetupDelayModel;
+use gvc_engine::SimTime;
+use gvc_topology::{constrained_shortest_path, Graph};
+use std::collections::HashMap;
+
+/// Why a reservation was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockReason {
+    /// Malformed request (empty window, zero rate, same endpoints).
+    InvalidRequest(String),
+    /// No path with sufficient spare bandwidth over the window.
+    NoFeasiblePath,
+}
+
+/// Aggregate admission statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdcStats {
+    /// Reservation requests received.
+    pub requests: u64,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests blocked.
+    pub blocked: u64,
+}
+
+impl IdcStats {
+    /// Call-blocking probability.
+    pub fn blocking_probability(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.blocked as f64 / self.requests as f64
+        }
+    }
+}
+
+/// The circuit scheduler.
+///
+/// ```
+/// use gvc_oscars::{Idc, ReservationRequest, SetupDelayModel};
+/// use gvc_engine::SimTime;
+/// use gvc_topology::{study_topology, Site};
+///
+/// let topo = study_topology();
+/// let mut idc = Idc::new(topo.graph.clone(), SetupDelayModel::one_minute());
+/// let id = idc
+///     .create_reservation(ReservationRequest {
+///         src: topo.dtn(Site::Nersc),
+///         dst: topo.dtn(Site::Ornl),
+///         rate_bps: 4e9,
+///         start: SimTime::ZERO,
+///         end: SimTime::from_secs(3600),
+///     })
+///     .expect("10 Gbps links have room for 4 Gbps");
+/// let ready = idc.provision(id, SimTime::ZERO);
+/// assert_eq!(ready, SimTime::from_secs(60)); // the deployed 1-min setup
+/// ```
+pub struct Idc {
+    graph: Graph,
+    calendar: NetworkCalendar,
+    setup: SetupDelayModel,
+    /// Fraction of each link's line rate available to circuits.
+    reservable_fraction: f64,
+    reservations: HashMap<ReservationId, Reservation>,
+    next_id: u64,
+    stats: IdcStats,
+}
+
+impl Idc {
+    /// A controller over `graph` with the given setup-delay model,
+    /// allowing circuits up to the full line rate.
+    pub fn new(graph: Graph, setup: SetupDelayModel) -> Idc {
+        Idc {
+            graph,
+            calendar: NetworkCalendar::new(),
+            setup,
+            reservable_fraction: 1.0,
+            reservations: HashMap::new(),
+            next_id: 0,
+            stats: IdcStats::default(),
+        }
+    }
+
+    /// Caps the reservable fraction of every link (policy headroom).
+    ///
+    /// # Panics
+    /// Panics unless `0 < fraction <= 1`.
+    pub fn with_reservable_fraction(mut self, fraction: f64) -> Idc {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        self.reservable_fraction = fraction;
+        self
+    }
+
+    /// The setup-delay model in force.
+    pub fn setup_model(&self) -> SetupDelayModel {
+        self.setup
+    }
+
+    /// Admission statistics so far.
+    pub fn stats(&self) -> IdcStats {
+        self.stats
+    }
+
+    /// Processes a `createReservation`: CSPF over calendar
+    /// availability; commits the path on success.
+    pub fn create_reservation(
+        &mut self,
+        req: ReservationRequest,
+    ) -> Result<ReservationId, BlockReason> {
+        self.stats.requests += 1;
+        if let Err(e) = req.validate() {
+            self.stats.blocked += 1;
+            return Err(BlockReason::InvalidRequest(e));
+        }
+        let calendar = &self.calendar;
+        let graph = &self.graph;
+        let frac = self.reservable_fraction;
+        let path = constrained_shortest_path(graph, req.src, req.dst, req.rate_bps, |l| {
+            calendar.available_bps(
+                l,
+                graph.link(l).capacity_bps * frac,
+                req.start,
+                req.end,
+            )
+        });
+        let Some(path) = path else {
+            self.stats.blocked += 1;
+            return Err(BlockReason::NoFeasiblePath);
+        };
+        let id = ReservationId(self.next_id);
+        self.next_id += 1;
+        self.calendar
+            .commit_path(id.0, &path.links, req.start, req.end, req.rate_bps);
+        self.reservations.insert(
+            id,
+            Reservation {
+                id,
+                request: req,
+                path,
+                state: ReservationState::Scheduled,
+                ready_at: None,
+            },
+        );
+        self.stats.admitted += 1;
+        Ok(id)
+    }
+
+    /// Signals provisioning of a scheduled reservation at `now`
+    /// (automatic signalling just before start, or an explicit
+    /// `createPath`). Returns the instant the circuit becomes usable
+    /// under the setup-delay model.
+    ///
+    /// # Panics
+    /// Panics when the reservation is unknown or already released.
+    pub fn provision(&mut self, id: ReservationId, now: SimTime) -> SimTime {
+        let r = self.reservations.get_mut(&id).expect("unknown reservation");
+        assert!(
+            matches!(r.state, ReservationState::Scheduled | ReservationState::Provisioning),
+            "cannot provision a reservation in state {:?}",
+            r.state
+        );
+        let ready = self.setup.ready_at(now).max(r.request.start);
+        r.state = ReservationState::Active;
+        r.ready_at = Some(ready);
+        ready
+    }
+
+    /// Tears a reservation down at `now`, releasing its remaining
+    /// calendar window.
+    pub fn teardown(&mut self, id: ReservationId, now: SimTime) {
+        let r = self.reservations.get_mut(&id).expect("unknown reservation");
+        if r.state == ReservationState::Released {
+            return;
+        }
+        r.state = ReservationState::Released;
+        self.calendar.release_path(id.0, &r.path.links.clone(), now);
+    }
+
+    /// The reservation record.
+    pub fn reservation(&self, id: ReservationId) -> Option<&Reservation> {
+        self.reservations.get(&id)
+    }
+
+    /// Spare reservable bandwidth between two endpoints over a window
+    /// (what a client could still get).
+    pub fn probe_available_bps(
+        &self,
+        req: ReservationRequest,
+    ) -> f64 {
+        // Binary-search the admissible rate via CSPF feasibility.
+        let (mut lo, mut hi) = (0.0f64, self.graph.links()
+            .iter()
+            .map(|l| l.capacity_bps)
+            .fold(0.0, f64::max) * self.reservable_fraction);
+        for _ in 0..40 {
+            let mid = (lo + hi) / 2.0;
+            let feasible = constrained_shortest_path(&self.graph, req.src, req.dst, mid, |l| {
+                self.calendar.available_bps(
+                    l,
+                    self.graph.link(l).capacity_bps * self.reservable_fraction,
+                    req.start,
+                    req.end,
+                )
+            })
+            .is_some();
+            if feasible {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvc_topology::{study_topology, Site};
+
+    fn idc() -> (Idc, ReservationRequest) {
+        let t = study_topology();
+        let req = ReservationRequest {
+            src: t.dtn(Site::Nersc),
+            dst: t.dtn(Site::Ornl),
+            rate_bps: 4e9,
+            start: SimTime::from_secs(0),
+            end: SimTime::from_secs(3600),
+        };
+        (Idc::new(t.graph, SetupDelayModel::one_minute()), req)
+    }
+
+    #[test]
+    fn admit_then_block_when_full() {
+        let (mut idc, req) = idc();
+        // 10 G links: two 4 G circuits fit, the third is blocked.
+        assert!(idc.create_reservation(req).is_ok());
+        assert!(idc.create_reservation(req).is_ok());
+        assert_eq!(idc.create_reservation(req), Err(BlockReason::NoFeasiblePath));
+        let s = idc.stats();
+        assert_eq!((s.requests, s.admitted, s.blocked), (3, 2, 1));
+        assert!((s.blocking_probability() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_windows_do_not_compete() {
+        let (mut idc, mut req) = idc();
+        req.rate_bps = 8e9;
+        assert!(idc.create_reservation(req).is_ok());
+        // Same rate later in time: fine.
+        req.start = SimTime::from_secs(3600);
+        req.end = SimTime::from_secs(7200);
+        assert!(idc.create_reservation(req).is_ok());
+    }
+
+    #[test]
+    fn teardown_releases_capacity() {
+        let (mut idc, mut req) = idc();
+        req.rate_bps = 8e9;
+        let id = idc.create_reservation(req).unwrap();
+        assert_eq!(idc.create_reservation(req), Err(BlockReason::NoFeasiblePath));
+        idc.teardown(id, SimTime::from_secs(10));
+        // Remaining window [10, 3600) is free again.
+        let mut later = req;
+        later.start = SimTime::from_secs(10);
+        assert!(idc.create_reservation(later).is_ok());
+    }
+
+    #[test]
+    fn invalid_request_blocked_with_reason() {
+        let (mut idc, mut req) = idc();
+        req.rate_bps = -1.0;
+        match idc.create_reservation(req) {
+            Err(BlockReason::InvalidRequest(_)) => {}
+            other => panic!("expected invalid request, got {other:?}"),
+        }
+        assert_eq!(idc.stats().blocked, 1);
+    }
+
+    #[test]
+    fn provisioning_sets_ready_per_model() {
+        let (mut idc, req) = idc();
+        let id = idc.create_reservation(req).unwrap();
+        let ready = idc.provision(id, SimTime::from_secs(0));
+        assert_eq!(ready, SimTime::from_secs(60));
+        let r = idc.reservation(id).unwrap();
+        assert_eq!(r.state, ReservationState::Active);
+        assert!(r.usable_at(SimTime::from_secs(60)));
+        assert!(!r.usable_at(SimTime::from_secs(59)));
+    }
+
+    #[test]
+    fn ready_never_precedes_window_start() {
+        let (mut idc, mut req) = idc();
+        req.start = SimTime::from_secs(1000);
+        req.end = SimTime::from_secs(2000);
+        let id = idc.create_reservation(req).unwrap();
+        // Provisioned early: usable only from the window start.
+        let ready = idc.provision(id, SimTime::from_secs(0));
+        assert_eq!(ready, SimTime::from_secs(1000));
+    }
+
+    #[test]
+    fn reservable_fraction_policy() {
+        let t = study_topology();
+        let req = ReservationRequest {
+            src: t.dtn(Site::Slac),
+            dst: t.dtn(Site::Bnl),
+            rate_bps: 6e9,
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(60),
+        };
+        let mut idc = Idc::new(t.graph, SetupDelayModel::hardware()).with_reservable_fraction(0.5);
+        // 6 G > 50 % of 10 G: blocked.
+        assert_eq!(idc.create_reservation(req), Err(BlockReason::NoFeasiblePath));
+        let mut ok = req;
+        ok.rate_bps = 4e9;
+        assert!(idc.create_reservation(ok).is_ok());
+    }
+
+    #[test]
+    fn probe_tracks_committed_bandwidth() {
+        let (mut idc, req) = idc();
+        let free0 = idc.probe_available_bps(req);
+        assert!((free0 - 10e9).abs() < 1e7, "{free0}");
+        idc.create_reservation(req).unwrap();
+        let free1 = idc.probe_available_bps(req);
+        assert!((free1 - 6e9).abs() < 1e7, "{free1}");
+    }
+
+    #[test]
+    fn double_teardown_is_idempotent() {
+        let (mut idc, req) = idc();
+        let id = idc.create_reservation(req).unwrap();
+        idc.teardown(id, SimTime::from_secs(5));
+        idc.teardown(id, SimTime::from_secs(6));
+        assert_eq!(idc.reservation(id).unwrap().state, ReservationState::Released);
+    }
+}

@@ -1,0 +1,157 @@
+//! Tukey boxplot summaries (Fig. 1 of the paper shows boxplots of the
+//! four ANL→NERSC transfer categories).
+
+use crate::quantile::quantile_sorted;
+
+/// The five boxplot statistics plus outliers, with whiskers at the most
+/// extreme data points within 1.5 × IQR of the box (R's `boxplot`
+/// default).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxplotSummary {
+    /// First quartile (box bottom).
+    pub q1: f64,
+    /// Median (box line).
+    pub median: f64,
+    /// Third quartile (box top).
+    pub q3: f64,
+    /// Lower whisker: smallest observation ≥ q1 − 1.5·IQR.
+    pub lo_whisker: f64,
+    /// Upper whisker: largest observation ≤ q3 + 1.5·IQR.
+    pub hi_whisker: f64,
+    /// Observations outside the whiskers, ascending.
+    pub outliers: Vec<f64>,
+}
+
+impl BoxplotSummary {
+    /// Computes the boxplot statistics of `data`. `None` when empty.
+    pub fn of(data: &[f64]) -> Option<BoxplotSummary> {
+        if data.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in boxplot input"));
+        let q1 = quantile_sorted(&sorted, 0.25);
+        let median = quantile_sorted(&sorted, 0.50);
+        let q3 = quantile_sorted(&sorted, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let lo_whisker = *sorted
+            .iter()
+            .find(|&&x| x >= lo_fence)
+            .expect("fence below max implies a point exists");
+        let hi_whisker = *sorted
+            .iter()
+            .rev()
+            .find(|&&x| x <= hi_fence)
+            .expect("fence above min implies a point exists");
+        let outliers = sorted
+            .iter()
+            .copied()
+            .filter(|&x| x < lo_fence || x > hi_fence)
+            .collect();
+        Some(BoxplotSummary {
+            q1,
+            median,
+            q3,
+            lo_whisker,
+            hi_whisker,
+            outliers,
+        })
+    }
+
+    /// Inter-quartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Renders a fixed-width ASCII boxplot over `[lo, hi]` with `width`
+    /// character cells — used by the `repro` binary for Fig. 1.
+    pub fn ascii(&self, lo: f64, hi: f64, width: usize) -> String {
+        assert!(width >= 5, "ascii boxplot needs width >= 5");
+        assert!(hi > lo, "ascii boxplot range must be non-empty");
+        let pos = |x: f64| -> usize {
+            let t = ((x - lo) / (hi - lo)).clamp(0.0, 1.0);
+            ((t * (width - 1) as f64).round() as usize).min(width - 1)
+        };
+        let mut row: Vec<char> = vec![' '; width];
+        let (w0, b0, m, b1, w1) = (
+            pos(self.lo_whisker),
+            pos(self.q1),
+            pos(self.median),
+            pos(self.q3),
+            pos(self.hi_whisker),
+        );
+        for cell in row.iter_mut().take(b0).skip(w0) {
+            *cell = '-';
+        }
+        for cell in row.iter_mut().take(w1).skip(b1) {
+            *cell = '-';
+        }
+        for cell in row.iter_mut().take(b1 + 1).skip(b0) {
+            *cell = '=';
+        }
+        row[w0] = '|';
+        row[w1] = '|';
+        row[b0] = '[';
+        row[b1] = ']';
+        row[m] = '#';
+        for &o in &self.outliers {
+            let p = pos(o);
+            if row[p] == ' ' {
+                row[p] = 'o';
+            }
+        }
+        row.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(BoxplotSummary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn no_outliers_whiskers_are_extremes() {
+        let xs: Vec<f64> = (1..=9).map(|x| x as f64).collect();
+        let b = BoxplotSummary::of(&xs).unwrap();
+        assert_eq!(b.lo_whisker, 1.0);
+        assert_eq!(b.hi_whisker, 9.0);
+        assert!(b.outliers.is_empty());
+        assert_eq!(b.median, 5.0);
+    }
+
+    #[test]
+    fn detects_outlier() {
+        let mut xs: Vec<f64> = (1..=20).map(|x| x as f64).collect();
+        xs.push(1000.0);
+        let b = BoxplotSummary::of(&xs).unwrap();
+        assert_eq!(b.outliers, vec![1000.0]);
+        assert!(b.hi_whisker <= 20.0);
+    }
+
+    #[test]
+    fn singleton_degenerate() {
+        let b = BoxplotSummary::of(&[3.0]).unwrap();
+        assert_eq!(b.q1, 3.0);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.q3, 3.0);
+        assert_eq!(b.lo_whisker, 3.0);
+        assert_eq!(b.hi_whisker, 3.0);
+    }
+
+    #[test]
+    fn ascii_renders_markers() {
+        let xs: Vec<f64> = (0..=10).map(|x| x as f64).collect();
+        let b = BoxplotSummary::of(&xs).unwrap();
+        let s = b.ascii(0.0, 10.0, 41);
+        assert_eq!(s.len(), 41);
+        assert!(s.contains('#'));
+        assert!(s.contains('['));
+        assert!(s.contains(']'));
+    }
+}

@@ -1,0 +1,141 @@
+//! Correlation estimators.
+//!
+//! Tables XI and XII of the paper correlate per-transfer GridFTP byte
+//! counts against SNMP byte counts (total and other-flow) router by
+//! router and quartile by quartile; Fig. 8 correlates the Eq. 2
+//! predicted throughput against actual throughput (ρ = 0.62). Both are
+//! plain Pearson correlations; Spearman is provided as a robustness
+//! check used by the extended analyses.
+
+/// Sample covariance with the n − 1 denominator.
+/// Returns `None` when the slices differ in length or have < 2 points.
+pub fn covariance(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let s: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+    Some(s / (n - 1.0))
+}
+
+/// Pearson product-moment correlation coefficient.
+///
+/// Returns `None` when inputs are mismatched, shorter than 2, or either
+/// series is constant (zero variance).
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Spearman rank correlation: Pearson on midrank-transformed data, so
+/// ties are handled correctly.
+pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let rx = midranks(x);
+    let ry = midranks(y);
+    pearson(&rx, &ry)
+}
+
+/// Midranks of `data`: ties get the average of the ranks they span.
+fn midranks(data: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    idx.sort_by(|&a, &b| data[a].partial_cmp(&data[b]).expect("NaN in rank input"));
+    let mut ranks = vec![0.0; data.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && data[idx[j + 1]] == data[idx[i]] {
+            j += 1;
+        }
+        // Ranks are 1-based; the tied block [i, j] shares the mean rank.
+        let mean_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = mean_rank;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_negative() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [3.0, 2.0, 1.0];
+        assert!((pearson(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_is_none() {
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn mismatched_or_short_is_none() {
+        assert!(pearson(&[1.0], &[1.0]).is_none());
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(covariance(&[1.0], &[1.0]).is_none());
+        assert!(spearman(&[1.0], &[2.0]).is_none());
+    }
+
+    #[test]
+    fn covariance_known_value() {
+        // cov(c(1,2,3,4), c(2,3,5,8)) in R = 3.333333...
+        let c = covariance(&[1.0, 2.0, 3.0, 4.0], &[2.0, 3.0, 5.0, 8.0]).unwrap();
+        assert!((c - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v: &f64| v.exp()).collect();
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        assert!(pearson(&x, &y).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 2.0, 3.0];
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midranks_average_ties() {
+        let r = midranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+}

@@ -1,0 +1,335 @@
+//! Sampling distributions for workload synthesis.
+//!
+//! The approved dependency list includes `rand` but not `rand_distr`,
+//! so the handful of continuous distributions the workload generators
+//! need — lognormal (file/session sizes are "skewed right" per §VI-A),
+//! exponential (inter-arrival gaps), Pareto (heavy-tailed session
+//! lengths, Table III's 30 153-transfer session), truncated normal
+//! (test-transfer throughput spread), empirical resampling and finite
+//! mixtures — are implemented here from uniform draws.
+
+use rand::Rng;
+
+/// A sampling distribution over `f64`.
+pub trait Distribution {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+}
+
+/// Uniform over `[lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformRange {
+    lo: f64,
+    hi: f64,
+}
+
+impl UniformRange {
+    /// # Panics
+    /// Panics when `hi < lo`.
+    pub fn new(lo: f64, hi: f64) -> UniformRange {
+        assert!(hi >= lo, "uniform range must be ordered");
+        UniformRange { lo, hi }
+    }
+}
+
+impl Distribution for UniformRange {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.hi == self.lo {
+            return self.lo;
+        }
+        self.lo + rng.gen::<f64>() * (self.hi - self.lo)
+    }
+}
+
+/// Standard normal via Box–Muller (one value per draw, simple and
+/// branch-free enough for workload generation).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by mapping the uniform draw into (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Lognormal: `exp(mu + sigma * Z)`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Parameterized by the log-space mean and standard deviation.
+    ///
+    /// # Panics
+    /// Panics when `sigma < 0`.
+    pub fn new(mu: f64, sigma: f64) -> LogNormal {
+        assert!(sigma >= 0.0, "lognormal sigma must be non-negative");
+        LogNormal { mu, sigma }
+    }
+
+    /// Builds the lognormal whose *median* and *mean* match the given
+    /// values (requires `mean > median > 0`). This is how workload
+    /// generators are calibrated straight from the paper's tables,
+    /// which quote exactly those two statistics.
+    pub fn from_median_mean(median: f64, mean: f64) -> Option<LogNormal> {
+        if median <= 0.0 || median.is_nan() || mean <= median || mean.is_nan() {
+            return None;
+        }
+        // median = e^mu, mean = e^(mu + sigma^2 / 2)
+        let mu = median.ln();
+        let sigma = (2.0 * (mean.ln() - mu)).sqrt();
+        Some(LogNormal { mu, sigma })
+    }
+
+    /// Median of the distribution, `e^mu`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// Mean of the distribution, `e^(mu + sigma²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+impl Distribution for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Exponential with the given rate (mean `1 / rate`).
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// # Panics
+    /// Panics when `rate <= 0`.
+    pub fn new(rate: f64) -> Exponential {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        Exponential { rate }
+    }
+
+    /// Exponential with the given mean.
+    pub fn with_mean(mean: f64) -> Exponential {
+        Exponential::new(1.0 / mean)
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -u.ln() / self.rate
+    }
+}
+
+/// Pareto (type I): support `[xm, ∞)`, shape `alpha`.
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    xm: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// # Panics
+    /// Panics when `xm <= 0` or `alpha <= 0`.
+    pub fn new(xm: f64, alpha: f64) -> Pareto {
+        assert!(xm > 0.0, "pareto scale must be positive");
+        assert!(alpha > 0.0, "pareto shape must be positive");
+        Pareto { xm, alpha }
+    }
+}
+
+impl Distribution for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        self.xm / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// Normal truncated to `[lo, hi]` by rejection (falls back to clamping
+/// after 64 rejections, which only triggers for pathological bounds).
+#[derive(Debug, Clone, Copy)]
+pub struct TruncNormal {
+    mean: f64,
+    sd: f64,
+    lo: f64,
+    hi: f64,
+}
+
+impl TruncNormal {
+    /// # Panics
+    /// Panics when `sd < 0` or `hi < lo`.
+    pub fn new(mean: f64, sd: f64, lo: f64, hi: f64) -> TruncNormal {
+        assert!(sd >= 0.0, "truncated normal sd must be non-negative");
+        assert!(hi >= lo, "truncated normal bounds must be ordered");
+        TruncNormal { mean, sd, lo, hi }
+    }
+}
+
+impl Distribution for TruncNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        for _ in 0..64 {
+            let x = self.mean + self.sd * standard_normal(rng);
+            if x >= self.lo && x <= self.hi {
+                return x;
+            }
+        }
+        self.mean.clamp(self.lo, self.hi)
+    }
+}
+
+/// Resamples uniformly from an observed sample (bootstrap draw).
+#[derive(Debug, Clone)]
+pub struct Empirical {
+    sample: Vec<f64>,
+}
+
+impl Empirical {
+    /// # Panics
+    /// Panics on an empty sample.
+    pub fn new(sample: Vec<f64>) -> Empirical {
+        assert!(!sample.is_empty(), "empirical distribution needs data");
+        Empirical { sample }
+    }
+}
+
+impl Distribution for Empirical {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sample[rng.gen_range(0..self.sample.len())]
+    }
+}
+
+/// A finite mixture of component distributions with given weights.
+pub struct Mixture<D: Distribution> {
+    components: Vec<(f64, D)>,
+    total_weight: f64,
+}
+
+impl<D: Distribution> Mixture<D> {
+    /// # Panics
+    /// Panics when empty or any weight is non-positive.
+    pub fn new(components: Vec<(f64, D)>) -> Mixture<D> {
+        assert!(!components.is_empty(), "mixture needs components");
+        let total_weight = components
+            .iter()
+            .map(|(w, _)| {
+                assert!(*w > 0.0, "mixture weights must be positive");
+                *w
+            })
+            .sum();
+        Mixture {
+            components,
+            total_weight,
+        }
+    }
+}
+
+impl<D: Distribution> Distribution for Mixture<D> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let mut pick = rng.gen::<f64>() * self.total_weight;
+        for (w, d) in &self.components {
+            pick -= w;
+            if pick <= 0.0 {
+                return d.sample(rng);
+            }
+        }
+        self.components.last().expect("non-empty").1.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+    use crate::summary::Summary;
+
+    fn draws<D: Distribution>(d: &D, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = seeded_rng(seed);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let xs = draws(&UniformRange::new(2.0, 4.0), 20_000, 1);
+        assert!(xs.iter().all(|&x| (2.0..4.0).contains(&x)));
+        let s = Summary::of(&xs).unwrap();
+        assert!((s.mean - 3.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn uniform_degenerate_point() {
+        let xs = draws(&UniformRange::new(5.0, 5.0), 10, 1);
+        assert!(xs.iter().all(|&x| x == 5.0));
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let xs = draws(&Exponential::with_mean(10.0), 50_000, 2);
+        let s = Summary::of(&xs).unwrap();
+        assert!((s.mean - 10.0).abs() < 0.3);
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn lognormal_median_mean_calibration() {
+        // SLAC–BNL session sizes: median 1195 MB, mean 24 045 MB (Table II).
+        let d = LogNormal::from_median_mean(1195.0, 24_045.0).unwrap();
+        assert!((d.median() - 1195.0).abs() < 1e-9);
+        assert!((d.mean() - 24_045.0).abs() / 24_045.0 < 1e-12);
+        let xs = draws(&d, 200_000, 3);
+        let s = Summary::of(&xs).unwrap();
+        assert!((s.median - 1195.0).abs() / 1195.0 < 0.05);
+        // Mean of a heavy-tailed lognormal converges slowly; allow 25 %.
+        assert!((s.mean - 24_045.0).abs() / 24_045.0 < 0.25);
+    }
+
+    #[test]
+    fn lognormal_rejects_bad_calibration() {
+        assert!(LogNormal::from_median_mean(10.0, 5.0).is_none());
+        assert!(LogNormal::from_median_mean(0.0, 5.0).is_none());
+        assert!(LogNormal::from_median_mean(-1.0, 5.0).is_none());
+    }
+
+    #[test]
+    fn pareto_support() {
+        let xs = draws(&Pareto::new(3.0, 2.5), 10_000, 4);
+        assert!(xs.iter().all(|&x| x >= 3.0));
+        // alpha = 2.5 => mean = alpha*xm/(alpha-1) = 5.0
+        let s = Summary::of(&xs).unwrap();
+        assert!((s.mean - 5.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn trunc_normal_respects_bounds() {
+        let xs = draws(&TruncNormal::new(0.0, 1.0, -0.5, 0.5), 5_000, 5);
+        assert!(xs.iter().all(|&x| (-0.5..=0.5).contains(&x)));
+    }
+
+    #[test]
+    fn empirical_resamples_only_sample_values() {
+        let d = Empirical::new(vec![1.0, 2.0, 3.0]);
+        let xs = draws(&d, 1000, 6);
+        assert!(xs.iter().all(|&x| x == 1.0 || x == 2.0 || x == 3.0));
+    }
+
+    #[test]
+    fn mixture_weights_respected() {
+        let m = Mixture::new(vec![
+            (9.0, UniformRange::new(0.0, 1.0)),
+            (1.0, UniformRange::new(10.0, 11.0)),
+        ]);
+        let xs = draws(&m, 20_000, 7);
+        let high = xs.iter().filter(|&&x| x >= 10.0).count() as f64 / xs.len() as f64;
+        assert!((high - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = LogNormal::new(1.0, 0.5);
+        assert_eq!(draws(&d, 16, 42), draws(&d, 16, 42));
+        assert_ne!(draws(&d, 16, 42), draws(&d, 16, 43));
+    }
+}

@@ -1,0 +1,214 @@
+//! Fixed-width binning and per-bin aggregation.
+//!
+//! Figures 3–5 of the paper bin SLAC–BNL transfers by file size (1 MB
+//! bins below 1 GB, 100 MB bins from 1 GB to 4 GB) and plot the median
+//! throughput of the 1-stream and 8-stream groups per bin, along with
+//! the per-bin observation counts. [`BinnedSeries`] implements exactly
+//! that: values are dropped into fixed-width bins and a statistic is
+//! computed per bin.
+
+use crate::quantile::median;
+
+/// A fixed-width histogram over `[lo, hi)`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    counts: Vec<u64>,
+    /// Observations below `lo` or at/above `hi`.
+    pub out_of_range: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram of `nbins` equal bins covering `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `nbins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Histogram {
+        assert!(nbins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            width: (hi - lo) / nbins as f64,
+            counts: vec![0; nbins],
+            out_of_range: 0,
+        }
+    }
+
+    /// Bin index for `x`, or `None` if out of range.
+    pub fn bin_index(&self, x: f64) -> Option<usize> {
+        if x < self.lo {
+            return None;
+        }
+        let idx = ((x - self.lo) / self.width) as usize;
+        if idx < self.counts.len() {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        match self.bin_index(x) {
+            Some(i) => self.counts[i] += 1,
+            None => self.out_of_range += 1,
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total in-range observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        self.lo + self.width * i as f64
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.bin_lo(i) + self.width / 2.0
+    }
+}
+
+/// Values grouped into fixed-width bins by a key, supporting per-bin
+/// statistics — the Fig. 3/4/5 structure.
+#[derive(Debug, Clone)]
+pub struct BinnedSeries {
+    lo: f64,
+    width: f64,
+    bins: Vec<Vec<f64>>,
+}
+
+impl BinnedSeries {
+    /// `nbins` equal-width bins covering keys in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `nbins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> BinnedSeries {
+        assert!(nbins > 0, "binned series needs at least one bin");
+        assert!(hi > lo, "binned series range must be non-empty");
+        BinnedSeries {
+            lo,
+            width: (hi - lo) / nbins as f64,
+            bins: vec![Vec::new(); nbins],
+        }
+    }
+
+    /// Inserts `value` under `key`; out-of-range keys are ignored and
+    /// reported via the return value.
+    pub fn insert(&mut self, key: f64, value: f64) -> bool {
+        if key < self.lo {
+            return false;
+        }
+        let idx = ((key - self.lo) / self.width) as usize;
+        if idx < self.bins.len() {
+            self.bins[idx].push(value);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of bins.
+    pub fn nbins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Observation count in bin `i` (Fig. 5's y-axis).
+    pub fn count(&self, i: usize) -> usize {
+        self.bins[i].len()
+    }
+
+    /// Values collected in bin `i`.
+    pub fn values(&self, i: usize) -> &[f64] {
+        &self.bins[i]
+    }
+
+    /// Median of bin `i`, `None` when empty (Figs. 3–4's y-axis).
+    pub fn bin_median(&self, i: usize) -> Option<f64> {
+        median(&self.bins[i])
+    }
+
+    /// Center of bin `i` (the x coordinate when plotting).
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.lo + self.width * (i as f64 + 0.5)
+    }
+
+    /// `(center, median, count)` for every non-empty bin, in order.
+    pub fn median_series(&self) -> Vec<(f64, f64, usize)> {
+        (0..self.bins.len())
+            .filter_map(|i| self.bin_median(i).map(|m| (self.bin_center(i), m, self.count(i))))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_basic_counts() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [0.5, 1.5, 1.9, 9.99] {
+            h.record(x);
+        }
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.out_of_range, 0);
+    }
+
+    #[test]
+    fn histogram_out_of_range() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(-0.1);
+        h.record(1.0); // hi edge is exclusive
+        assert_eq!(h.out_of_range, 2);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bin_lo(0), 0.0);
+        assert_eq!(h.bin_center(0), 1.0);
+        assert_eq!(h.bin_center(4), 9.0);
+    }
+
+    #[test]
+    fn binned_series_median_per_bin() {
+        let mut b = BinnedSeries::new(0.0, 2.0, 2);
+        assert!(b.insert(0.1, 10.0));
+        assert!(b.insert(0.2, 30.0));
+        assert!(b.insert(1.5, 5.0));
+        assert!(!b.insert(2.5, 99.0));
+        assert_eq!(b.bin_median(0), Some(20.0));
+        assert_eq!(b.bin_median(1), Some(5.0));
+        assert_eq!(b.count(0), 2);
+    }
+
+    #[test]
+    fn median_series_skips_empty_bins() {
+        let mut b = BinnedSeries::new(0.0, 3.0, 3);
+        b.insert(0.5, 1.0);
+        b.insert(2.5, 2.0);
+        let s = b.median_series();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], (0.5, 1.0, 1));
+        assert_eq!(s[1], (2.5, 2.0, 1));
+    }
+}

@@ -1,0 +1,117 @@
+//! Quantile estimation compatible with R's default (`type = 7`).
+//!
+//! The paper's tables were produced with R's `summary()` /
+//! `quantile()`, which interpolate linearly between order statistics:
+//! for probability `p` and `n` samples the quantile sits at index
+//! `h = (n - 1) p`, interpolated between `x[floor(h)]` and
+//! `x[floor(h) + 1]`. Using the same estimator keeps our quartile
+//! columns directly comparable to the paper's.
+
+/// Returns the `p`-quantile (`0.0 ..= 1.0`) of `data` using R type-7
+/// linear interpolation. `data` need not be sorted.
+///
+/// Returns `None` for an empty slice or a `p` outside `[0, 1]`.
+///
+/// ```
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(gvc_stats::quantile(&xs, 0.5), Some(2.5));
+/// assert_eq!(gvc_stats::quantile(&xs, 0.25), Some(1.75));
+/// ```
+pub fn quantile(data: &[f64], p: f64) -> Option<f64> {
+    if data.is_empty() || !(0.0..=1.0).contains(&p) || p.is_nan() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    Some(quantile_sorted(&sorted, p))
+}
+
+/// Same as [`quantile`] but assumes `sorted` is already ascending.
+/// Useful when many quantiles are taken from the same data.
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = (n - 1) as f64 * p;
+    let lo = h.floor() as usize;
+    let hi = (lo + 1).min(n - 1);
+    let frac = h - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Median (the 0.5 quantile).
+pub fn median(data: &[f64]) -> Option<f64> {
+    quantile(data, 0.5)
+}
+
+/// First quartile, median and third quartile, in one sort.
+pub fn quartiles(data: &[f64]) -> Option<(f64, f64, f64)> {
+    if data.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quartiles input"));
+    Some((
+        quantile_sorted(&sorted, 0.25),
+        quantile_sorted(&sorted, 0.50),
+        quantile_sorted(&sorted, 0.75),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(quartiles(&[]), None);
+    }
+
+    #[test]
+    fn out_of_range_p_is_none() {
+        assert_eq!(quantile(&[1.0], -0.1), None);
+        assert_eq!(quantile(&[1.0], 1.1), None);
+        assert_eq!(quantile(&[1.0], f64::NAN), None);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(quantile(&[42.0], 0.0), Some(42.0));
+        assert_eq!(quantile(&[42.0], 0.37), Some(42.0));
+        assert_eq!(quantile(&[42.0], 1.0), Some(42.0));
+    }
+
+    #[test]
+    fn extremes_are_min_max() {
+        let xs = [5.0, 1.0, 3.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(5.0));
+    }
+
+    #[test]
+    fn matches_r_type7_reference() {
+        // R: quantile(c(1,2,3,4,5,6,7,8,9,10), c(.25,.5,.75))
+        //    25%  50%  75%
+        //   3.25 5.50 7.75
+        let xs: Vec<f64> = (1..=10).map(|x| x as f64).collect();
+        let (q1, q2, q3) = quartiles(&xs).unwrap();
+        assert!((q1 - 3.25).abs() < 1e-12);
+        assert!((q2 - 5.50).abs() < 1e-12);
+        assert!((q3 - 7.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn odd_length_median_is_middle() {
+        assert_eq!(median(&[9.0, 1.0, 5.0]), Some(5.0));
+    }
+
+    #[test]
+    fn unsorted_input_ok() {
+        let xs = [10.0, 1.0, 7.0, 3.0];
+        assert_eq!(quantile(&xs, 0.5), Some(5.0));
+    }
+}

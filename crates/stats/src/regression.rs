@@ -1,0 +1,107 @@
+//! Ordinary least squares on one predictor.
+//!
+//! Used by the trend analyses (the Table VIII year-over-year
+//! throughput decline, the setup-delay sweeps): a slope with r² says
+//! how much of the variance the factor explains, which is the
+//! paper's implicit question in every factor section.
+
+/// An OLS fit `y ≈ intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope.
+    pub slope: f64,
+    /// Intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r_squared: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Predicted y at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fits `y` on `x`. Returns `None` for mismatched/short inputs or a
+/// constant `x`.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Option<LinearFit> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+        n: x.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v - 1.0).collect();
+        let f = linear_fit(&x, &y).unwrap();
+        assert!((f.slope - 3.0).abs() < 1e-12);
+        assert!((f.intercept + 1.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+        assert!((f.predict(10.0) - 29.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_partial_r2() {
+        let x = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [0.1, 0.9, 2.2, 2.8, 4.1, 4.9];
+        let f = linear_fit(&x, &y).unwrap();
+        assert!((f.slope - 1.0).abs() < 0.05);
+        assert!(f.r_squared > 0.99);
+    }
+
+    #[test]
+    fn constant_y_is_perfect_flat_fit() {
+        let f = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.intercept, 5.0);
+        assert_eq!(f.r_squared, 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_none() {
+        assert!(linear_fit(&[1.0], &[1.0]).is_none());
+        assert!(linear_fit(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(linear_fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn uncorrelated_r2_near_zero() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let y = [5.0, 1.0, 4.0, 2.0, 5.0, 1.0, 4.0, 2.0];
+        let f = linear_fit(&x, &y).unwrap();
+        assert!(f.r_squared < 0.2, "{}", f.r_squared);
+    }
+}

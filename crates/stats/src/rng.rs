@@ -1,0 +1,87 @@
+//! Seeded RNG streams.
+//!
+//! Every stochastic component in the simulator owns its own RNG stream
+//! derived from the scenario seed with [`child_seed`], a SplitMix64
+//! mix of (seed, label). Components therefore stay decoupled: adding a
+//! new consumer or reordering draws in one component never perturbs the
+//! values another component sees, which keeps the regression baselines
+//! in `EXPERIMENTS.md` stable.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// SplitMix64 finalizer — a high-quality 64-bit mixing function.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a child seed from a parent seed and a component label.
+/// Distinct labels give statistically independent streams.
+pub fn child_seed(parent: u64, label: &str) -> u64 {
+    let mut h = splitmix64(parent);
+    for b in label.as_bytes() {
+        h = splitmix64(h ^ u64::from(*b));
+    }
+    h
+}
+
+/// A fast, seedable RNG for simulation use (not cryptographic).
+pub fn seeded_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Convenience: RNG for component `label` under scenario `seed`.
+pub fn component_rng(seed: u64, label: &str) -> SmallRng {
+    seeded_rng(child_seed(seed, label))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn child_seeds_differ_by_label() {
+        let a = child_seed(42, "alpha");
+        let b = child_seed(42, "beta");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn child_seeds_differ_by_parent() {
+        assert_ne!(child_seed(1, "x"), child_seed(2, "x"));
+    }
+
+    #[test]
+    fn child_seed_is_deterministic() {
+        assert_eq!(child_seed(7, "net"), child_seed(7, "net"));
+    }
+
+    #[test]
+    fn rng_streams_reproduce() {
+        let mut r1 = component_rng(99, "flows");
+        let mut r2 = component_rng(99, "flows");
+        for _ in 0..32 {
+            assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn rng_streams_decorrelated() {
+        let mut r1 = component_rng(99, "flows");
+        let mut r2 = component_rng(99, "servers");
+        let same = (0..64).filter(|_| r1.gen::<u64>() == r2.gen::<u64>()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn label_prefix_no_collision() {
+        // "ab" under one seed must differ from "a" then continuing: the
+        // label is mixed byte-by-byte so prefixes do not collide.
+        assert_ne!(child_seed(5, "ab"), child_seed(5, "a"));
+        assert_ne!(child_seed(5, ""), child_seed(5, "a"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Descriptive summaries in the shape the paper's tables use:
+//! Min / 1st Qu. / Median / Mean / 3rd Qu. / Max, plus standard
+//! deviation and coefficient of variation (Tables VI–IX report those
+//! two as extra columns).
+
+use crate::quantile::quantile_sorted;
+use std::fmt;
+
+/// A six-number descriptive summary plus dispersion measures, computed
+/// once over a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Smallest observation.
+    pub min: f64,
+    /// First quartile (R type-7).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Third quartile (R type-7).
+    pub q3: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Sample standard deviation (n − 1 denominator), 0 for n < 2.
+    pub sd: f64,
+}
+
+impl Summary {
+    /// Computes a summary of `data`. Returns `None` on an empty slice.
+    pub fn of(data: &[f64]) -> Option<Summary> {
+        if data.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in Summary input"));
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let sd = if n < 2 {
+            0.0
+        } else {
+            let ss: f64 = sorted.iter().map(|x| (x - mean) * (x - mean)).sum();
+            (ss / (n - 1) as f64).sqrt()
+        };
+        Some(Summary {
+            n,
+            min: sorted[0],
+            q1: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.50),
+            mean,
+            q3: quantile_sorted(&sorted, 0.75),
+            max: sorted[n - 1],
+            sd,
+        })
+    }
+
+    /// Inter-quartile range, the dispersion measure the paper quotes for
+    /// the NERSC–ORNL transfers ("the inter-quartile range was 695 Mbps").
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Coefficient of variation, `sd / mean`, as a fraction (Table VI
+    /// reports it as a percentage). Returns `None` when the mean is 0.
+    pub fn cv(&self) -> Option<f64> {
+        if self.mean == 0.0 {
+            None
+        } else {
+            Some(self.sd / self.mean)
+        }
+    }
+
+    /// Renders the six paper columns, scaled by `scale` (e.g. 1e-6 to
+    /// print bits as Mb), with `prec` decimal places.
+    pub fn paper_row(&self, scale: f64, prec: usize) -> String {
+        format!(
+            "{:>10.p$} {:>10.p$} {:>10.p$} {:>10.p$} {:>10.p$} {:>10.p$}",
+            self.min * scale,
+            self.q1 * scale,
+            self.median * scale,
+            self.mean * scale,
+            self.q3 * scale,
+            self.max * scale,
+            p = prec
+        )
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={:.4} q1={:.4} med={:.4} mean={:.4} q3={:.4} max={:.4} sd={:.4}",
+            self.n, self.min, self.q1, self.median, self.mean, self.q3, self.max, self.sd
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn singleton() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.sd, 0.0);
+        assert_eq!(s.iqr(), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        // R: x <- c(2, 4, 4, 4, 5, 5, 7, 9); sd(x) = 2.13809...
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = Summary::of(&xs).unwrap();
+        assert_eq!(s.mean, 5.0);
+        assert!((s.sd - 2.138_089_935).abs() < 1e-8);
+        assert_eq!(s.median, 4.5);
+    }
+
+    #[test]
+    fn cv_matches_table_vi_semantics() {
+        let xs = [100.0, 200.0, 300.0];
+        let s = Summary::of(&xs).unwrap();
+        let cv = s.cv().unwrap();
+        assert!((cv - s.sd / 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_none_on_zero_mean() {
+        let s = Summary::of(&[-1.0, 1.0]).unwrap();
+        assert!(s.cv().is_none());
+    }
+
+    #[test]
+    fn iqr_positive_and_consistent() {
+        let xs: Vec<f64> = (0..100).map(|x| x as f64).collect();
+        let s = Summary::of(&xs).unwrap();
+        assert!((s.iqr() - 49.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_row_formats_scaled() {
+        let s = Summary::of(&[1_000_000.0, 2_000_000.0]).unwrap();
+        let row = s.paper_row(1e-6, 1);
+        assert!(row.contains("1.0"));
+        assert!(row.contains("2.0"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Shortest-path and constrained shortest-path (CSPF) routing.
+//!
+//! IP-routed service follows the delay-shortest path. OSCARS circuit
+//! placement (§IV) instead runs CSPF: links without enough spare
+//! committed bandwidth are pruned, then the shortest survivor is taken.
+//! This is what lets the provider "explicitly select a path for the
+//! virtual circuit based on current network conditions".
+
+use crate::graph::{Graph, LinkId, NodeId};
+use crate::path::Path;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance; tie-break on NodeId for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("NaN distance")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Dijkstra over link delay, considering only links admitted by
+/// `admit`. Returns the delay-shortest [`Path`], or `None` when `dst`
+/// is unreachable through admitted links.
+pub fn shortest_path_filtered<F>(graph: &Graph, src: NodeId, dst: NodeId, mut admit: F) -> Option<Path>
+where
+    F: FnMut(LinkId) -> bool,
+{
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<LinkId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.0 as usize] = 0.0;
+    heap.push(HeapItem { dist: 0.0, node: src });
+
+    while let Some(HeapItem { dist: d, node }) = heap.pop() {
+        if d > dist[node.0 as usize] {
+            continue; // stale entry
+        }
+        if node == dst {
+            break;
+        }
+        for &lid in graph.out_links(node) {
+            if !admit(lid) {
+                continue;
+            }
+            let link = graph.link(lid);
+            let nd = d + link.delay_s;
+            let slot = &mut dist[link.dst.0 as usize];
+            if nd < *slot {
+                *slot = nd;
+                prev[link.dst.0 as usize] = Some(lid);
+                heap.push(HeapItem { dist: nd, node: link.dst });
+            }
+        }
+    }
+
+    if dist[dst.0 as usize].is_infinite() {
+        return None;
+    }
+    // Walk predecessors back from dst.
+    let mut links = Vec::new();
+    let mut at = dst;
+    while at != src {
+        let lid = prev[at.0 as usize].expect("reached node has predecessor");
+        links.push(lid);
+        at = graph.link(lid).src;
+    }
+    links.reverse();
+    Some(Path::new(graph, src, dst, links))
+}
+
+/// The delay-shortest path (IP routing).
+pub fn shortest_path(graph: &Graph, src: NodeId, dst: NodeId) -> Option<Path> {
+    shortest_path_filtered(graph, src, dst, |_| true)
+}
+
+/// CSPF: the delay-shortest path among links whose available bandwidth
+/// (per `available_bps`) is at least `demand_bps`. Returns `None` when
+/// no feasible path exists — a blocked reservation.
+pub fn constrained_shortest_path<F>(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    demand_bps: f64,
+    mut available_bps: F,
+) -> Option<Path>
+where
+    F: FnMut(LinkId) -> f64,
+{
+    shortest_path_filtered(graph, src, dst, |l| available_bps(l) >= demand_bps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+
+    /// Diamond: a -> b -> d (fast), a -> c -> d (slow but fat).
+    fn diamond() -> (Graph, NodeId, NodeId, [LinkId; 4]) {
+        let mut g = Graph::new();
+        let a = g.add_node("a", NodeKind::Host);
+        let b = g.add_node("b", NodeKind::Router);
+        let c = g.add_node("c", NodeKind::Router);
+        let d = g.add_node("d", NodeKind::Host);
+        let ab = g.add_link(a, b, 1e9, 0.001);
+        let bd = g.add_link(b, d, 1e9, 0.001);
+        let ac = g.add_link(a, c, 10e9, 0.010);
+        let cd = g.add_link(c, d, 10e9, 0.010);
+        (g, a, d, [ab, bd, ac, cd])
+    }
+
+    #[test]
+    fn picks_lowest_delay() {
+        let (g, a, d, [ab, bd, ..]) = diamond();
+        let p = shortest_path(&g, a, d).unwrap();
+        assert_eq!(p.links, vec![ab, bd]);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut g = Graph::new();
+        let a = g.add_node("a", NodeKind::Host);
+        let b = g.add_node("b", NodeKind::Host);
+        assert!(shortest_path(&g, a, b).is_none());
+    }
+
+    #[test]
+    fn src_equals_dst_is_empty_path() {
+        let (g, a, _, _) = diamond();
+        let p = shortest_path(&g, a, a).unwrap();
+        assert!(p.links.is_empty());
+    }
+
+    #[test]
+    fn cspf_detours_around_thin_links() {
+        let (g, a, d, [_, _, ac, cd]) = diamond();
+        // Demand 2 Gbps: the fast 1 Gbps path is infeasible, CSPF must
+        // take the fat detour.
+        let p = constrained_shortest_path(&g, a, d, 2e9, |l| g.link(l).capacity_bps).unwrap();
+        assert_eq!(p.links, vec![ac, cd]);
+    }
+
+    #[test]
+    fn cspf_blocks_when_no_capacity() {
+        let (g, a, d, _) = diamond();
+        assert!(constrained_shortest_path(&g, a, d, 20e9, |l| g.link(l).capacity_bps).is_none());
+    }
+
+    #[test]
+    fn cspf_respects_dynamic_availability() {
+        let (g, a, d, [ab, bd, ac, cd]) = diamond();
+        // Fast path nominally feasible but fully reserved.
+        let avail = |l: LinkId| {
+            if l == ab || l == bd {
+                0.0
+            } else {
+                g.link(l).capacity_bps
+            }
+        };
+        let p = constrained_shortest_path(&g, a, d, 1e8, avail).unwrap();
+        assert_eq!(p.links, vec![ac, cd]);
+    }
+
+    #[test]
+    fn larger_graph_path_is_optimal() {
+        // Grid of 5 nodes in a line plus a shortcut with higher delay.
+        let mut g = Graph::new();
+        let nodes: Vec<NodeId> = (0..5)
+            .map(|i| g.add_node(&format!("r{i}"), NodeKind::Router))
+            .collect();
+        for w in nodes.windows(2) {
+            g.add_duplex_link(w[0], w[1], 10e9, 0.005);
+        }
+        g.add_duplex_link(nodes[0], nodes[4], 10e9, 0.030); // worse than 4 x 5ms
+        let p = shortest_path(&g, nodes[0], nodes[4]).unwrap();
+        assert_eq!(p.hops(), 4);
+        assert!((p.one_way_delay_s(&g) - 0.020).abs() < 1e-12);
+    }
+}

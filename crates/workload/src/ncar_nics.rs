@@ -1,0 +1,247 @@
+//! The NCAR–NICS scenario (2009–2011).
+//!
+//! Paper facts reproduced in shape:
+//!
+//! * 52 454 transfers grouped (g = 1 min) into 211 sessions, 32 of
+//!   them single-transfer; the largest session has ~19 000 transfers
+//!   (Table III);
+//! * heavy 16 GB and 4 GB transfer populations (87 % of the top-5 %
+//!   sizes — Table VII) with stripes 1–3;
+//! * the `frost` cluster shrinks 3 → 2 → 1 servers across
+//!   2009/2010/2011, dragging throughput down (Table VIII) and making
+//!   throughput rise with stripe count (Table IX);
+//! * q3 transfer throughput in the several-hundred-Mbps range and a
+//!   max in the few-Gbps range (Table I).
+
+use crate::EPOCH_2009_US;
+use gvc_engine::SimTime;
+use gvc_gridftp::driver::{ClusterId, Driver};
+use gvc_gridftp::{ServerCaps, SessionSpec, TransferJob};
+use gvc_logs::{Dataset, EndpointKind, TransferType};
+use gvc_net::NetworkSim;
+use gvc_stats::dist::{Distribution, LogNormal, Pareto, UniformRange};
+use gvc_stats::rng::component_rng;
+use gvc_topology::{study_topology, Site};
+use rand::Rng;
+
+/// Scenario knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct NcarNicsConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Fraction of the paper's session count to generate (1.0 ≈ 211
+    /// sessions / ~50 k transfers).
+    pub scale: f64,
+}
+
+impl Default for NcarNicsConfig {
+    fn default() -> NcarNicsConfig {
+        NcarNicsConfig { seed: 2009, scale: 1.0 }
+    }
+}
+
+/// Per-year workload profile: the frost cluster size and the stripe
+/// counts users ran with (§VII-A: "In year 2009, the number of servers
+/// was either 1 or 3, but in year 2010, it was mostly 2 servers, and
+/// in year 2011, it was mostly 1 server").
+fn year_profile(year: i32) -> (u32, &'static [(u32, f64)]) {
+    match year {
+        2009 => (3, &[(1, 0.5), (3, 0.5)]),
+        2010 => (2, &[(1, 0.3), (2, 0.7)]),
+        _ => (1, &[(1, 1.0)]),
+    }
+}
+
+fn pick_weighted(rng: &mut rand::rngs::SmallRng, options: &[(u32, f64)]) -> u32 {
+    let total: f64 = options.iter().map(|(_, w)| w).sum();
+    let mut pick = rng.gen::<f64>() * total;
+    for &(v, w) in options {
+        pick -= w;
+        if pick <= 0.0 {
+            return v;
+        }
+    }
+    options.last().expect("non-empty").0
+}
+
+/// Samples one file size (bytes): mostly small-to-medium lognormal
+/// files, with heavy 4 GB and 16 GB populations (the model-output
+/// archives the paper slices in Tables VII–IX).
+fn sample_file_size(rng: &mut rand::rngs::SmallRng) -> u64 {
+    let r: f64 = rng.gen();
+    if r < 0.035 {
+        // [16, 17) GB population.
+        UniformRange::new(16e9, 17e9).sample(rng) as u64
+    } else if r < 0.10 {
+        // [4, 5) GB population.
+        UniformRange::new(4e9, 5e9).sample(rng) as u64
+    } else {
+        // Bulk: median ~200 MB, mean ~900 MB, clipped to 4 GB (model
+        // output files; the mean transfer must be ~1 GB+ for the
+        // session-size marginals of Table I to hold).
+        (LogNormal::from_median_mean(300e6, 1_200e6)
+            .expect("valid calibration")
+            .sample(rng) as u64)
+            .clamp(10_000, 4_000_000_000)
+    }
+}
+
+/// Samples a session's transfer count: right-skewed with a huge tail
+/// (Table III: largest session ≈ 19 400 transfers at g = 1 min).
+/// `scale` caps only the campaign tail so small-scale runs stay fast
+/// while keeping realistic session shapes.
+fn sample_session_len(rng: &mut rand::rngs::SmallRng, scale: f64) -> usize {
+    let r: f64 = rng.gen();
+    let n = if r < 0.15 {
+        1.0 // single-transfer sessions (32 of 211)
+    } else if r < 0.88 {
+        // Directory moves: tens to hundreds of files (the mean
+        // session carries ~250 transfers: 52 454 / 211).
+        Pareto::new(12.0, 0.85).sample(rng).min(2_000.0)
+    } else {
+        // Campaign sessions: hundreds to ~19k transfers.
+        let cap = (19_000.0 * scale).clamp(150.0, 19_000.0);
+        Pareto::new(400.0, 0.9).sample(rng).min(cap)
+    };
+    (n.round() as usize).max(1)
+}
+
+/// Generates the scenario: returns the usage log.
+pub fn generate(cfg: NcarNicsConfig) -> Dataset {
+    let topo = study_topology();
+    let sim = NetworkSim::new(topo.graph.clone(), EPOCH_2009_US);
+    let mut driver = Driver::new(sim, cfg.seed);
+
+    // frost starts 2009 with 3 servers.
+    let frost = driver.register_cluster(
+        "frost.ucar.edu",
+        topo.dtn(Site::Ncar),
+        ServerCaps {
+            // NCAR saw the study's highest rates (4.23 Gbps max):
+            // strong per-node caps on the short path.
+            node_cap_bps: 1.6e9,
+            disk_read_bps: 1.4e9,
+            disk_write_bps: 1.2e9,
+            nic_bps: 10e9,
+            ..ServerCaps::default()
+        },
+        3,
+    );
+    let nics = driver.register_cluster(
+        "dtn.nics.tennessee.edu",
+        topo.dtn(Site::Nics),
+        ServerCaps {
+            node_cap_bps: 1.6e9,
+            disk_read_bps: 1.4e9,
+            disk_write_bps: 1.2e9,
+            nic_bps: 10e9,
+            ..ServerCaps::default()
+        },
+        3,
+    );
+
+    // Cluster shrink at the year boundaries (frost only; §VII-A).
+    let year_secs = 365.25 * 86_400.0;
+    driver.schedule_resize(SimTime::from_secs_f64(year_secs), frost, 2);
+    driver.schedule_resize(SimTime::from_secs_f64(2.0 * year_secs), frost, 1);
+    driver.schedule_resize(SimTime::from_secs_f64(year_secs), nics, 2);
+    driver.schedule_resize(SimTime::from_secs_f64(2.0 * year_secs), nics, 1);
+
+    let mut rng = component_rng(cfg.seed, "ncar-sessions");
+    let n_sessions = ((211.0 * cfg.scale).round() as usize).max(1);
+    let horizon_s = 3.0 * year_secs;
+    for _ in 0..n_sessions {
+        let start_s = rng.gen::<f64>() * (horizon_s - 90_000.0);
+        let year = 2009 + (start_s / year_secs) as i32;
+        let (_, stripe_options) = year_profile(year);
+        let stripes = pick_weighted(&mut rng, stripe_options);
+        let n = sample_session_len(&mut rng, cfg.scale);
+        let jobs: Vec<TransferJob> = (0..n)
+            .map(|_| TransferJob {
+                size_bytes: sample_file_size(&mut rng),
+                streams: if rng.gen::<f64>() < 0.8 { 8 } else { 4 },
+                stripes,
+                tcp_buffer_bytes: 4 << 20,
+                block_size_bytes: 256 << 10,
+                src_kind: EndpointKind::Disk,
+                dst_kind: EndpointKind::Disk,
+                logged_as: TransferType::Retr,
+            })
+            .collect();
+        let concurrency = if n > 50 { 4 } else { 1 };
+        let spec = SessionSpec::sequential(jobs, rng.gen::<f64>() * 8.0)
+            .with_concurrency(concurrency);
+        schedule(&mut driver, start_s, frost, nics, spec);
+    }
+
+    driver
+        .run(SimTime::from_secs_f64(horizon_s + 90_000.0))
+        .log
+}
+
+fn schedule(driver: &mut Driver, start_s: f64, src: ClusterId, dst: ClusterId, spec: SessionSpec) {
+    driver.schedule_session(SimTime::from_secs_f64(start_s), src, dst, spec);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvc_core::sessions::group_sessions;
+
+    fn small() -> Dataset {
+        generate(NcarNicsConfig { seed: 7, scale: 0.15 })
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(NcarNicsConfig { seed: 7, scale: 0.02 });
+        let b = generate(NcarNicsConfig { seed: 7, scale: 0.02 });
+        assert_eq!(a, b);
+        let c = generate(NcarNicsConfig { seed: 8, scale: 0.02 });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn produces_multi_year_log_with_stripes() {
+        let ds = small();
+        assert!(ds.len() > 50, "{}", ds.len());
+        let years: std::collections::BTreeSet<i32> =
+            ds.records().iter().map(|r| r.start_civil().year).collect();
+        assert!(years.contains(&2009) && years.contains(&2011), "{years:?}");
+        let stripes: std::collections::BTreeSet<u32> =
+            ds.records().iter().map(|r| r.num_stripes).collect();
+        assert!(stripes.len() >= 2, "{stripes:?}");
+    }
+
+    #[test]
+    fn throughput_falls_across_years() {
+        let ds = generate(NcarNicsConfig { seed: 11, scale: 0.08 });
+        let rows = gvc_core::factors::by_year(&ds);
+        let y2009 = rows.iter().find(|r| r.key == 2009).unwrap();
+        let y2011 = rows.iter().find(|r| r.key == 2011).unwrap();
+        assert!(
+            y2009.throughput_mbps.median > y2011.throughput_mbps.median,
+            "2009 {} vs 2011 {}",
+            y2009.throughput_mbps.median,
+            y2011.throughput_mbps.median
+        );
+    }
+
+    #[test]
+    fn sessions_form_under_one_minute_gap() {
+        let ds = small();
+        let g = group_sessions(&ds, 60.0);
+        assert!(g.sessions.len() > 3);
+        assert!(g.multi_transfer_sessions() > 0);
+        assert!(g.max_transfers() > 10);
+    }
+
+    #[test]
+    fn size_slices_populated() {
+        let ds = small();
+        let g16 = ds.filter_size(16_000_000_000, 17_000_000_000);
+        let g4 = ds.filter_size(4_000_000_000, 5_000_000_000);
+        assert!(!g16.is_empty());
+        assert!(!g4.is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! Watch max-min fair sharing happen: trace one transfer's rate while
+//! competitors come and go, and render the timeline as an ASCII chart.
+//!
+//! ```text
+//! cargo run --release --example rate_timeline
+//! ```
+
+use gridftp_vc::net::{FlowSpec, NetworkSim};
+use gridftp_vc::prelude::SimTime;
+use gridftp_vc::topology::{study_topology, Site};
+
+fn main() {
+    let topo = study_topology();
+    let path = topo.path(Site::Slac, Site::Bnl);
+    let mut sim = NetworkSim::new(topo.graph.clone(), 0);
+
+    // The watched transfer: 60 GB, tagged 1, traced.
+    sim.trace_tag(1);
+    sim.add_flow(FlowSpec::best_effort(path.links.clone(), 60e9).with_tag(1));
+
+    // Competitors arriving at 10 s intervals, departing as they finish.
+    let mut arrivals: Vec<(u64, f64)> = vec![(10, 20e9), (20, 10e9), (30, 30e9)];
+    arrivals.sort_by_key(|&(t, _)| t);
+    let mut done = Vec::new();
+    for (at, bytes) in arrivals {
+        done.extend(sim.run_until(SimTime::from_secs(at)));
+        sim.add_flow(FlowSpec::best_effort(path.links.clone(), bytes));
+    }
+    done.extend(sim.drain(SimTime::from_secs(1_000)));
+
+    let watched = done.iter().find(|c| c.tag == 1).expect("watched flow finished");
+    let trace = sim.trace(1).expect("traced").clone();
+
+    println!(
+        "watched transfer: {:.0} GB in {:.1} s, mean {:.1} Gbps, peak {:.1} Gbps (burstiness {:.2})",
+        watched.bytes / 1e9,
+        watched.duration_s(),
+        watched.throughput_bps() / 1e9,
+        watched.peak_rate_bps / 1e9,
+        watched.burstiness(),
+    );
+    println!("\nrate breakpoints:");
+    for (t, r) in &trace.points {
+        println!("  t = {:>6.2} s -> {:>5.2} Gbps", t.as_secs_f64(), r / 1e9);
+    }
+
+    // ASCII timeline: sample the piecewise-constant rate each second.
+    println!("\ntimeline (each column = 1 s, height = Gbps):");
+    let end = watched.end.as_secs_f64().ceil() as u64;
+    let samples: Vec<f64> = (0..end)
+        .map(|s| trace.rate_at(SimTime::from_secs(s)) / 1e9)
+        .collect();
+    let max = samples.iter().cloned().fold(1.0, f64::max);
+    let rows = 10usize;
+    for row in (1..=rows).rev() {
+        let threshold = max * row as f64 / rows as f64;
+        let line: String = samples
+            .iter()
+            .map(|&v| if v >= threshold - 1e-9 { '#' } else { ' ' })
+            .collect();
+        println!("{:>5.1} |{line}", threshold);
+    }
+    println!("      +{}", "-".repeat(samples.len()));
+}
