@@ -6,6 +6,27 @@ use gvc_workload::nersc_anl::{self, NerscAnlConfig};
 use gvc_workload::nersc_ornl::{self, NerscOrnlConfig, NerscOrnlOutput};
 use gvc_workload::{ncar_nics, slac_bnl};
 
+/// `rayon::join` under the default-on `parallel` feature, plain
+/// sequential evaluation without it. The `Send` bounds match in both
+/// builds so callers compile identically either way.
+#[cfg(feature = "parallel")]
+fn join<A, B>(a: impl FnOnce() -> A + Send, b: impl FnOnce() -> B + Send) -> (A, B)
+where
+    A: Send,
+    B: Send,
+{
+    rayon::join(a, b)
+}
+
+#[cfg(not(feature = "parallel"))]
+fn join<A, B>(a: impl FnOnce() -> A + Send, b: impl FnOnce() -> B + Send) -> (A, B)
+where
+    A: Send,
+    B: Send,
+{
+    (a(), b())
+}
+
 /// Generation scale preset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
@@ -60,17 +81,18 @@ pub struct Scenarios {
 }
 
 impl Scenarios {
-    /// Generates all four scenarios (in parallel) with fixed seeds.
+    /// Generates all four scenarios (in parallel when the `parallel`
+    /// feature is on) with fixed seeds.
     pub fn generate(scale: Scale) -> Scenarios {
-        let ((ncar, slac), (ornl, anl)) = rayon::join(
+        let ((ncar, slac), (ornl, anl)) = join(
             || {
-                rayon::join(
+                join(
                     || ncar_nics::generate(ncar_nics::NcarNicsConfig { seed: 2009, scale: scale.ncar() }),
                     || slac_bnl::generate(slac_bnl::SlacBnlConfig { seed: 2012, scale: scale.slac() }),
                 )
             },
             || {
-                rayon::join(
+                join(
                     || {
                         nersc_ornl::generate(NerscOrnlConfig {
                             seed: 2010,

@@ -1,5 +1,6 @@
 //! Minimal argv parsing (no external dependency): positional
-//! arguments plus `--flag value` pairs.
+//! arguments, `--flag value` pairs, and a small set of boolean
+//! `--flag` switches that take no value.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -54,7 +55,16 @@ impl ParsedArgs {
     pub fn str_flag_or<'a>(&'a self, flag: &str, default: &'a str) -> &'a str {
         self.flags.get(flag).map(String::as_str).unwrap_or(default)
     }
+
+    /// Whether a boolean `--flag` switch was given.
+    pub fn bool_flag(&self, flag: &str) -> bool {
+        self.flags.contains_key(flag)
+    }
 }
+
+/// Flags that are switches: present or absent, never followed by a
+/// value. Everything else keeps the `--flag value` contract.
+pub const BOOL_FLAGS: &[&str] = &["metrics"];
 
 /// Splits argv into positionals and `--flag value` pairs.
 pub fn parse_flags<I: IntoIterator<Item = String>>(args: I) -> Result<ParsedArgs, CliError> {
@@ -62,6 +72,10 @@ pub fn parse_flags<I: IntoIterator<Item = String>>(args: I) -> Result<ParsedArgs
     let mut it = args.into_iter().peekable();
     while let Some(a) = it.next() {
         if let Some(flag) = a.strip_prefix("--") {
+            if BOOL_FLAGS.contains(&flag) {
+                out.flags.insert(flag.to_owned(), "true".to_owned());
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| CliError(format!("--{flag} requires a value")))?;
@@ -106,6 +120,21 @@ mod tests {
     fn dangling_flag_errors() {
         let e = parse_flags(["--gap".to_string()]).unwrap_err();
         assert!(e.0.contains("requires a value"));
+    }
+
+    #[test]
+    fn bool_flag_takes_no_value() {
+        let p = parse(&["simulate", "--metrics", "out.log", "--seed", "7"]);
+        assert!(p.bool_flag("metrics"));
+        assert_eq!(p.positional, vec!["simulate", "out.log"]);
+        assert_eq!(p.flags.get("seed").map(String::as_str), Some("7"));
+        assert!(!parse(&["simulate"]).bool_flag("metrics"));
+    }
+
+    #[test]
+    fn bool_flag_at_end_of_argv() {
+        let p = parse(&["summary", "log.txt", "--metrics"]);
+        assert!(p.bool_flag("metrics"));
     }
 
     #[test]

@@ -9,6 +9,9 @@ fn usage() {
     for (_, usage, desc) in COMMANDS {
         eprintln!("  {usage:<64} {desc}");
     }
+    eprintln!("\nglobal flags (any command):");
+    eprintln!("  {:<64} write structured JSONL trace events", "--trace <path>");
+    eprintln!("  {:<64} print the metric exposition after the command", "--metrics");
 }
 
 fn main() {

@@ -4,15 +4,22 @@ use crate::args::{CliError, ParsedArgs};
 use gvc_core::gap_sensitivity::gap_sensitivity;
 use gvc_core::sessions::group_sessions;
 use gvc_core::vc_suitability::vc_suitability;
+use gvc_engine::SimTime;
+use gvc_gridftp::{Driver, ServerCaps, SessionSpec, TransferJob, VcRequestSpec};
 use gvc_logs::anonymize::{anonymize_dataset, AnonymizePolicy};
 use gvc_logs::{parse_dataset, write_dataset, Dataset};
+use gvc_net::NetworkSim;
+use gvc_oscars::{Idc, SetupDelayModel};
 use gvc_stats::Summary;
+use gvc_telemetry::{JsonlSink, RunManifest, Telemetry, TraceEvent};
+use gvc_topology::{study_topology, Site};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 /// `(name, usage, description)` for every subcommand.
-pub const COMMANDS: [(&str, &str, &str); 5] = [
+pub const COMMANDS: [(&str, &str, &str); 6] = [
     ("summary", "gvc summary <log>", "descriptive statistics of a usage log"),
     ("sessions", "gvc sessions <log> [--gap 60]", "group transfers into sessions"),
     (
@@ -30,7 +37,40 @@ pub const COMMANDS: [(&str, &str, &str); 5] = [
         "gvc anonymize <log> <out> [--policy drop|pseudonym]",
         "strip or pseudonymize remote endpoints",
     ),
+    (
+        "simulate",
+        "gvc simulate <out> [--seed 42] [--jobs 6] [--horizon 100000]",
+        "run the GridFTP-over-VC simulation and write its usage log",
+    ),
 ];
+
+/// Canonical argv reconstruction: positionals in order then sorted
+/// `--flag=value` pairs, the string the manifest digest covers.
+fn config_string(a: &ParsedArgs) -> String {
+    let mut parts = a.positional.clone();
+    let mut flags: Vec<_> = a.flags.iter().collect();
+    flags.sort();
+    for (k, v) in flags {
+        parts.push(format!("--{k}={v}"));
+    }
+    parts.join(" ")
+}
+
+/// Builds the telemetry context requested by the global `--trace
+/// <path>` / `--metrics` flags. The second element is true when any
+/// instrumentation was requested (otherwise the context is inert and
+/// nothing is attached to the subsystems).
+fn telemetry_from_flags(a: &ParsedArgs) -> Result<(Telemetry, bool), CliError> {
+    if let Some(path) = a.flags.get("trace") {
+        let sink = JsonlSink::create(path)
+            .map_err(|e| CliError(format!("cannot create {path}: {e}")))?;
+        return Ok((Telemetry::with_sink(Arc::new(sink)), true));
+    }
+    if a.bool_flag("metrics") {
+        return Ok((Telemetry::metrics_only(), true));
+    }
+    Ok((Telemetry::default(), false))
+}
 
 fn load(path: &str) -> Result<Dataset, CliError> {
     let f = File::open(path).map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
@@ -200,19 +240,98 @@ fn cmd_anonymize<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+fn cmd_simulate<W: Write>(
+    a: &ParsedArgs,
+    w: &mut W,
+    telemetry: &Telemetry,
+) -> Result<(), CliError> {
+    let out = a.positional(1, "out")?.to_owned();
+    let seed: u64 = a.flag_or("seed", 42u64)?;
+    let jobs: usize = a.flag_or("jobs", 6usize)?;
+    let horizon: f64 = a.flag_or("horizon", 100_000.0)?;
+    if jobs == 0 {
+        return Err(CliError("--jobs must be positive".into()));
+    }
+    if !horizon.is_finite() || horizon <= 0.0 {
+        return Err(CliError("--horizon must be positive".into()));
+    }
+
+    let t = study_topology();
+    let (nersc, ornl) = (t.dtn(Site::Nersc), t.dtn(Site::Ornl));
+    let idc = Idc::new(t.graph.clone(), SetupDelayModel::one_minute());
+    let sim = NetworkSim::new(t.graph, 0);
+    let mut d = Driver::new(sim, seed).with_idc(idc).with_telemetry(telemetry);
+    let src = d.register_cluster("dtn.nersc.gov", nersc, ServerCaps::default(), 2);
+    let dst = d.register_cluster("dtn.ornl.gov", ornl, ServerCaps::default(), 2);
+
+    let job = |mb: u64| TransferJob {
+        size_bytes: mb << 20,
+        ..TransferJob::default()
+    };
+    // One circuit-backed bulk session plus standalone best-effort
+    // transfers, so kernel, IDC, transfer, and net activity all show
+    // up in a single instrumented run.
+    let bulk: Vec<TransferJob> = (0..jobs).map(|i| job(256 + 128 * (i as u64 % 4))).collect();
+    let spec = SessionSpec::sequential(bulk, 1.0).with_vc(VcRequestSpec {
+        rate_bps: 1e9,
+        max_duration_s: 3600.0,
+        wait_for_circuit: true,
+    });
+    d.schedule_session(SimTime::ZERO, src, dst, spec);
+    for i in 0..jobs.div_ceil(2) {
+        d.schedule_transfer(SimTime::from_secs(30 + 60 * i as u64), src, dst, job(128));
+    }
+
+    let result = d.run(SimTime::from_secs_f64(horizon));
+    save(&out, &result.log)?;
+    writeln!(w, "wrote {} transfers to {out}", result.log.len())?;
+    if let Some(stats) = &result.idc_stats {
+        writeln!(
+            w,
+            "circuits: {} admitted, {} blocked",
+            stats.admitted, stats.blocked
+        )?;
+    }
+    Ok(())
+}
+
 /// Dispatches one parsed command line to its implementation.
+///
+/// The global `--trace <path>` and `--metrics` flags work with every
+/// subcommand: `--trace` streams JSONL events (starting with a
+/// `run.manifest` record) to the given path, and `--metrics` appends
+/// the Prometheus-style exposition to the output once the command
+/// finishes. Without either flag the telemetry context is inert.
 pub fn run_command<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
-    match a.positional(0, "command")? {
+    let command = a.positional(0, "command")?;
+    let (telemetry, _instrumented) = telemetry_from_flags(a)?;
+    let manifest = RunManifest::new(command, a.flag_or("seed", 42u64)?, &config_string(a));
+    telemetry.tracer.emit_with(|| {
+        TraceEvent::new(0, "run.manifest")
+            .field("tool", manifest.tool.clone())
+            .field("seed", manifest.seed)
+            .field("config_digest", format!("{:016x}", manifest.config_digest))
+            .field("config", manifest.config.clone())
+            .field("version", manifest.version.clone())
+            .field("started_unix_ms", manifest.started_unix_ms as i64)
+    });
+    match command {
         "summary" => cmd_summary(a, w),
         "sessions" => cmd_sessions(a, w),
         "suitability" => cmd_suitability(a, w),
         "generate" => cmd_generate(a, w),
         "anonymize" => cmd_anonymize(a, w),
+        "simulate" => cmd_simulate(a, w, &telemetry),
         other => Err(CliError(format!(
             "unknown command {other:?}; available: {}",
             COMMANDS.map(|(n, _, _)| n).join(", ")
         ))),
+    }?;
+    telemetry.tracer.flush();
+    if a.bool_flag("metrics") {
+        write!(w, "{}", telemetry.registry.render())?;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -315,6 +434,68 @@ mod tests {
         let sum = run(&["summary", &out_path]).unwrap();
         assert!(sum.contains("anonymized remotes"), "{sum}");
         std::fs::remove_file(&out_path).ok();
+    }
+
+    #[test]
+    fn simulate_writes_log_and_emits_telemetry() {
+        let out_path = tmpfile("sim.log");
+        let trace_path = tmpfile("sim.jsonl");
+        let msg = run(&[
+            "simulate", &out_path, "--seed", "7", "--jobs", "4", "--trace", &trace_path,
+            "--metrics",
+        ])
+        .unwrap();
+        assert!(msg.contains("wrote"), "{msg}");
+        assert!(msg.contains("circuits: 1 admitted"), "{msg}");
+        // Exposition is appended after the command output.
+        for metric in [
+            "sim_events_dispatched_total",
+            "idc_admitted_total",
+            "gridftp_transfer_throughput_mbps_bucket",
+        ] {
+            assert!(msg.contains(metric), "exposition missing {metric}");
+        }
+        // The trace starts with the manifest and covers all four
+        // subsystem namespaces.
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        let first = trace.lines().next().unwrap();
+        assert!(first.contains("\"kind\":\"run.manifest\""), "{first}");
+        assert!(first.contains("\"seed\":7"), "{first}");
+        for kind in ["kernel.event", "idc.admit", "transfer.complete", "net.fairshare"] {
+            assert!(trace.contains(kind), "trace missing {kind}");
+        }
+        // The log round-trips through the analysis commands.
+        let sum = run(&["summary", &out_path]).unwrap();
+        assert!(sum.contains("6 transfers"), "{sum}");
+        std::fs::remove_file(&out_path).ok();
+        std::fs::remove_file(&trace_path).ok();
+    }
+
+    #[test]
+    fn simulate_rejects_bad_knobs() {
+        let err = run(&["simulate", "/tmp/x.log", "--jobs", "0"]).unwrap_err();
+        assert!(err.0.contains("--jobs"));
+        let err = run(&["simulate", "/tmp/x.log", "--horizon", "-5"]).unwrap_err();
+        assert!(err.0.contains("--horizon"));
+    }
+
+    #[test]
+    fn trace_flag_works_with_analysis_commands() {
+        let log = tmpfile("traced.log");
+        sample_log(&log);
+        let trace_path = tmpfile("traced.jsonl");
+        run(&["summary", &log, "--trace", &trace_path]).unwrap();
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert_eq!(trace.lines().count(), 1, "{trace}");
+        assert!(trace.contains("\"kind\":\"run.manifest\""), "{trace}");
+        assert!(trace.contains("\"tool\":\"summary\""), "{trace}");
+        std::fs::remove_file(&trace_path).ok();
+    }
+
+    #[test]
+    fn unwritable_trace_path_is_clean_error() {
+        let err = run(&["summary", "x.log", "--trace", "/nonexistent/dir/t.jsonl"]).unwrap_err();
+        assert!(err.0.contains("cannot create"), "{}", err.0);
     }
 
     #[test]

@@ -13,10 +13,17 @@
 //! gvc generate <scenario> <out> [--scale 0.1] [--seed 42]
 //!                                        synthesize a dataset (ncar|slac|anl)
 //! gvc anonymize <log> <out> [--policy drop|pseudonym]
+//! gvc simulate <out> [--seed 42] [--jobs 6] [--horizon 100000]
+//!                                        run the instrumented simulation
 //! ```
+//!
+//! Every command also accepts the global observability flags
+//! `--trace <path>` (stream structured JSONL events, starting with a
+//! `run.manifest` record) and `--metrics` (append the Prometheus-style
+//! metric exposition to the output). See `docs/observability.md`.
 
 pub mod args;
 pub mod commands;
 
-pub use args::{parse_flags, CliError};
+pub use args::{parse_flags, CliError, ParsedArgs};
 pub use commands::{run_command, COMMANDS};

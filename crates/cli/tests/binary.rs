@@ -1,5 +1,6 @@
 //! Spawns the real `gvc` binary end to end: generate → summary →
-//! sessions → anonymize → summary, through actual files and argv.
+//! sessions → anonymize → summary, through actual files and argv —
+//! plus the global observability flags (`--trace`, `--metrics`).
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -90,6 +91,190 @@ fn full_workflow_through_files() {
 
     std::fs::remove_file(&log).ok();
     std::fs::remove_file(&anon).ok();
+}
+
+/// Minimal JSON syntax check: one value, whole line consumed. Enough
+/// to catch unescaped quotes, truncated objects, and trailing junk
+/// without a parser dependency.
+fn assert_valid_json(line: &str) {
+    fn skip_ws(b: &[u8], mut i: usize) -> usize {
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        i
+    }
+    fn string(b: &[u8], i: usize) -> Result<usize, String> {
+        if b.get(i) != Some(&b'"') {
+            return Err(format!("expected '\"' at {i}"));
+        }
+        let mut i = i + 1;
+        while let Some(&c) = b.get(i) {
+            match c {
+                b'\\' => i += 2,
+                b'"' => return Ok(i + 1),
+                _ => i += 1,
+            }
+        }
+        Err("unterminated string".into())
+    }
+    fn value(b: &[u8], i: usize) -> Result<usize, String> {
+        let i = skip_ws(b, i);
+        match b.get(i) {
+            Some(b'{') => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b'}') {
+                    return Ok(i + 1);
+                }
+                loop {
+                    i = string(b, skip_ws(b, i))?;
+                    i = skip_ws(b, i);
+                    if b.get(i) != Some(&b':') {
+                        return Err(format!("expected ':' at {i}"));
+                    }
+                    i = value(b, i + 1)?;
+                    i = skip_ws(b, i);
+                    match b.get(i) {
+                        Some(b',') => i += 1,
+                        Some(b'}') => return Ok(i + 1),
+                        _ => return Err(format!("expected ',' or '}}' at {i}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b']') {
+                    return Ok(i + 1);
+                }
+                loop {
+                    i = value(b, i)?;
+                    i = skip_ws(b, i);
+                    match b.get(i) {
+                        Some(b',') => i += 1,
+                        Some(b']') => return Ok(i + 1),
+                        _ => return Err(format!("expected ',' or ']' at {i}")),
+                    }
+                }
+            }
+            Some(b'"') => string(b, i),
+            Some(_) => {
+                let start = i;
+                let mut j = i;
+                while j < b.len() && !b" \t,:]}".contains(&b[j]) {
+                    j += 1;
+                }
+                let tok = std::str::from_utf8(&b[start..j]).map_err(|e| e.to_string())?;
+                if tok == "true" || tok == "false" || tok == "null" || tok.parse::<f64>().is_ok() {
+                    Ok(j)
+                } else {
+                    Err(format!("bad token {tok:?} at {start}"))
+                }
+            }
+            None => Err("unexpected end".into()),
+        }
+    }
+    let b = line.as_bytes();
+    match value(b, 0) {
+        Ok(end) => assert_eq!(skip_ws(b, end), b.len(), "trailing junk in {line:?}"),
+        Err(e) => panic!("invalid JSON ({e}): {line:?}"),
+    }
+}
+
+#[test]
+fn simulate_with_trace_emits_valid_jsonl_with_all_namespaces() {
+    let log = tmp("sim.log");
+    let trace = tmp("sim.jsonl");
+    let out = gvc()
+        .args([
+            "simulate",
+            log.to_str().unwrap(),
+            "--seed",
+            "11",
+            "--jobs",
+            "4",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(!text.is_empty());
+    let mut kinds = std::collections::BTreeSet::new();
+    for line in text.lines() {
+        assert_valid_json(line);
+        assert!(line.contains("\"t_us\":"), "{line}");
+        assert!(line.contains("\"kind\":\""), "{line}");
+        let kind = line.split("\"kind\":\"").nth(1).unwrap().split('"').next().unwrap();
+        kinds.insert(kind.to_owned());
+    }
+    // First record is the manifest; all four subsystem namespaces
+    // appear in one run.
+    assert!(text.lines().next().unwrap().contains("run.manifest"));
+    for prefix in ["kernel.", "idc.", "transfer.", "net."] {
+        assert!(
+            kinds.iter().any(|k| k.starts_with(prefix)),
+            "no {prefix}* events in {kinds:?}"
+        );
+    }
+    std::fs::remove_file(&log).ok();
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn simulate_with_metrics_prints_exposition() {
+    let log = tmp("metrics.log");
+    let out = gvc()
+        .args(["simulate", log.to_str().unwrap(), "--jobs", "2", "--metrics"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "# TYPE sim_events_dispatched_total counter",
+        "idc_admitted_total",
+        "gridftp_transfer_throughput_mbps_bucket{",
+        "net_fairshare_recomputations_total",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle} in:\n{stdout}");
+    }
+    std::fs::remove_file(&log).ok();
+}
+
+#[test]
+fn analysis_command_accepts_global_flags() {
+    let log = tmp("flags.log");
+    let trace = tmp("flags.jsonl");
+    let out = gvc()
+        .args([
+            "generate",
+            "ncar",
+            log.to_str().unwrap(),
+            "--scale",
+            "0.02",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--metrics",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 1, "analysis commands emit only the manifest");
+    assert_valid_json(lines[0]);
+    assert!(lines[0].contains("\"tool\":\"generate\""));
+    std::fs::remove_file(&log).ok();
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn help_lists_global_flags() {
+    let out = gvc().arg("--help").output().expect("spawn");
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("simulate"), "{err}");
+    assert!(err.contains("--trace"), "{err}");
+    assert!(err.contains("--metrics"), "{err}");
 }
 
 #[test]

@@ -11,6 +11,7 @@ use crate::sessions::group_sessions;
 use crate::tables::{session_table, SessionTable};
 use crate::vc_suitability::{vc_suitability, VcSuitability, DEFAULT_OVERHEAD_FACTOR};
 use gvc_logs::Dataset;
+use gvc_telemetry::RunManifest;
 
 /// The paper's standard parameter grid.
 pub const PAPER_GAPS_S: [f64; 3] = [0.0, 60.0, 120.0];
@@ -21,6 +22,10 @@ pub const PAPER_SETUP_DELAYS_S: [f64; 2] = [60.0, 0.05];
 /// Everything finding (i) needs for one dataset.
 #[derive(Debug, Clone)]
 pub struct FeasibilityReport {
+    /// Provenance stamp: analysis parameters, their digest, crate
+    /// version, and wall-clock start — so a report can be traced back
+    /// to the exact configuration that produced it.
+    pub manifest: RunManifest,
     /// Transfers in the dataset.
     pub n_transfers: usize,
     /// Table I/II-style summary at g = 1 min (`None` for an empty
@@ -51,6 +56,16 @@ impl FeasibilityReport {
 
 /// Runs the full finding-(i) analysis over a dataset.
 pub fn feasibility_report(ds: &Dataset) -> FeasibilityReport {
+    // The analysis is deterministic (no RNG), so the manifest's seed
+    // slot is fixed at 0 and the config string covers every parameter
+    // of the grid plus the dataset size.
+    let config = format!(
+        "n_transfers={} gaps_s={:?} setup_delays_s={:?} overhead_factor={}",
+        ds.len(),
+        PAPER_GAPS_S,
+        PAPER_SETUP_DELAYS_S,
+        DEFAULT_OVERHEAD_FACTOR,
+    );
     let g1 = group_sessions(ds, 60.0);
     let mut suitability = Vec::new();
     for &g in &PAPER_GAPS_S {
@@ -60,6 +75,7 @@ pub fn feasibility_report(ds: &Dataset) -> FeasibilityReport {
         }
     }
     FeasibilityReport {
+        manifest: RunManifest::new("feasibility-report", 0, &config),
         n_transfers: ds.len(),
         session_table_g1: session_table(&g1, ds),
         gap_rows: gap_sensitivity(ds, &PAPER_GAPS_S),
@@ -112,6 +128,19 @@ mod tests {
         assert_eq!(r.gap_rows.len(), 3);
         assert_eq!(r.suitability.len(), 6);
         assert!(r.session_table_g1.is_some());
+    }
+
+    #[test]
+    fn manifest_stamps_parameters_and_is_stable() {
+        let r = feasibility_report(&dataset());
+        assert_eq!(r.manifest.tool, "feasibility-report");
+        assert_eq!(r.manifest.seed, 0);
+        assert!(r.manifest.config.contains("n_transfers=55"), "{}", r.manifest.config);
+        assert!(r.manifest.config.contains("overhead_factor="), "{}", r.manifest.config);
+        // Same dataset and grid => same digest (wall clock may differ).
+        let again = feasibility_report(&dataset());
+        assert_eq!(r.manifest.config_digest, again.manifest.config_digest);
+        assert!(r.manifest.summary_line().contains("tool=feasibility-report"));
     }
 
     #[test]

@@ -19,5 +19,5 @@ pub mod queue;
 pub mod time;
 
 pub use calendar::{CivilDateTime, EPOCH_2009_UTC};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueTelemetry};
 pub use time::{SimSpan, SimTime};

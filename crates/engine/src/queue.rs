@@ -8,8 +8,34 @@
 //! gaps), and their relative order must not depend on heap internals.
 
 use crate::time::{SimSpan, SimTime};
+use gvc_telemetry::{Counter, Gauge, Registry};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Kernel calendar metrics, shared with a [`Registry`]. Attach one via
+/// [`EventQueue::set_telemetry`]; a queue without telemetry pays one
+/// `Option` check per operation.
+#[derive(Clone)]
+pub struct QueueTelemetry {
+    /// `sim_events_scheduled_total`: pushes onto the calendar.
+    pub scheduled: Arc<Counter>,
+    /// `sim_events_dispatched_total`: pops off the calendar.
+    pub dispatched: Arc<Counter>,
+    /// `sim_event_queue_depth_hwm`: high-water mark of pending events.
+    pub depth_hwm: Arc<Gauge>,
+}
+
+impl QueueTelemetry {
+    /// Registers the kernel metrics in `registry`.
+    pub fn register(registry: &Registry) -> QueueTelemetry {
+        QueueTelemetry {
+            scheduled: registry.counter("sim_events_scheduled_total", &[]),
+            dispatched: registry.counter("sim_events_dispatched_total", &[]),
+            depth_hwm: registry.gauge("sim_event_queue_depth_hwm", &[]),
+        }
+    }
+}
 
 struct Entry<E> {
     at: SimTime,
@@ -57,6 +83,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
     now: SimTime,
+    telemetry: Option<QueueTelemetry>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -72,7 +99,14 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
+            telemetry: None,
         }
+    }
+
+    /// Attaches kernel metrics (push/pop counts, depth high-water
+    /// mark). Counting starts from the moment of attachment.
+    pub fn set_telemetry(&mut self, telemetry: QueueTelemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// Current simulation time.
@@ -97,6 +131,10 @@ impl<E> EventQueue<E> {
             event,
         });
         self.seq += 1;
+        if let Some(t) = &self.telemetry {
+            t.scheduled.inc();
+            t.depth_hwm.set_max(self.heap.len() as i64);
+        }
     }
 
     /// Schedules `event` after `delay` (clamped to `now` for negative
@@ -111,6 +149,9 @@ impl<E> EventQueue<E> {
         self.heap.pop().map(|e| {
             debug_assert!(e.at >= self.now);
             self.now = e.at;
+            if let Some(t) = &self.telemetry {
+                t.dispatched.inc();
+            }
             (e.at, e.event)
         })
     }
@@ -209,6 +250,21 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn telemetry_counts_pushes_pops_and_depth() {
+        let reg = Registry::new();
+        let mut q = EventQueue::new();
+        q.set_telemetry(QueueTelemetry::register(&reg));
+        q.schedule(SimTime::from_secs(1), ());
+        q.schedule(SimTime::from_secs(2), ());
+        q.schedule(SimTime::from_secs(3), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(4), ());
+        assert_eq!(reg.counter("sim_events_scheduled_total", &[]).get(), 4);
+        assert_eq!(reg.counter("sim_events_dispatched_total", &[]).get(), 1);
+        assert_eq!(reg.gauge("sim_event_queue_depth_hwm", &[]).get(), 3);
     }
 
     proptest! {

@@ -10,15 +10,71 @@
 use crate::server::{ServerCaps, ServerCluster};
 use crate::session::SessionSpec;
 use crate::transfer::{prepare_transfer, FailureModel, PreparedTransfer, ServerNoise, TransferJob};
-use gvc_engine::{EventQueue, SimSpan, SimTime};
+use gvc_engine::{EventQueue, QueueTelemetry, SimSpan, SimTime};
 use gvc_logs::{Dataset, TransferRecord, TransferType};
 use gvc_net::tcp::TcpModel;
-use gvc_net::{FlowCompletion, FlowSpec, NetworkSim};
-use gvc_oscars::{Idc, ReservationId, ReservationRequest};
+use gvc_net::{FlowCompletion, FlowSpec, NetTelemetry, NetworkSim};
+use gvc_oscars::{Idc, IdcTelemetry, ReservationId, ReservationRequest};
 use gvc_stats::rng::component_rng;
+use gvc_telemetry::{Counter, Histogram, Telemetry, TraceEvent, Tracer};
 use gvc_topology::{NodeId, Path};
 use rand::rngs::SmallRng;
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Driver/transfer-lifecycle telemetry, registered from a
+/// [`Telemetry`] context by [`Driver::with_telemetry`].
+#[derive(Clone)]
+pub struct DriverTelemetry {
+    /// `gridftp_sessions_started_total`.
+    pub sessions_started: Arc<Counter>,
+    /// `gridftp_sessions_completed_total`.
+    pub sessions_completed: Arc<Counter>,
+    /// `gridftp_transfers_started_total`.
+    pub transfers_started: Arc<Counter>,
+    /// `gridftp_transfers_completed_total`.
+    pub transfers_completed: Arc<Counter>,
+    /// `gridftp_transferred_bytes_total`: payload bytes completed.
+    pub transferred_bytes: Arc<Counter>,
+    /// `gridftp_transfer_throughput_mbps`: logged per-transfer rates.
+    pub throughput_mbps: Arc<Histogram>,
+    /// `sim_event_handle_seconds{class=...}`: wall time spent handling
+    /// each script-event class, indexed by [`Event`] discriminant.
+    event_seconds: [Arc<Histogram>; 4],
+    /// Trace handle for `transfer.*` and `kernel.*` events.
+    pub tracer: Tracer,
+}
+
+impl DriverTelemetry {
+    /// Registers driver metrics in `ctx`'s registry, tracing through
+    /// `ctx`'s tracer.
+    pub fn register(ctx: &Telemetry) -> DriverTelemetry {
+        let reg = &ctx.registry;
+        let class_hist = |class: &str| {
+            reg.histogram("sim_event_handle_seconds", &[("class", class)], Histogram::timing)
+        };
+        DriverTelemetry {
+            sessions_started: reg.counter("gridftp_sessions_started_total", &[]),
+            sessions_completed: reg.counter("gridftp_sessions_completed_total", &[]),
+            transfers_started: reg.counter("gridftp_transfers_started_total", &[]),
+            transfers_completed: reg.counter("gridftp_transfers_completed_total", &[]),
+            transferred_bytes: reg.counter("gridftp_transferred_bytes_total", &[]),
+            throughput_mbps: reg.histogram(
+                "gridftp_transfer_throughput_mbps",
+                &[],
+                Histogram::rate_mbps,
+            ),
+            event_seconds: [
+                class_hist("start_session"),
+                class_hist("launch_next"),
+                class_hist("inject_background"),
+                class_hist("resize_cluster"),
+            ],
+            tracer: ctx.tracer.clone(),
+        }
+    }
+}
 
 /// Tag marking background flows (excluded from the usage log).
 pub const BACKGROUND_TAG: u64 = u64::MAX;
@@ -32,6 +88,19 @@ enum Event {
     LaunchNext(usize),
     InjectBackground(Box<FlowSpec>),
     ResizeCluster(ClusterId, u32),
+}
+
+impl Event {
+    /// Index into [`DriverTelemetry::event_seconds`] and the trace
+    /// `class` field.
+    fn class(&self) -> (usize, &'static str) {
+        match self {
+            Event::StartSession(_) => (0, "start_session"),
+            Event::LaunchNext(_) => (1, "launch_next"),
+            Event::InjectBackground(_) => (2, "inject_background"),
+            Event::ResizeCluster(_, _) => (3, "resize_cluster"),
+        }
+    }
 }
 
 struct SessionState {
@@ -69,6 +138,10 @@ pub struct Driver {
     idc: Option<Idc>,
     log: Vec<TransferRecord>,
     tstat: Vec<TransferStat>,
+    telemetry: Option<DriverTelemetry>,
+    /// Kept so `with_idc` after `with_telemetry` still instruments the
+    /// controller.
+    telemetry_ctx: Option<Telemetry>,
 }
 
 impl Driver {
@@ -89,7 +162,24 @@ impl Driver {
             idc: None,
             log: Vec::new(),
             tstat: Vec::new(),
+            telemetry: None,
+            telemetry_ctx: None,
         }
+    }
+
+    /// Attaches a telemetry context, instrumenting the event calendar,
+    /// the fluid simulator, the IDC (if present), and the driver's own
+    /// transfer lifecycle. Order-independent with [`Driver::with_idc`].
+    pub fn with_telemetry(mut self, ctx: &Telemetry) -> Driver {
+        self.pending.set_telemetry(QueueTelemetry::register(&ctx.registry));
+        self.sim
+            .set_telemetry(NetTelemetry::register(&ctx.registry, ctx.tracer.clone()));
+        if let Some(idc) = self.idc.as_mut() {
+            idc.set_telemetry(IdcTelemetry::register(&ctx.registry, ctx.tracer.clone()));
+        }
+        self.telemetry = Some(DriverTelemetry::register(ctx));
+        self.telemetry_ctx = Some(ctx.clone());
+        self
     }
 
     /// Overrides the TCP model, returning `self`.
@@ -114,6 +204,9 @@ impl Driver {
     /// returning `self`.
     pub fn with_idc(mut self, idc: Idc) -> Driver {
         self.idc = Some(idc);
+        if let (Some(ctx), Some(idc)) = (&self.telemetry_ctx, self.idc.as_mut()) {
+            idc.set_telemetry(IdcTelemetry::register(&ctx.registry, ctx.tracer.clone()));
+        }
         self
     }
 
@@ -194,6 +287,26 @@ impl Driver {
         .expect("clusters must be connected")
     }
 
+    /// Handles one script event, timing it per class when telemetry is
+    /// attached.
+    fn dispatch(&mut self, ev: Event) {
+        let Some(t) = self.telemetry.clone() else {
+            self.handle_event(ev);
+            return;
+        };
+        let (class_idx, class) = ev.class();
+        let t_us = self.sim.now().micros() as i64;
+        let started = Instant::now();
+        self.handle_event(ev);
+        let wall = started.elapsed().as_secs_f64();
+        t.event_seconds[class_idx].record(wall);
+        t.tracer.emit_with(|| {
+            TraceEvent::new(t_us, "kernel.event")
+                .field("class", class)
+                .field("wall_us", wall * 1e6)
+        });
+    }
+
     fn handle_event(&mut self, ev: Event) {
         match ev {
             Event::StartSession(idx) => self.start_session(idx),
@@ -215,6 +328,20 @@ impl Driver {
             let s = &self.sessions[idx];
             (s.src, s.dst, s.spec.vc)
         };
+        if let Some(t) = &self.telemetry {
+            t.sessions_started.inc();
+            let (jobs, conc) = {
+                let s = &self.sessions[idx];
+                (s.spec.jobs.len(), s.spec.concurrency)
+            };
+            t.tracer.emit_with(|| {
+                TraceEvent::new(now.micros() as i64, "transfer.session_start")
+                    .field("session", idx)
+                    .field("jobs", jobs)
+                    .field("concurrency", conc)
+                    .field("vc", vc_spec.is_some())
+            });
+        }
         if let (Some(vc), Some(idc)) = (vc_spec, self.idc.as_mut()) {
             let req = ReservationRequest {
                 src: self.clusters[src.0].node,
@@ -282,6 +409,19 @@ impl Driver {
             }
         }
         self.sim.add_flow(spec);
+        if let Some(t) = &self.telemetry {
+            t.transfers_started.inc();
+            let (bytes, streams, stripes) =
+                (prepared.job.size_bytes, prepared.job.streams, prepared.job.stripes);
+            t.tracer.emit_with(|| {
+                TraceEvent::new(self.sim.now().micros() as i64, "transfer.start")
+                    .field("tag", tag)
+                    .field("session", idx)
+                    .field("bytes", bytes)
+                    .field("streams", streams)
+                    .field("stripes", stripes)
+            });
+        }
         self.in_flight.insert(
             tag,
             InFlight {
@@ -329,6 +469,30 @@ impl Driver {
             src_kind: Some(info.job.src_kind),
             dst_kind: Some(info.job.dst_kind),
         });
+        if let Some(t) = &self.telemetry {
+            let duration_s = duration_us as f64 / 1e6;
+            let mbps = if duration_s > 0.0 {
+                info.job.size_bytes as f64 * 8.0 / duration_s / 1e6
+            } else {
+                0.0
+            };
+            t.transfers_completed.inc();
+            t.transferred_bytes.add(info.job.size_bytes);
+            t.throughput_mbps.record(mbps);
+            let (bytes, streams, lossy, failed) =
+                (info.job.size_bytes, info.job.streams, info.lossy, info.failed);
+            t.tracer.emit_with(|| {
+                TraceEvent::new(c.end.micros() as i64, "transfer.complete")
+                    .field("tag", c.tag)
+                    .field("session", idx)
+                    .field("bytes", bytes)
+                    .field("duration_s", duration_s)
+                    .field("mbps", mbps)
+                    .field("streams", streams)
+                    .field("lossy", lossy)
+                    .field("failed", failed)
+            });
+        }
 
         // Session bookkeeping: free a slot and continue after the gap.
         let s = &mut self.sessions[idx];
@@ -340,6 +504,13 @@ impl Driver {
             s.done = true;
             if let (Some((id, _, _)), Some(idc)) = (s.vc, self.idc.as_mut()) {
                 idc.teardown(id, self.sim.now());
+            }
+            if let Some(t) = &self.telemetry {
+                t.sessions_completed.inc();
+                t.tracer.emit_with(|| {
+                    TraceEvent::new(self.sim.now().micros() as i64, "transfer.session_complete")
+                        .field("session", idx)
+                });
             }
         }
     }
@@ -361,7 +532,7 @@ impl Driver {
                     }
                     self.sim.run_until(te).into_iter().for_each(|_| {});
                     let (_, ev) = self.pending.pop().expect("peeked");
-                    self.handle_event(ev);
+                    self.dispatch(ev);
                 }
                 (event_t, Some(tc)) if event_t.is_none_or(|te| tc <= te) => {
                     if tc > limit {
@@ -381,12 +552,15 @@ impl Driver {
                         self.handle_completion(c);
                     }
                     let (_, ev) = self.pending.pop().expect("peeked");
-                    self.handle_event(ev);
+                    self.dispatch(ev);
                 }
                 (None, Some(_)) => unreachable!("covered above"),
             }
         }
         let idc_stats = self.idc.as_ref().map(|i| i.stats());
+        if let Some(t) = &self.telemetry {
+            t.tracer.flush();
+        }
         self.tstat.sort_by_key(|t| t.start_unix_us);
         DriverOutput {
             log: Dataset::from_records(self.log),
@@ -619,6 +793,98 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_covers_kernel_idc_transfer_and_net() {
+        use gvc_telemetry::RingSink;
+        let t = study_topology();
+        let (slac, bnl) = (t.dtn(Site::Slac), t.dtn(Site::Bnl));
+        let idc = Idc::new(t.graph.clone(), SetupDelayModel::one_minute());
+        let sim = NetworkSim::new(t.graph, 0);
+        let ring = Arc::new(RingSink::new(4096));
+        let ctx = Telemetry::with_sink(ring.clone());
+        let mut d = Driver::new(sim, 7).with_idc(idc).with_telemetry(&ctx);
+        let a = d.register_cluster("slac", slac, ServerCaps::default(), 1);
+        let b = d.register_cluster("bnl", bnl, ServerCaps::default(), 1);
+        let spec = SessionSpec::sequential(vec![job(512), job(256)], 1.0).with_vc(
+            crate::session::VcRequestSpec {
+                rate_bps: 1e9,
+                max_duration_s: 3600.0,
+                wait_for_circuit: true,
+            },
+        );
+        d.schedule_session(SimTime::ZERO, a, b, spec);
+        d.schedule_transfer(SimTime::from_secs(10), a, b, job(128));
+        let out = d.run(SimTime::from_secs(100_000));
+        assert_eq!(out.log.len(), 3);
+
+        let reg = &ctx.registry;
+        assert_eq!(reg.counter("gridftp_sessions_started_total", &[]).get(), 2);
+        assert_eq!(reg.counter("gridftp_sessions_completed_total", &[]).get(), 2);
+        assert_eq!(reg.counter("gridftp_transfers_started_total", &[]).get(), 3);
+        assert_eq!(reg.counter("gridftp_transfers_completed_total", &[]).get(), 3);
+        assert_eq!(
+            reg.counter("gridftp_transferred_bytes_total", &[]).get(),
+            (512 + 256 + 128) << 20
+        );
+        assert_eq!(reg.counter("idc_admitted_total", &[]).get(), 1);
+        assert!(reg.counter("sim_events_dispatched_total", &[]).get() >= 3);
+        assert!(reg.counter("net_fairshare_recomputations_total", &[]).get() >= 3);
+        let tp = reg
+            .histogram("gridftp_transfer_throughput_mbps", &[], Histogram::rate_mbps)
+            .snapshot();
+        assert_eq!(tp.count(), 3);
+
+        // All four subsystem namespaces appear in the trace.
+        let kinds: std::collections::HashSet<&str> =
+            ring.events().iter().map(|e| e.kind).collect();
+        for expected in [
+            "kernel.event",
+            "idc.admit",
+            "idc.provision",
+            "idc.teardown",
+            "transfer.session_start",
+            "transfer.start",
+            "transfer.complete",
+            "transfer.session_complete",
+            "net.fairshare",
+        ] {
+            assert!(kinds.contains(expected), "missing {expected}: {kinds:?}");
+        }
+
+        // The exposition text covers event-queue, admission, and
+        // throughput metrics.
+        let text = reg.render();
+        for needle in [
+            "sim_events_dispatched_total",
+            "idc_admitted_total",
+            "gridftp_transfer_throughput_mbps_bucket",
+            "net_snmp_deposited_bytes_total",
+            "sim_event_handle_seconds_bucket{class=\"start_session\"",
+        ] {
+            assert!(text.contains(needle), "exposition missing {needle}");
+        }
+    }
+
+    #[test]
+    fn telemetry_disabled_run_is_identical() {
+        let run = |instrument: bool| {
+            let (mut d, a, b) = base_driver(9);
+            if instrument {
+                let ctx = Telemetry::metrics_only();
+                d = d.with_telemetry(&ctx);
+            }
+            d.schedule_session(
+                SimTime::ZERO,
+                a,
+                b,
+                SessionSpec::sequential(vec![job(100); 5], 1.0).with_concurrency(2),
+            );
+            d.run(SimTime::from_secs(1_000_000)).log
+        };
+        // Instrumentation must not perturb simulation results.
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let run = |seed| {
             let (mut d, a, b) = base_driver(seed);
@@ -761,7 +1027,7 @@ mod tests {
 
     #[test]
     fn resize_slows_later_transfers() {
-        let (mut d, a, b) = base_driver(8);
+        let (mut d, a, b) = base_driver(4);
         let mut j = job(2048);
         j.stripes = 2;
         j.src_kind = EndpointKind::Memory;

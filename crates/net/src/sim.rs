@@ -15,8 +15,44 @@ use crate::fairshare::{max_min_allocation, CapacityConstraint, FlowDemand};
 use crate::flow::{FlowCompletion, FlowId, FlowSpec, ResourceId};
 use crate::snmp_rec::SnmpRecorder;
 use gvc_engine::{SimSpan, SimTime};
+use gvc_telemetry::{Counter, Gauge, Registry, TraceEvent, Tracer};
 use gvc_topology::{Graph, LinkId};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Fluid-simulator telemetry, shared with a [`Registry`]. Attach via
+/// [`NetworkSim::set_telemetry`].
+#[derive(Clone)]
+pub struct NetTelemetry {
+    /// `net_fairshare_recomputations_total`: max-min solver runs.
+    pub recomputations: Arc<Counter>,
+    /// `net_flows_started_total`: flows injected.
+    pub flows_started: Arc<Counter>,
+    /// `net_flows_completed_total`: flows finished (not aborted).
+    pub flows_completed: Arc<Counter>,
+    /// `net_flows_active`: currently active flows.
+    pub flows_active: Arc<Gauge>,
+    /// `net_snmp_deposited_bytes_total`: bytes deposited into monitored
+    /// SNMP interface counters.
+    pub snmp_bytes: Arc<Counter>,
+    /// Trace handle for `net.*` events.
+    pub tracer: Tracer,
+}
+
+impl NetTelemetry {
+    /// Registers the simulator metrics in `registry`, tracing into
+    /// `tracer`.
+    pub fn register(registry: &Registry, tracer: Tracer) -> NetTelemetry {
+        NetTelemetry {
+            recomputations: registry.counter("net_fairshare_recomputations_total", &[]),
+            flows_started: registry.counter("net_flows_started_total", &[]),
+            flows_completed: registry.counter("net_flows_completed_total", &[]),
+            flows_active: registry.gauge("net_flows_active", &[]),
+            snmp_bytes: registry.counter("net_snmp_deposited_bytes_total", &[]),
+            tracer,
+        }
+    }
+}
 
 /// A recorded rate timeline for one traced flow: `(instant, bps)`
 /// breakpoints, one per fair-share recomputation that changed the
@@ -87,6 +123,7 @@ pub struct NetworkSim {
     /// Rate timelines for traced tags.
     traces: HashMap<u64, FlowTrace>,
     traced_tags: std::collections::HashSet<u64>,
+    telemetry: Option<NetTelemetry>,
 }
 
 impl NetworkSim {
@@ -104,7 +141,13 @@ impl NetworkSim {
             epoch_unix_us,
             traces: HashMap::new(),
             traced_tags: std::collections::HashSet::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches fluid-simulator telemetry.
+    pub fn set_telemetry(&mut self, telemetry: NetTelemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// Starts recording the rate timeline of flows carrying `tag`
@@ -195,6 +238,10 @@ impl NetworkSim {
             },
         );
         self.rates_dirty = true;
+        if let Some(t) = &self.telemetry {
+            t.flows_started.inc();
+            t.flows_active.set(self.flows.len() as i64);
+        }
         id
     }
 
@@ -203,6 +250,9 @@ impl NetworkSim {
     pub fn remove_flow(&mut self, id: FlowId) -> Option<f64> {
         let st = self.flows.remove(&id)?;
         self.rates_dirty = true;
+        if let Some(t) = &self.telemetry {
+            t.flows_active.set(self.flows.len() as i64);
+        }
         Some(st.spec.size_bytes - st.remaining_bytes)
     }
 
@@ -229,6 +279,14 @@ impl NetworkSim {
     fn recompute_if_dirty(&mut self) {
         if !self.rates_dirty {
             return;
+        }
+        if let Some(t) = &self.telemetry {
+            t.recomputations.inc();
+            let n_flows = self.flows.len();
+            t.tracer.emit_with(|| {
+                TraceEvent::new(self.now.micros() as i64, "net.fairshare")
+                    .field("flows", n_flows)
+            });
         }
         let n_links = self.graph.link_count();
         let mut constraints: Vec<CapacityConstraint> = self
@@ -314,6 +372,7 @@ impl NetworkSim {
         }
         let start_us = self.to_unix_us(self.now);
         let end_us = self.to_unix_us(t);
+        let mut deposited: u64 = 0;
         for f in self.flows.values_mut() {
             if f.rate_bps <= 0.0 {
                 continue;
@@ -321,7 +380,17 @@ impl NetworkSim {
             let bytes = (f.rate_bps * dt / 8.0).min(f.remaining_bytes);
             f.remaining_bytes -= bytes;
             for &l in &f.spec.route {
-                self.snmp.deposit(l, start_us, end_us, bytes.round() as u64);
+                deposited += self.snmp.deposit(l, start_us, end_us, bytes.round() as u64);
+            }
+        }
+        if let Some(tel) = &self.telemetry {
+            if deposited > 0 {
+                tel.snmp_bytes.add(deposited);
+                tel.tracer.emit_with(|| {
+                    TraceEvent::new(t.micros() as i64, "net.snmp_deposit")
+                        .field("bytes", deposited)
+                        .field("span_s", dt)
+                });
             }
         }
         self.now = t;
@@ -357,6 +426,10 @@ impl NetworkSim {
                             peak_rate_bps: f.peak_rate_bps,
                         });
                         self.rates_dirty = true;
+                        if let Some(tel) = &self.telemetry {
+                            tel.flows_completed.inc();
+                            tel.flows_active.set(self.flows.len() as i64);
+                        }
                     }
                 }
                 _ => {
@@ -590,6 +663,34 @@ mod tests {
         // too (after A departed).
         let b = done.iter().find(|c| c.tag == 2).expect("flow B done");
         assert!((b.peak_rate_bps - 8e9).abs() < 1e3);
+    }
+
+    #[test]
+    fn telemetry_counts_recomputes_flows_and_snmp() {
+        use gvc_telemetry::{Registry, RingSink, Tracer};
+        use std::sync::Arc;
+        let (mut sim, l) = sim_one_link();
+        let reg = Registry::new();
+        let ring = Arc::new(RingSink::new(256));
+        sim.set_telemetry(NetTelemetry::register(&reg, Tracer::to_sink(ring.clone())));
+        sim.monitor_link(l);
+
+        sim.add_flow(FlowSpec::best_effort(vec![l], 1e9).with_tag(1));
+        sim.run_until(SimTime::from_secs(1)); // shares alone, 1e9 done
+        sim.add_flow(FlowSpec::best_effort(vec![l], 0.5e9).with_tag(2));
+        sim.drain(SimTime::from_secs(100));
+
+        assert_eq!(reg.counter("net_flows_started_total", &[]).get(), 2);
+        assert_eq!(reg.counter("net_flows_completed_total", &[]).get(), 2);
+        assert_eq!(reg.gauge("net_flows_active", &[]).get(), 0);
+        assert!(reg.counter("net_fairshare_recomputations_total", &[]).get() >= 3);
+        let snmp = reg.counter("net_snmp_deposited_bytes_total", &[]).get();
+        assert!((snmp as f64 - 1.5e9).abs() < 4.0, "snmp bytes {snmp}");
+
+        let kinds: std::collections::HashSet<&str> =
+            ring.events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains("net.fairshare"));
+        assert!(kinds.contains("net.snmp_deposit"));
     }
 
     #[test]

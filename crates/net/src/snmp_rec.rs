@@ -42,10 +42,14 @@ impl SnmpRecorder {
     }
 
     /// Deposits `bytes` spread over `[start_us, end_us)` unix
-    /// microseconds onto `link` (ignored when unmonitored).
-    pub fn deposit(&mut self, link: LinkId, start_us: i64, end_us: i64, bytes: u64) {
+    /// microseconds onto `link`. Returns the bytes actually recorded
+    /// (0 when the link is unmonitored).
+    pub fn deposit(&mut self, link: LinkId, start_us: i64, end_us: i64, bytes: u64) -> u64 {
         if let Some(s) = self.series.get_mut(&link) {
             s.add_interval(start_us, end_us, bytes);
+            bytes
+        } else {
+            0
         }
     }
 

@@ -11,8 +11,57 @@ use crate::calendar::NetworkCalendar;
 use crate::reservation::{Reservation, ReservationId, ReservationRequest, ReservationState};
 use crate::setup::SetupDelayModel;
 use gvc_engine::SimTime;
+use gvc_telemetry::{Counter, Gauge, Histogram, Registry, TraceEvent, Tracer};
 use gvc_topology::{constrained_shortest_path, Graph};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// IDC admission/provisioning telemetry, shared with a [`Registry`].
+/// Attach via [`Idc::set_telemetry`].
+#[derive(Clone)]
+pub struct IdcTelemetry {
+    /// `idc_requests_total`: `createReservation` calls.
+    pub requests: Arc<Counter>,
+    /// `idc_admitted_total`: admitted requests.
+    pub admitted: Arc<Counter>,
+    /// `idc_blocked_total{reason="invalid_request"}`.
+    pub blocked_invalid: Arc<Counter>,
+    /// `idc_blocked_total{reason="no_feasible_path"}`.
+    pub blocked_no_path: Arc<Counter>,
+    /// `idc_reservations_active`: provisioned minus torn down.
+    pub active: Arc<Gauge>,
+    /// `idc_setup_delay_seconds`: provision-to-usable delay.
+    pub setup_delay: Arc<Histogram>,
+    /// `idc_path_utilization`: peak committed fraction of the
+    /// bottleneck link on the admitted path, *after* the commit — how
+    /// full the calendar runs (§II high-utilization claim).
+    pub path_utilization: Arc<Histogram>,
+    /// Trace handle for `idc.*` events.
+    pub tracer: Tracer,
+}
+
+impl IdcTelemetry {
+    /// Registers the IDC metrics in `registry`, tracing into `tracer`.
+    pub fn register(registry: &Registry, tracer: Tracer) -> IdcTelemetry {
+        IdcTelemetry {
+            requests: registry.counter("idc_requests_total", &[]),
+            admitted: registry.counter("idc_admitted_total", &[]),
+            blocked_invalid: registry
+                .counter("idc_blocked_total", &[("reason", "invalid_request")]),
+            blocked_no_path: registry
+                .counter("idc_blocked_total", &[("reason", "no_feasible_path")]),
+            active: registry.gauge("idc_reservations_active", &[]),
+            setup_delay: registry.histogram("idc_setup_delay_seconds", &[], Histogram::timing),
+            path_utilization: registry.histogram("idc_path_utilization", &[], || {
+                // Linear-ish fine buckets over (0, 1.28]: utilization
+                // is a ratio, so a shallow growth factor keeps
+                // resolution near full.
+                Histogram::new(0.01, 1.6, 11)
+            }),
+            tracer,
+        }
+    }
+}
 
 /// Why a reservation was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,6 +124,7 @@ pub struct Idc {
     reservations: HashMap<ReservationId, Reservation>,
     next_id: u64,
     stats: IdcStats,
+    telemetry: Option<IdcTelemetry>,
 }
 
 impl Idc {
@@ -89,7 +139,13 @@ impl Idc {
             reservations: HashMap::new(),
             next_id: 0,
             stats: IdcStats::default(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches admission/provisioning telemetry.
+    pub fn set_telemetry(&mut self, telemetry: IdcTelemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// Caps the reservable fraction of every link (policy headroom).
@@ -119,8 +175,20 @@ impl Idc {
         req: ReservationRequest,
     ) -> Result<ReservationId, BlockReason> {
         self.stats.requests += 1;
+        if let Some(t) = &self.telemetry {
+            t.requests.inc();
+        }
         if let Err(e) = req.validate() {
             self.stats.blocked += 1;
+            if let Some(t) = &self.telemetry {
+                t.blocked_invalid.inc();
+                t.tracer.emit_with(|| {
+                    TraceEvent::new(req.start.micros() as i64, "idc.block")
+                        .field("reason", "invalid_request")
+                        .field("detail", e.as_str())
+                        .field("rate_bps", req.rate_bps)
+                });
+            }
             return Err(BlockReason::InvalidRequest(e));
         }
         let calendar = &self.calendar;
@@ -136,12 +204,49 @@ impl Idc {
         });
         let Some(path) = path else {
             self.stats.blocked += 1;
+            if let Some(t) = &self.telemetry {
+                t.blocked_no_path.inc();
+                t.tracer.emit_with(|| {
+                    TraceEvent::new(req.start.micros() as i64, "idc.block")
+                        .field("reason", "no_feasible_path")
+                        .field("rate_bps", req.rate_bps)
+                        .field("window_s", (req.end - req.start).as_secs_f64())
+                });
+            }
             return Err(BlockReason::NoFeasiblePath);
         };
         let id = ReservationId(self.next_id);
         self.next_id += 1;
         self.calendar
             .commit_path(id.0, &path.links, req.start, req.end, req.rate_bps);
+        if let Some(t) = &self.telemetry {
+            t.admitted.inc();
+            // Post-commit utilization of the bottleneck link on the
+            // chosen path over the reservation window.
+            let util = path
+                .links
+                .iter()
+                .map(|&l| {
+                    let cap = self.graph.link(l).capacity_bps * self.reservable_fraction;
+                    let committed = self
+                        .calendar
+                        .link(l)
+                        .map(|c| c.peak_committed_bps(req.start, req.end))
+                        .unwrap_or(0.0);
+                    if cap > 0.0 { committed / cap } else { 0.0 }
+                })
+                .fold(0.0, f64::max);
+            t.path_utilization.record(util);
+            let hops = path.links.len();
+            t.tracer.emit_with(|| {
+                TraceEvent::new(req.start.micros() as i64, "idc.admit")
+                    .field("id", id.0)
+                    .field("rate_bps", req.rate_bps)
+                    .field("hops", hops)
+                    .field("window_s", (req.end - req.start).as_secs_f64())
+                    .field("bottleneck_utilization", util)
+            });
+        }
         self.reservations.insert(
             id,
             Reservation {
@@ -173,6 +278,15 @@ impl Idc {
         let ready = self.setup.ready_at(now).max(r.request.start);
         r.state = ReservationState::Active;
         r.ready_at = Some(ready);
+        if let Some(t) = &self.telemetry {
+            t.active.add(1);
+            t.setup_delay.record((ready - now).as_secs_f64());
+            t.tracer.emit_with(|| {
+                TraceEvent::new(now.micros() as i64, "idc.provision")
+                    .field("id", id.0)
+                    .field("setup_s", (ready - now).as_secs_f64())
+            });
+        }
         ready
     }
 
@@ -183,8 +297,17 @@ impl Idc {
         if r.state == ReservationState::Released {
             return;
         }
+        let was_active = r.state == ReservationState::Active;
         r.state = ReservationState::Released;
         self.calendar.release_path(id.0, &r.path.links.clone(), now);
+        if let Some(t) = &self.telemetry {
+            if was_active {
+                t.active.add(-1);
+            }
+            t.tracer.emit_with(|| {
+                TraceEvent::new(now.micros() as i64, "idc.teardown").field("id", id.0)
+            });
+        }
     }
 
     /// The reservation record.
@@ -337,6 +460,53 @@ mod tests {
         idc.create_reservation(req).unwrap();
         let free1 = idc.probe_available_bps(req);
         assert!((free1 - 6e9).abs() < 1e7, "{free1}");
+    }
+
+    #[test]
+    fn telemetry_tracks_admissions_and_lifecycle() {
+        use gvc_telemetry::RingSink;
+        let (mut i, req) = idc();
+        let reg = Registry::new();
+        let ring = Arc::new(RingSink::new(64));
+        i.set_telemetry(IdcTelemetry::register(&reg, Tracer::to_sink(ring.clone())));
+
+        let a = i.create_reservation(req).unwrap();
+        let _b = i.create_reservation(req).unwrap();
+        assert!(i.create_reservation(req).is_err());
+        let mut bad = req;
+        bad.rate_bps = 0.0;
+        assert!(i.create_reservation(bad).is_err());
+
+        i.provision(a, SimTime::ZERO);
+        i.teardown(a, SimTime::from_secs(30));
+
+        assert_eq!(reg.counter("idc_requests_total", &[]).get(), 4);
+        assert_eq!(reg.counter("idc_admitted_total", &[]).get(), 2);
+        assert_eq!(
+            reg.counter("idc_blocked_total", &[("reason", "no_feasible_path")]).get(),
+            1
+        );
+        assert_eq!(
+            reg.counter("idc_blocked_total", &[("reason", "invalid_request")]).get(),
+            1
+        );
+        assert_eq!(reg.gauge("idc_reservations_active", &[]).get(), 0);
+        let setup = reg
+            .histogram("idc_setup_delay_seconds", &[], gvc_telemetry::Histogram::timing)
+            .snapshot();
+        assert_eq!(setup.count(), 1);
+        assert!((setup.sum() - 60.0).abs() < 1e-9, "one-minute model");
+
+        let kinds: Vec<&str> = ring.events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec!["idc.admit", "idc.admit", "idc.block", "idc.block", "idc.provision", "idc.teardown"]
+        );
+        // Second admit on the same window fills the path to capacity.
+        let util = reg
+            .histogram("idc_path_utilization", &[], || Histogram::new(0.01, 1.6, 11))
+            .snapshot();
+        assert_eq!(util.count(), 2);
     }
 
     #[test]

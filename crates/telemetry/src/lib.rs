@@ -1,0 +1,78 @@
+//! Telemetry spine for the GridFTP virtual-circuit study.
+//!
+//! Three layers, all std-only and safe to leave compiled into hot
+//! paths:
+//!
+//! * [`metrics`] — a lightweight registry of atomic [`Counter`]s,
+//!   [`Gauge`]s, and log-bucketed [`Histogram`]s with labels, plus a
+//!   Prometheus-style text exposition writer ([`Registry::render`]).
+//! * [`trace`] — structured simulation tracing: a [`TraceSink`] trait
+//!   with JSONL-file and bounded in-memory ring-buffer
+//!   implementations, a cheap cloneable [`Tracer`] handle whose
+//!   disabled state is a single branch, and [`SpanTimer`] scoped
+//!   wall-clock timers feeding histograms.
+//! * [`manifest`] — [`RunManifest`]: the RNG seed, config digest,
+//!   crate version, and wall-clock start of a run, so every emitted
+//!   report is reproducible-by-construction.
+//!
+//! The trace-event schema and metric naming conventions are specified
+//! in `docs/observability.md` at the workspace root.
+//!
+//! ```
+//! use gvc_telemetry::{Registry, Tracer, TraceEvent, Value};
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(Registry::new());
+//! let admitted = registry.counter("idc_admitted_total", &[]);
+//! admitted.inc();
+//!
+//! let tracer = Tracer::disabled(); // zero-cost: one branch per emit
+//! tracer.emit_with(|| TraceEvent::new(0, "idc.admit"));
+//! assert!(registry.render().contains("idc_admitted_total 1"));
+//! ```
+
+pub mod manifest;
+pub mod metrics;
+pub mod trace;
+
+pub use manifest::{fnv1a64, RunManifest};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use trace::{JsonlSink, RingSink, SpanTimer, TraceEvent, TraceSink, Tracer, Value};
+
+use std::sync::Arc;
+
+/// One run's telemetry context: a metrics registry plus a trace
+/// handle. Cloning is cheap (two `Arc` bumps); a disabled context
+/// costs one branch per trace emit and nothing for unregistered
+/// metrics.
+#[derive(Clone)]
+pub struct Telemetry {
+    /// The metrics registry for this run.
+    pub registry: Arc<Registry>,
+    /// The trace handle for this run.
+    pub tracer: Tracer,
+}
+
+impl Telemetry {
+    /// A live context tracing into `sink`.
+    pub fn with_sink(sink: Arc<dyn TraceSink>) -> Telemetry {
+        Telemetry {
+            registry: Arc::new(Registry::new()),
+            tracer: Tracer::to_sink(sink),
+        }
+    }
+
+    /// Metrics-only context: registry live, tracing disabled.
+    pub fn metrics_only() -> Telemetry {
+        Telemetry {
+            registry: Arc::new(Registry::new()),
+            tracer: Tracer::disabled(),
+        }
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        Telemetry::metrics_only()
+    }
+}

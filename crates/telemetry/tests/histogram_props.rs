@@ -1,0 +1,141 @@
+//! Property tests for the log-bucketed histogram: the invariants the
+//! exposition format and quantile estimates lean on.
+
+use gvc_telemetry::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+fn hist(start: f64, growth: f64, n: usize) -> Histogram {
+    Histogram::new(start, growth, n)
+}
+
+fn filled(start: f64, growth: f64, n: usize, samples: &[f64]) -> HistogramSnapshot {
+    let h = hist(start, growth, n);
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every sample lands in exactly one bucket whose bounds bracket
+    /// it, and bucket bounds are strictly monotone.
+    #[test]
+    fn bucket_bounds_are_monotone_and_bracket_samples(
+        start in 1e-6f64..10.0,
+        growth in 1.1f64..10.0,
+        n in 1usize..24,
+        samples in proptest::collection::vec(0.0f64..1e9, 1..64),
+    ) {
+        let snap = filled(start, growth, n, &samples);
+
+        // Total count conserved.
+        prop_assert_eq!(snap.count(), samples.len() as u64);
+
+        // Bounds strictly increase and lower(i) == upper(i-1).
+        for i in 0..snap.counts().len() {
+            let lo = snap.lower_bound(i);
+            let hi = snap.upper_bound(i);
+            prop_assert!(lo < hi, "bucket {i}: lo={lo} hi={hi}");
+            if i > 0 {
+                prop_assert_eq!(snap.lower_bound(i), snap.upper_bound(i - 1));
+            }
+        }
+
+        // Recorded samples fall inside the bucket that counted them:
+        // replay each sample into a fresh histogram and check the one
+        // incremented bucket brackets the value.
+        for &v in &samples {
+            let one = filled(start, growth, n, &[v]);
+            let idx = one
+                .counts()
+                .iter()
+                .position(|&c| c == 1)
+                .expect("exactly one bucket incremented");
+            prop_assert!(v >= one.lower_bound(idx) || idx == 0);
+            prop_assert!(v < one.upper_bound(idx) || idx == one.counts().len() - 1);
+        }
+    }
+
+    /// merge is associative and commutative on counts and sums:
+    /// (a ∪ b) ∪ c == a ∪ (b ∪ c) and a ∪ b == b ∪ a.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        xs in proptest::collection::vec(0.0f64..1e6, 0..32),
+        ys in proptest::collection::vec(0.0f64..1e6, 0..32),
+        zs in proptest::collection::vec(0.0f64..1e6, 0..32),
+    ) {
+        let (start, growth, n) = (1e-3, 2.0, 16);
+        let a = filled(start, growth, n, &xs);
+        let b = filled(start, growth, n, &ys);
+        let c = filled(start, growth, n, &zs);
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+
+        prop_assert_eq!(ab_c.counts(), a_bc.counts());
+        prop_assert!((ab_c.sum() - a_bc.sum()).abs() <= 1e-6 * (1.0 + ab_c.sum().abs()));
+
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a;
+        ab.merge(&b);
+        prop_assert_eq!(ab.counts(), ba.counts());
+        prop_assert!((ab.sum() - ba.sum()).abs() <= 1e-6 * (1.0 + ab.sum().abs()));
+
+        // Merging also equals building from the concatenation.
+        let mut all = xs.clone();
+        all.extend_from_slice(&ys);
+        all.extend_from_slice(&zs);
+        let direct = filled(start, growth, n, &all);
+        prop_assert_eq!(ab_c.counts(), direct.counts());
+    }
+
+    /// The quantile estimate is an upper bound on the true quantile
+    /// and is at most one growth factor above it (for in-range
+    /// samples); quantiles are monotone in q.
+    #[test]
+    fn quantile_estimate_bounds_true_quantile(
+        samples in proptest::collection::vec(1e-3f64..1e3, 1..64),
+        q in 0.01f64..1.0,
+    ) {
+        let mut samples = samples;
+        // Layout chosen so every sample is in a geometric bucket
+        // (no under/overflow): bounds 1e-4 .. 1e4.
+        let (start, growth, n) = (1e-4, 10.0, 8);
+        let snap = filled(start, growth, n, &samples);
+
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * samples.len() as f64).ceil().max(1.0) as usize).min(samples.len());
+        let true_q = samples[rank - 1];
+
+        let est = snap.quantile(q).expect("non-empty");
+        prop_assert!(est >= true_q, "estimate {est} below true quantile {true_q}");
+        prop_assert!(
+            est <= true_q * growth * (1.0 + 1e-12),
+            "estimate {est} more than one bucket above true {true_q}"
+        );
+
+        // Monotone in q.
+        let lo = snap.quantile(q * 0.5).expect("non-empty");
+        prop_assert!(lo <= est);
+    }
+
+    /// Sum/count agree with direct accumulation for any sample set.
+    #[test]
+    fn sum_and_count_track_samples(
+        samples in proptest::collection::vec(0.0f64..1e7, 0..128),
+    ) {
+        let snap = filled(0.5, 3.0, 10, &samples);
+        let expect: f64 = samples.iter().sum();
+        prop_assert_eq!(snap.count(), samples.len() as u64);
+        prop_assert!((snap.sum() - expect).abs() <= 1e-9 * (1.0 + expect.abs()));
+    }
+}

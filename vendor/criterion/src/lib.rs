@@ -1,0 +1,195 @@
+//! Offline shim of the `criterion` API subset used by this workspace.
+//!
+//! Behaves like a lightweight wall-clock microbenchmark harness: each
+//! `bench_function` warms up, auto-scales the iteration count to a
+//! minimum measurement window, and prints mean time per iteration
+//! (plus throughput when configured). No statistics, plots, or
+//! baseline storage.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` call sites work.
+pub use std::hint::black_box;
+
+/// Minimum measurement window per benchmark.
+const MEASURE_WINDOW: Duration = Duration::from_millis(200);
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How batched inputs are sized (accepted, ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The per-benchmark timing driver.
+pub struct Bencher {
+    /// (total duration, iterations) of the final measurement pass.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher { measured: None }
+    }
+
+    /// Times `routine` over an auto-scaled iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up + calibration: grow n until the window is met.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MEASURE_WINDOW || n >= 1 << 30 {
+                self.measured = Some((elapsed, n));
+                return;
+            }
+            // Aim past the window with headroom.
+            let factor = (MEASURE_WINDOW.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)) * 1.5;
+            n = (n as f64 * factor.clamp(2.0, 100.0)) as u64;
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut n: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MEASURE_WINDOW || n >= 1 << 24 {
+                self.measured = Some((elapsed, n));
+                return;
+            }
+            let factor = (MEASURE_WINDOW.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)) * 1.5;
+            n = (n as f64 * factor.clamp(2.0, 100.0)) as u64;
+        }
+    }
+}
+
+fn report(name: &str, measured: Option<(Duration, u64)>, throughput: Option<Throughput>) {
+    let Some((elapsed, iters)) = measured else {
+        println!("{name:<48} (no measurement)");
+        return;
+    };
+    let per_iter_ns = elapsed.as_secs_f64() * 1e9 / iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.1} Melem/s", n as f64 / per_iter_ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.1} MiB/s", n as f64 / per_iter_ns * 1e3 / 1.048_576)
+        }
+        None => String::new(),
+    };
+    println!("{name:<48} {per_iter_ns:>14.1} ns/iter  ({iters} iters){rate}");
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs and reports a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&id, b.measured, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's fixed measurement
+    /// loop ignores the requested sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs and reports one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&id, b.measured, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

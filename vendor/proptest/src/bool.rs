@@ -1,0 +1,18 @@
+//! Boolean strategies (`proptest::bool` subset).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A fair coin.
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// The canonical boolean strategy.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}

@@ -1,0 +1,47 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// xoshiro256++ — the algorithm behind `rand` 0.8's 64-bit `SmallRng`.
+/// Fast, small state, excellent statistical quality; not
+/// cryptographic.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> SmallRng {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // An all-zero state is the one fixed point of xoshiro; nudge.
+        if s == [0, 0, 0, 0] {
+            s = [0x9E37_79B9_7F4A_7C15, 0xBF58_476D_1CE4_E5B9, 0x94D0_49BB_1331_11EB, 1];
+        }
+        SmallRng { s }
+    }
+}
+
+/// Alias kept for API compatibility with `rand::rngs::StdRng` users.
+pub type StdRng = SmallRng;

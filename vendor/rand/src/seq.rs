@@ -1,0 +1,94 @@
+//! Slice sampling helpers (`rand::seq` subset).
+
+use crate::{Rng, RngCore};
+
+/// Random sampling from slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// A uniformly chosen element, `None` on an empty slice.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// `amount` distinct elements in random order (all of them when
+    /// `amount >= len`), as an iterator of references.
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Item>;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&T> {
+        let amount = amount.min(self.len());
+        // Partial Fisher–Yates over an index vector.
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        idx.truncate(amount);
+        idx.into_iter()
+            .map(|i| &self[i])
+            .collect::<Vec<&T>>()
+            .into_iter()
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn choose_multiple_distinct() {
+        let xs: Vec<u32> = (0..100).collect();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let picked: Vec<u32> = xs.choose_multiple(&mut rng, 10).copied().collect();
+        assert_eq!(picked.len(), 10);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10, "duplicates in {picked:?}");
+    }
+
+    #[test]
+    fn choose_multiple_clamps_to_len() {
+        let xs = [1, 2, 3];
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(xs.choose_multiple(&mut rng, 10).count(), 3);
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let xs: [u8; 0] = [];
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(xs.choose(&mut rng).is_none());
+    }
+}

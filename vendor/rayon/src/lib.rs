@@ -1,0 +1,41 @@
+//! Offline shim of the `rayon` API subset used by this workspace:
+//! [`join`] only, implemented with scoped OS threads. Real parallelism
+//! (one thread per branch), none of rayon's work-stealing pool.
+
+/// Runs two closures, potentially in parallel, returning both results.
+///
+/// The second closure runs on a freshly spawned scoped thread while the
+/// first runs on the caller's thread. Panics from either branch
+/// propagate to the caller.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_branches_run() {
+        let (a, b) = join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn nested_joins() {
+        let ((a, b), (c, d)) = join(|| join(|| 1, || 2), || join(|| 3, || 4));
+        assert_eq!((a, b, c, d), (1, 2, 3, 4));
+    }
+}
