@@ -3,6 +3,7 @@
 use crate::args::{CliError, ParsedArgs};
 use gvc_core::gap_sensitivity::gap_sensitivity;
 use gvc_core::sessions::group_sessions;
+use gvc_core::sweep::SessionStore;
 use gvc_core::vc_suitability::vc_suitability;
 use gvc_engine::SimTime;
 use gvc_gridftp::{Driver, ServerCaps, SessionSpec, TransferJob, VcRequestSpec};
@@ -19,13 +20,18 @@ use std::path::Path;
 use std::sync::Arc;
 
 /// `(name, usage, description)` for every subcommand.
-pub const COMMANDS: [(&str, &str, &str); 6] = [
+pub const COMMANDS: [(&str, &str, &str); 7] = [
     ("summary", "gvc summary <log>", "descriptive statistics of a usage log"),
     ("sessions", "gvc sessions <log> [--gap 60]", "group transfers into sessions"),
     (
         "suitability",
         "gvc suitability <log> [--gap 60] [--setup 60] [--factor 10]",
         "the Table IV virtual-circuit feasibility analysis",
+    ),
+    (
+        "sweep",
+        "gvc sweep <log> [--gaps 0,60,120] [--delays 60,0.05] [--factor 10]",
+        "the full Table III/IV grid in one incremental pass",
     ),
     (
         "generate",
@@ -191,6 +197,74 @@ fn cmd_suitability<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> 
     Ok(())
 }
 
+/// Parses a comma-separated `--flag` list of floats, e.g.
+/// `--gaps 0,60,120`; returns `default` when the flag is absent.
+fn list_flag_or(a: &ParsedArgs, name: &str, default: &[f64]) -> Result<Vec<f64>, CliError> {
+    match a.flags.get(name) {
+        None => Ok(default.to_vec()),
+        Some(raw) => raw
+            .split(',')
+            .map(|s| {
+                let s = s.trim();
+                s.parse::<f64>()
+                    .map_err(|_| CliError(format!("--{name}: {s:?} is not a number")))
+            })
+            .collect(),
+    }
+}
+
+fn cmd_sweep<W: Write>(a: &ParsedArgs, w: &mut W, telemetry: &Telemetry) -> Result<(), CliError> {
+    let ds = load(a.positional(1, "log")?)?;
+    let gaps = list_flag_or(a, "gaps", &[0.0, 60.0, 120.0])?;
+    let delays = list_flag_or(a, "delays", &[60.0, 0.05])?;
+    let factor: f64 = a.flag_or("factor", 10.0)?;
+    if gaps.is_empty() || gaps.iter().any(|g| !g.is_finite() || *g < 0.0) {
+        return Err(CliError("--gaps needs non-negative finite values".into()));
+    }
+    if delays.is_empty() || delays.iter().any(|d| !d.is_finite() || *d < 0.0) {
+        return Err(CliError("--delays needs non-negative finite values".into()));
+    }
+    if factor <= 0.0 {
+        return Err(CliError("--factor must be positive".into()));
+    }
+    let store = SessionStore::from_dataset(&ds);
+    let sweep = store.sweep_with_telemetry(&gaps, &delays, factor, telemetry);
+    writeln!(
+        w,
+        "{} transfers across {} pairs ({} not sessionizable, {} degenerate)",
+        ds.len(),
+        store.n_pairs(),
+        sweep.ungroupable,
+        sweep.degenerate_records
+    )?;
+    writeln!(w, "q3 transfer throughput: {:.1} Mbps", sweep.q3_throughput_mbps)?;
+    writeln!(w, "\nsessions vs gap:")?;
+    for row in &sweep.gap_rows {
+        writeln!(
+            w,
+            "  g={:>6.1}s  sessions {:>8}  single {:>8}  <=2 {:>5.1}%  max {:>7}  100+ {:>5}",
+            row.gap_s,
+            row.sessions,
+            row.single_transfer,
+            row.pct_with_1_or_2,
+            row.max_transfers,
+            row.with_100_plus
+        )?;
+    }
+    writeln!(w, "\nVC suitability (factor {factor}):")?;
+    for c in &sweep.cells {
+        writeln!(
+            w,
+            "  g={:>6.1}s  setup={:>7.2}s  sessions {:>6.2}%  transfers {:>6.2}%",
+            c.gap_s,
+            c.setup_delay_s,
+            c.pct_sessions(),
+            c.pct_transfers()
+        )?;
+    }
+    Ok(())
+}
+
 fn cmd_generate<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
     let scenario = a.positional(1, "scenario")?.to_owned();
     let out = a.positional(2, "out")?.to_owned();
@@ -319,6 +393,7 @@ pub fn run_command<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> 
         "summary" => cmd_summary(a, w),
         "sessions" => cmd_sessions(a, w),
         "suitability" => cmd_suitability(a, w),
+        "sweep" => cmd_sweep(a, w, &telemetry),
         "generate" => cmd_generate(a, w),
         "anonymize" => cmd_anonymize(a, w),
         "simulate" => cmd_simulate(a, w, &telemetry),
@@ -404,6 +479,49 @@ mod tests {
         let out = run(&["suitability", &log, "--setup", "0.05"]).unwrap();
         assert!(out.contains("suitable sessions"), "{out}");
         assert!(out.contains('%'));
+    }
+
+    #[test]
+    fn sweep_prints_grid_and_agrees_with_suitability() {
+        let log = tmpfile("sweep.log");
+        sample_log(&log);
+        let out = run(&["sweep", &log, "--gaps", "0,60", "--delays", "0.05", "--metrics"]).unwrap();
+        assert!(out.contains("sessions vs gap"), "{out}");
+        assert!(out.contains("g=   0.0s"), "{out}");
+        assert!(out.contains("g=  60.0s"), "{out}");
+        assert!(out.contains("VC suitability"), "{out}");
+        // Telemetry exposition rides along via --metrics.
+        assert!(out.contains("analysis_sweep_duration_seconds_count 1"), "{out}");
+        assert!(out.contains("analysis_sweep_records_total 20"), "{out}");
+        // The one-pass grid prints the same percentage the per-gap
+        // suitability command computes.
+        let single = run(&["suitability", &log, "--gap", "60", "--setup", "0.05"]).unwrap();
+        let pct = single
+            .lines()
+            .find(|l| l.contains("suitable sessions"))
+            .and_then(|l| l.split('(').nth(1))
+            .and_then(|t| t.split('%').next())
+            .unwrap()
+            .to_owned();
+        let grid_line = out
+            .lines()
+            .find(|l| l.contains("g=  60.0s") && l.contains("setup="))
+            .unwrap();
+        assert!(grid_line.contains(&format!("sessions {pct:>6}%")), "{grid_line} vs {pct}");
+    }
+
+    #[test]
+    fn sweep_rejects_bad_lists() {
+        let log = tmpfile("sweep-bad.log");
+        sample_log(&log);
+        let err = run(&["sweep", &log, "--gaps", "0,abc"]).unwrap_err();
+        assert!(err.0.contains("not a number"), "{}", err.0);
+        let err = run(&["sweep", &log, "--gaps", "-5"]).unwrap_err();
+        assert!(err.0.contains("--gaps"), "{}", err.0);
+        let err = run(&["sweep", &log, "--delays", "-1"]).unwrap_err();
+        assert!(err.0.contains("--delays"), "{}", err.0);
+        let err = run(&["sweep", &log, "--factor", "0"]).unwrap_err();
+        assert!(err.0.contains("--factor"), "{}", err.0);
     }
 
     #[test]

@@ -117,7 +117,9 @@ pub fn prediction_analysis(
     targets: &Dataset,
     r_mbps: Option<f64>,
 ) -> PredictionAnalysis {
-    let actual: Vec<f64> = targets.throughputs_mbps();
+    // One value per target record (positional alignment with
+    // `predicted` matters; `throughputs_mbps()` drops degenerates).
+    let actual: Vec<f64> = targets.records().iter().map(|r| r.throughput_mbps()).collect();
     let r = r_mbps.unwrap_or_else(|| quantile(&actual, 0.90).unwrap_or(0.0));
     let predicted: Vec<f64> = targets
         .records()

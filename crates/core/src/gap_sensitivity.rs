@@ -4,7 +4,6 @@
 //! relative to a 0 value, by decreasing the number of single-transfer
 //! sessions" (§VI-A) — this analysis quantifies that, per `g` value.
 
-use crate::sessions::group_sessions;
 use gvc_logs::Dataset;
 
 /// One Table III row.
@@ -28,22 +27,12 @@ pub struct GapRow {
 
 /// Computes Table III rows for the given `g` values (the paper uses
 /// 0 s, 60 s, 120 s).
+///
+/// All rows come out of one [`crate::sweep`] pass — the whole grid
+/// costs one sort of the dataset, not one regrouping per `g`.
 pub fn gap_sensitivity(ds: &Dataset, gaps_s: &[f64]) -> Vec<GapRow> {
-    gaps_s
-        .iter()
-        .map(|&g| {
-            let grouping = group_sessions(ds, g);
-            GapRow {
-                gap_s: g,
-                sessions: grouping.sessions.len(),
-                single_transfer: grouping.single_transfer_sessions(),
-                multi_transfer: grouping.multi_transfer_sessions(),
-                pct_with_1_or_2: grouping.frac_with_at_most_two() * 100.0,
-                max_transfers: grouping.max_transfers(),
-                with_100_plus: grouping.sessions_with_at_least(100),
-            }
-        })
-        .collect()
+    crate::sweep::sweep_dataset(ds, gaps_s, &[], crate::vc_suitability::DEFAULT_OVERHEAD_FACTOR)
+        .gap_rows
 }
 
 #[cfg(test)]

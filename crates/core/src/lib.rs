@@ -20,6 +20,7 @@
 //! | [`scatter`] | Fig. 2 (throughput vs file size) |
 //! | [`report`] | finding (i): the headline feasibility numbers |
 //! | [`session_stats`] | §VI-A session call-outs + Table VIII trend fits |
+//! | [`sweep`] | incremental session-sweep engine: the whole Table III/IV grid in one pass |
 
 pub mod concurrency;
 pub mod factors;
@@ -31,10 +32,12 @@ pub mod sessions;
 pub mod snmp_attr;
 pub mod snmp_corr;
 pub mod stream_analysis;
+pub mod sweep;
 pub mod tables;
 pub mod time_of_day;
 pub mod vc_suitability;
 
 pub use report::{feasibility_report, FeasibilityReport};
 pub use sessions::{group_sessions, Session, SessionGrouping};
+pub use sweep::{sweep_dataset, SessionRange, SessionStore, SessionView, SweepResult};
 pub use vc_suitability::{vc_suitability, VcSuitability};

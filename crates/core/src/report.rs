@@ -6,10 +6,10 @@
 //! transfers) would have been long enough to be served with dynamic VC
 //! service."
 
-use crate::gap_sensitivity::{gap_sensitivity, GapRow};
-use crate::sessions::group_sessions;
-use crate::tables::{session_table, SessionTable};
-use crate::vc_suitability::{vc_suitability, VcSuitability, DEFAULT_OVERHEAD_FACTOR};
+use crate::gap_sensitivity::GapRow;
+use crate::sweep::SessionStore;
+use crate::tables::{session_table_from_store, SessionTable};
+use crate::vc_suitability::{VcSuitability, DEFAULT_OVERHEAD_FACTOR};
 use gvc_logs::Dataset;
 use gvc_telemetry::RunManifest;
 
@@ -36,6 +36,11 @@ pub struct FeasibilityReport {
     /// Table IV cells over the (g, setup delay) grid, in
     /// `for g { for delay }` order.
     pub suitability: Vec<VcSuitability>,
+    /// Zero/negative-duration records in the dataset — excluded from
+    /// the throughput distribution (and hence from the q3 the
+    /// suitability analysis extrapolates with), surfaced here so a
+    /// report never hides data-quality problems.
+    pub degenerate_records: usize,
 }
 
 impl FeasibilityReport {
@@ -66,20 +71,18 @@ pub fn feasibility_report(ds: &Dataset) -> FeasibilityReport {
         PAPER_SETUP_DELAYS_S,
         DEFAULT_OVERHEAD_FACTOR,
     );
-    let g1 = group_sessions(ds, 60.0);
-    let mut suitability = Vec::new();
-    for &g in &PAPER_GAPS_S {
-        let grouping = group_sessions(ds, g);
-        for &d in &PAPER_SETUP_DELAYS_S {
-            suitability.push(vc_suitability(&grouping, ds, d, DEFAULT_OVERHEAD_FACTOR));
-        }
-    }
+    // One store, one sweep: Table III rows and Table IV cells for the
+    // whole grid come out of a single monotone-merge pass instead of
+    // one regrouping per gap value.
+    let store = SessionStore::from_dataset(ds);
+    let sweep = store.sweep(&PAPER_GAPS_S, &PAPER_SETUP_DELAYS_S, DEFAULT_OVERHEAD_FACTOR);
     FeasibilityReport {
         manifest: RunManifest::new("feasibility-report", 0, &config),
         n_transfers: ds.len(),
-        session_table_g1: session_table(&g1, ds),
-        gap_rows: gap_sensitivity(ds, &PAPER_GAPS_S),
-        suitability,
+        session_table_g1: session_table_from_store(&store, 60.0),
+        gap_rows: sweep.gap_rows,
+        suitability: sweep.cells,
+        degenerate_records: sweep.degenerate_records,
     }
 }
 
@@ -128,6 +131,22 @@ mod tests {
         assert_eq!(r.gap_rows.len(), 3);
         assert_eq!(r.suitability.len(), 6);
         assert!(r.session_table_g1.is_some());
+        assert_eq!(r.degenerate_records, 0);
+    }
+
+    #[test]
+    fn degenerate_records_surfaced() {
+        let mut recs = dataset().into_records();
+        recs.push(TransferRecord::simple(
+            TransferType::Retr,
+            1_000,
+            999_000_000_000,
+            0,
+            "srv",
+            Some("deg"),
+        ));
+        let r = feasibility_report(&Dataset::from_records(recs));
+        assert_eq!(r.degenerate_records, 1);
     }
 
     #[test]

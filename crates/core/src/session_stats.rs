@@ -11,6 +11,7 @@
 //! those call-outs and trend fits.
 
 use crate::sessions::{Session, SessionGrouping};
+use crate::sweep::SessionStore;
 use gvc_logs::Dataset;
 use gvc_stats::regression::{linear_fit, LinearFit};
 use gvc_stats::{quantile, Summary};
@@ -19,20 +20,24 @@ use gvc_stats::{quantile, Summary};
 #[derive(Debug, Clone)]
 pub struct SessionHighlights {
     /// `(size_bytes, duration_s, effective_mbps)` of the largest
-    /// session by size.
-    pub largest: Option<(u64, f64, f64)>,
+    /// session by size. The rate is `None` for an instantaneous
+    /// (zero-wall-duration) session.
+    pub largest: Option<(u64, f64, Option<f64>)>,
     /// `(size_bytes, duration_s, effective_mbps)` of the longest
     /// session by duration.
-    pub longest: Option<(u64, f64, f64)>,
-    /// Effective session-throughput summary (Mbps).
+    pub longest: Option<(u64, f64, Option<f64>)>,
+    /// Effective session-throughput summary (Mbps) over sessions with
+    /// a defined rate.
     pub effective_throughput_mbps: Option<Summary>,
-    /// Fraction of sessions whose effective throughput is below the
-    /// q3 *transfer* throughput — the paper's observation that session
-    /// rates sit below transfer rates (idle gaps, slow members).
+    /// Fraction of defined-rate sessions whose effective throughput is
+    /// below the q3 *transfer* throughput — the paper's observation
+    /// that session rates sit below transfer rates (idle gaps, slow
+    /// members). Instantaneous sessions have no rate to compare and
+    /// are excluded from both numerator and denominator.
     pub frac_below_transfer_q3: f64,
 }
 
-fn triple(s: &Session) -> (u64, f64, f64) {
+fn triple(s: &Session) -> (u64, f64, Option<f64>) {
     (s.size_bytes(), s.duration_s(), s.effective_throughput_mbps())
 }
 
@@ -55,9 +60,44 @@ pub fn session_highlights(grouping: &SessionGrouping, ds: &Dataset) -> SessionHi
     let rates: Vec<f64> = grouping
         .sessions
         .iter()
-        .map(Session::effective_throughput_mbps)
+        .filter_map(Session::effective_throughput_mbps)
         .collect();
     let q3_transfer = quantile(&ds.throughputs_mbps(), 0.75).unwrap_or(0.0);
+    let below = if rates.is_empty() {
+        0.0
+    } else {
+        rates.iter().filter(|&&r| r < q3_transfer).count() as f64 / rates.len() as f64
+    };
+    SessionHighlights {
+        largest,
+        longest,
+        effective_throughput_mbps: Summary::of(&rates),
+        frac_below_transfer_q3: below,
+    }
+}
+
+/// [`session_highlights`] over a [`SessionStore`] at one gap value —
+/// identical numbers without cloning records into sessions.
+pub fn session_highlights_from_store(store: &SessionStore, gap_s: f64) -> SessionHighlights {
+    let ranges = store.sessions_at(gap_s);
+    let views: Vec<_> = ranges.iter().map(|&r| store.session(r)).collect();
+    let triple = |v: &crate::sweep::SessionView<'_>| {
+        (v.size_bytes(), v.duration_s(), v.effective_throughput_mbps())
+    };
+    let largest = views.iter().max_by_key(|v| v.size_bytes()).map(triple);
+    let longest = views
+        .iter()
+        .max_by(|a, b| {
+            a.duration_s()
+                .partial_cmp(&b.duration_s())
+                .expect("no NaN durations")
+        })
+        .map(triple);
+    let rates: Vec<f64> = views
+        .iter()
+        .filter_map(|v| v.effective_throughput_mbps())
+        .collect();
+    let q3_transfer = quantile(&store.throughputs_mbps(), 0.75).unwrap_or(0.0);
     let below = if rates.is_empty() {
         0.0
     } else {
@@ -118,7 +158,7 @@ mod tests {
         let (size, dur, mbps) = h.largest.unwrap();
         assert_eq!(size, 2_000_000_000);
         assert!((dur - 200.0).abs() < 1e-6);
-        assert!((mbps - 80.0).abs() < 0.1);
+        assert!((mbps.unwrap() - 80.0).abs() < 0.1);
         let (lsize, ldur, _) = h.longest.unwrap();
         assert_eq!(lsize, 1_000_000);
         assert!((ldur - 1000.0).abs() < 1e-6);
@@ -132,6 +172,34 @@ mod tests {
         // transfer rate.
         assert!(h.frac_below_transfer_q3 >= 0.5);
         assert!(h.effective_throughput_mbps.is_some());
+    }
+
+    #[test]
+    fn instantaneous_sessions_do_not_pollute_rates() {
+        // One healthy 80 Mbps session plus one zero-duration
+        // singleton. Pre-fix the singleton contributed a bogus
+        // 0.0 Mbps to the session-rate summary, halving the min.
+        let ds = Dataset::from_records(vec![
+            rec(0.0, 100.0, 1_000_000_000, "a"),
+            rec(5000.0, 0.0, 1_000_000, "b"),
+        ]);
+        let g = group_sessions(&ds, 60.0);
+        assert_eq!(g.sessions.len(), 2);
+        let h = session_highlights(&g, &ds);
+        let s = h.effective_throughput_mbps.unwrap();
+        assert_eq!(s.n, 1, "instantaneous session must be excluded");
+        assert!((s.min - 80.0).abs() < 1e-6, "min {}", s.min);
+    }
+
+    #[test]
+    fn store_backed_highlights_match_grouping_backed() {
+        let (g, ds) = fixture();
+        let a = session_highlights(&g, &ds);
+        let b = session_highlights_from_store(&SessionStore::from_dataset(&ds), 60.0);
+        assert_eq!(a.largest, b.largest);
+        assert_eq!(a.longest, b.longest);
+        assert_eq!(a.effective_throughput_mbps, b.effective_throughput_mbps);
+        assert_eq!(a.frac_below_transfer_q3, b.frac_below_transfer_q3);
     }
 
     #[test]

@@ -61,12 +61,18 @@ impl Session {
 
     /// Effective session throughput, Mbps (size over wall duration) —
     /// e.g. the paper's 12 TB session at 1.06 Gbps.
-    pub fn effective_throughput_mbps(&self) -> f64 {
+    ///
+    /// `None` for zero-wall-duration sessions: an instantaneous
+    /// session has no defined rate, and reporting 0.0 would conflate
+    /// it with a session that moved no data. Callers that want a
+    /// best-effort rate anyway can fall back to the summed transfer
+    /// durations via the member records.
+    pub fn effective_throughput_mbps(&self) -> Option<f64> {
         let d = self.duration_s();
         if d <= 0.0 {
-            0.0
+            None
         } else {
-            self.size_bytes() as f64 * 8.0 / d / 1e6
+            Some(self.size_bytes() as f64 * 8.0 / d / 1e6)
         }
     }
 }
@@ -282,7 +288,18 @@ mod tests {
         assert_eq!(s.size_bytes(), 3_000_000);
         assert!((s.duration_s() - 20.0).abs() < 1e-9);
         // 3 MB over 20 s = 1.2 Mbps
-        assert!((s.effective_throughput_mbps() - 1.2).abs() < 1e-9);
+        assert!((s.effective_throughput_mbps().unwrap() - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_wall_duration_session_has_no_rate() {
+        // A single zero-duration transfer: the session is
+        // instantaneous, not "zero throughput". Pre-fix this returned
+        // 0.0 and polluted session-rate distributions.
+        let ds = Dataset::from_records(vec![rec(5.0, 0.0, 1_000_000, Some("p"))]);
+        let g = group_sessions(&ds, 60.0);
+        assert_eq!(g.sessions.len(), 1);
+        assert_eq!(g.sessions[0].effective_throughput_mbps(), None);
     }
 
     #[test]

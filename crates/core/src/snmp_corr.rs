@@ -36,12 +36,16 @@ pub enum CorrelationKind {
 }
 
 /// Splits transfer indices into throughput quartiles (by the
-/// transfer's own throughput). Quartile boundaries are R type-7.
+/// transfer's own throughput). Quartile boundaries are R type-7,
+/// computed over the defined-throughput distribution; the returned
+/// indices are positions in `ds.records()` (one per record — a
+/// degenerate record reads as 0.0 Mbps and lands in the bottom
+/// quartile rather than shifting every index after it).
 pub fn throughput_quartile_indices(ds: &Dataset) -> [Vec<usize>; 4] {
-    let tps = ds.throughputs_mbps();
-    let q1 = quantile(&tps, 0.25).unwrap_or(0.0);
-    let q2 = quantile(&tps, 0.50).unwrap_or(0.0);
-    let q3 = quantile(&tps, 0.75).unwrap_or(0.0);
+    let q1 = quantile(&ds.throughputs_mbps(), 0.25).unwrap_or(0.0);
+    let q2 = quantile(&ds.throughputs_mbps(), 0.50).unwrap_or(0.0);
+    let q3 = quantile(&ds.throughputs_mbps(), 0.75).unwrap_or(0.0);
+    let tps: Vec<f64> = ds.records().iter().map(|r| r.throughput_mbps()).collect();
     let mut out: [Vec<usize>; 4] = Default::default();
     for (i, &t) in tps.iter().enumerate() {
         let q = if t <= q1 {

@@ -7,6 +7,7 @@
 //! summaries over a filtered slice.
 
 use crate::sessions::SessionGrouping;
+use crate::sweep::SessionStore;
 use gvc_logs::{Dataset, EndpointKind};
 use gvc_stats::Summary;
 
@@ -36,6 +37,26 @@ pub fn session_table(grouping: &SessionGrouping, ds: &Dataset) -> Option<Session
         session_size_mb: Summary::of(&sizes)?,
         session_duration_s: Summary::of(&durations)?,
         transfer_throughput_mbps: Summary::of(&throughputs)?,
+    })
+}
+
+/// Builds Table I/II from a [`SessionStore`] at one gap value —
+/// identical numbers to [`session_table`], but sessions are index
+/// ranges over the shared store instead of cloned record vectors.
+/// Returns `None` when the store is empty.
+pub fn session_table_from_store(store: &SessionStore, gap_s: f64) -> Option<SessionTable> {
+    let ranges = store.sessions_at(gap_s);
+    let mut sizes = Vec::with_capacity(ranges.len());
+    let mut durations = Vec::with_capacity(ranges.len());
+    for &r in &ranges {
+        let v = store.session(r);
+        sizes.push(v.size_bytes() as f64 / 1e6);
+        durations.push(v.duration_s());
+    }
+    Some(SessionTable {
+        session_size_mb: Summary::of(&sizes)?,
+        session_duration_s: Summary::of(&durations)?,
+        transfer_throughput_mbps: Summary::of(&store.throughputs_mbps())?,
     })
 }
 
@@ -170,6 +191,24 @@ mod tests {
         assert_eq!(t.session_duration_s.mean, 10.0);
         assert_eq!(t.transfer_throughput_mbps.min, 8.0);
         assert_eq!(t.transfer_throughput_mbps.max, 24.0);
+    }
+
+    #[test]
+    fn store_backed_table_matches_grouping_backed() {
+        let ds = Dataset::from_records(vec![
+            rec(0.0, 10.0, 10_000_000),
+            rec(5.0, 20.0, 5_000_000),
+            rec(100.0, 10.0, 30_000_000),
+        ]);
+        let store = SessionStore::from_dataset(&ds);
+        for &gap in &[0.0, 1.0, 60.0, 200.0] {
+            let a = session_table(&group_sessions(&ds, gap), &ds).unwrap();
+            let b = session_table_from_store(&store, gap).unwrap();
+            assert_eq!(a.session_size_mb, b.session_size_mb, "gap {gap}");
+            assert_eq!(a.session_duration_s, b.session_duration_s, "gap {gap}");
+            assert_eq!(a.transfer_throughput_mbps, b.transfer_throughput_mbps, "gap {gap}");
+        }
+        assert!(session_table_from_store(&SessionStore::from_dataset(&Dataset::new()), 60.0).is_none());
     }
 
     #[test]

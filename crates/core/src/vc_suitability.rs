@@ -80,12 +80,15 @@ pub fn vc_suitability(
     let mut total_transfers = 0usize;
     for s in &grouping.sessions {
         total_transfers += s.len();
-        let hypothetical_s = if q3_bps > 0.0 {
-            s.size_bytes() as f64 * 8.0 / q3_bps
-        } else {
-            0.0
-        };
-        if hypothetical_s >= threshold_s {
+        // Degenerate q3 (empty or all-degenerate throughput
+        // distribution): there is no rate to extrapolate hypothetical
+        // durations from, so no session can be judged suitable.
+        // Without this guard, a zero q3 plus a zero setup delay made
+        // the test read `0.0 >= 0.0` and marked *every* session —
+        // including zero-byte ones — suitable.
+        let suitable =
+            q3_bps > 0.0 && s.size_bytes() as f64 * 8.0 / q3_bps >= threshold_s;
+        if suitable {
             suitable_sessions += 1;
             suitable_transfers += s.len();
         }
@@ -101,21 +104,18 @@ pub fn vc_suitability(
     }
 }
 
-/// The full Table IV grid: every (g, setup delay) combination.
+/// The full Table IV grid: every (g, setup delay) combination, in
+/// `for g { for delay }` order.
+///
+/// Computed by one [`crate::sweep`] pass instead of one regrouping
+/// per gap value.
 pub fn vc_suitability_grid(
     ds: &Dataset,
     gaps_s: &[f64],
     setup_delays_s: &[f64],
     overhead_factor: f64,
 ) -> Vec<VcSuitability> {
-    let mut out = Vec::with_capacity(gaps_s.len() * setup_delays_s.len());
-    for &g in gaps_s {
-        let grouping = crate::sessions::group_sessions(ds, g);
-        for &d in setup_delays_s {
-            out.push(vc_suitability(&grouping, ds, d, overhead_factor));
-        }
-    }
-    out
+    crate::sweep::sweep_dataset(ds, gaps_s, setup_delays_s, overhead_factor).cells
 }
 
 #[cfg(test)]
@@ -233,5 +233,33 @@ mod tests {
         let v = vc_suitability(&g, &ds, 60.0, 10.0);
         assert_eq!(v.pct_sessions(), 0.0);
         assert_eq!(v.pct_transfers(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_q3_never_marks_sessions_suitable() {
+        // All records are zero-duration, so the throughput
+        // distribution is empty and q3 = 0. With a zero setup delay
+        // the pre-fix test degenerated to `0.0 >= 0.0` and marked
+        // every session (even these zero-rate ones) suitable.
+        let recs = (0..3)
+            .map(|i| {
+                TransferRecord::simple(
+                    TransferType::Retr,
+                    1_000_000,
+                    i * 10_000_000_000,
+                    0,
+                    "srv",
+                    Some("peer"),
+                )
+            })
+            .collect();
+        let ds = Dataset::from_records(recs);
+        let g = group_sessions(&ds, 60.0);
+        assert_eq!(g.sessions.len(), 3);
+        let v = vc_suitability(&g, &ds, 0.0, DEFAULT_OVERHEAD_FACTOR);
+        assert_eq!(v.q3_throughput_mbps, 0.0);
+        assert_eq!(v.suitable_sessions, 0, "degenerate q3 must admit nothing");
+        assert_eq!(v.suitable_transfers, 0);
+        assert_eq!(v.total_sessions, 3);
     }
 }

@@ -717,7 +717,8 @@ mod tests {
         );
         let conc = d2.run(SimTime::from_secs(1_000_000));
         let mean = |ds: &Dataset| {
-            ds.throughputs_mbps().iter().sum::<f64>() / ds.len() as f64
+            let tps = ds.throughputs_mbps();
+            tps.iter().sum::<f64>() / tps.len() as f64
         };
         assert!(
             mean(&conc.log) < mean(&seq.log),

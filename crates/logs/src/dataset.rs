@@ -120,8 +120,29 @@ impl Dataset {
     }
 
     /// Per-transfer throughputs in Mbps (the Tables I/II/V–IX sample).
+    ///
+    /// Zero/negative-duration records are excluded: they have no
+    /// defined throughput, and folding them in as 0.0 Mbps silently
+    /// drags down every quantile of the distribution (most damagingly
+    /// the q3 that [`vc_suitability`] uses as the hypothetical session
+    /// rate). Use [`Dataset::degenerate_records`] to report how many
+    /// were skipped. Callers needing one value *per record* (index
+    /// alignment) should map [`TransferRecord::throughput_mbps`]
+    /// directly.
+    ///
+    /// [`vc_suitability`]: https://docs.rs/gvc-core
     pub fn throughputs_mbps(&self) -> Vec<f64> {
-        self.records.iter().map(TransferRecord::throughput_mbps).collect()
+        self.records
+            .iter()
+            .filter(|r| !r.is_degenerate())
+            .map(TransferRecord::throughput_mbps)
+            .collect()
+    }
+
+    /// Number of zero/negative-duration records (excluded from
+    /// [`Dataset::throughputs_mbps`]).
+    pub fn degenerate_records(&self) -> usize {
+        self.records.iter().filter(|r| r.is_degenerate()).count()
     }
 
     /// Per-transfer sizes in bytes as `f64`.
@@ -202,6 +223,22 @@ mod tests {
         let tps = d.throughputs_mbps();
         assert_eq!(tps.len(), 2);
         assert!((tps[0] - 8.0).abs() < 1e-9); // 1 MB in 1 s = 8 Mbps
+    }
+
+    #[test]
+    fn degenerate_records_excluded_from_throughputs() {
+        // Two healthy 8 Mbps transfers plus a zero-duration and a
+        // negative-duration record. Pre-fix, the degenerates entered
+        // the distribution as 0.0 Mbps and dragged quantiles down.
+        let mut zero = rec(2, 1_000_000, 1);
+        zero.duration_us = 0;
+        let mut neg = rec(3, 1_000_000, 1);
+        neg.duration_us = -1;
+        let d = Dataset::from_records(vec![rec(0, 1_000_000, 1), rec(1, 1_000_000, 1), zero, neg]);
+        assert_eq!(d.degenerate_records(), 2);
+        let tps = d.throughputs_mbps();
+        assert_eq!(tps.len(), 2, "degenerates must not appear");
+        assert!(tps.iter().all(|&t| (t - 8.0).abs() < 1e-9), "{tps:?}");
     }
 
     #[test]

@@ -109,13 +109,25 @@ impl TransferRecord {
         self.start_unix_us + self.duration_us
     }
 
+    /// True for records whose duration is zero or negative: clock
+    /// skew, truncated log lines, or sub-resolution transfers. Such
+    /// records have no defined throughput and are excluded from
+    /// throughput distributions (they would otherwise contribute a
+    /// fictitious 0 Mbps and bias quantiles downward).
+    pub fn is_degenerate(&self) -> bool {
+        self.duration_us <= 0
+    }
+
     /// Average throughput in bits per second (the paper's per-transfer
     /// throughput measure: size ÷ duration).
     ///
     /// Returns 0 for zero-duration records rather than infinity, so
-    /// degenerate log entries cannot poison summary statistics.
+    /// degenerate log entries cannot poison summary statistics. Callers
+    /// building throughput *distributions* should skip
+    /// [`TransferRecord::is_degenerate`] records instead of folding
+    /// these placeholder zeros in.
     pub fn throughput_bps(&self) -> f64 {
-        if self.duration_us <= 0 {
+        if self.is_degenerate() {
             return 0.0;
         }
         self.size_bytes as f64 * 8.0 / self.duration_s()

@@ -35,24 +35,40 @@ impl LinkCalendar {
     }
 
     /// Peak committed bandwidth over `[start, end)`.
+    ///
+    /// Event sweep: each overlapping commitment contributes a `+rate`
+    /// event where it enters the window and a `−rate` event where it
+    /// leaves (commitment ends are exclusive, so an end inside the
+    /// window stops counting exactly there). One sort plus a
+    /// running-sum scan — O(n log n), where the old
+    /// breakpoint-times-rescan formulation was O(n²) on the calendars
+    /// an admission-heavy simulation builds up.
     pub fn peak_committed_bps(&self, start: SimTime, end: SimTime) -> f64 {
-        // Sweep over breakpoints inside the window.
-        let mut points: Vec<SimTime> = vec![start];
+        let mut events: Vec<(SimTime, f64)> = Vec::with_capacity(self.commitments.len() * 2);
         for c in &self.commitments {
-            if c.start > start && c.start < end {
-                points.push(c.start);
+            if c.start >= end || c.end <= start {
+                continue;
+            }
+            events.push((c.start.max(start), c.rate_bps));
+            if c.end < end {
+                events.push((c.end, -c.rate_bps));
             }
         }
-        points
-            .into_iter()
-            .map(|t| {
-                self.commitments
-                    .iter()
-                    .filter(|c| c.start <= t && c.end > t)
-                    .map(|c| c.rate_bps)
-                    .sum::<f64>()
-            })
-            .fold(0.0, f64::max)
+        events.sort_by_key(|e| e.0);
+        let mut peak = 0.0f64;
+        let mut current = 0.0f64;
+        let mut i = 0;
+        while i < events.len() {
+            let t = events[i].0;
+            // Apply every delta at this instant before sampling, so a
+            // commitment ending at t never overlaps one starting at t.
+            while i < events.len() && events[i].0 == t {
+                current += events[i].1;
+                i += 1;
+            }
+            peak = peak.max(current);
+        }
+        peak
     }
 
     /// Committed bandwidth at instant `t`.
@@ -214,6 +230,63 @@ mod tests {
         assert_eq!(c.committed_at(t(75)), 2e9); // truncated at 50
         assert_eq!(c.committed_at(t(25)), 3e9); // history intact
         assert_eq!(c.committed_at(t(250)), 2e9); // future dropped
+    }
+
+    #[test]
+    fn commitment_ending_at_window_start_excluded() {
+        // Ends are exclusive: a commitment whose window closes exactly
+        // where the query window opens contributes nothing.
+        let mut c = LinkCalendar::new();
+        c.commit(1, t(0), t(50), 6e9);
+        assert_eq!(c.peak_committed_bps(t(50), t(100)), 0.0);
+        assert_eq!(c.committed_at(t(50)), 0.0);
+        // …and one starting exactly at the window start is counted.
+        c.commit(2, t(50), t(60), 1e9);
+        assert_eq!(c.peak_committed_bps(t(50), t(100)), 1e9);
+    }
+
+    #[test]
+    fn back_to_back_windows_never_double_count() {
+        // owner 1 hands off to owner 2 at t=50; the instant of the
+        // handoff must see one rate, not both.
+        let mut c = LinkCalendar::new();
+        c.commit(1, t(0), t(50), 6e9);
+        c.commit(2, t(50), t(100), 6e9);
+        assert_eq!(c.peak_committed_bps(t(0), t(100)), 6e9);
+    }
+
+    #[test]
+    fn release_at_commitment_start_drops_it_entirely() {
+        // `release(at)` with `at` equal to a window's start must treat
+        // it as future (drop), not truncate it to an empty window.
+        let mut c = LinkCalendar::new();
+        c.commit(3, t(100), t(200), 2e9);
+        assert_eq!(c.release(3, t(100)), 1);
+        assert!(c.is_empty());
+        assert_eq!(c.peak_committed_bps(t(0), t(300)), 0.0);
+    }
+
+    #[test]
+    fn release_truncation_keeps_half_open_semantics() {
+        let mut c = LinkCalendar::new();
+        c.commit(4, t(0), t(100), 5e9);
+        c.release(4, t(40));
+        assert_eq!(c.committed_at(t(39)), 5e9);
+        assert_eq!(c.committed_at(t(40)), 0.0, "truncated end is exclusive");
+        assert_eq!(c.peak_committed_bps(t(40), t(100)), 0.0);
+        assert_eq!(c.peak_committed_bps(t(0), t(100)), 5e9);
+    }
+
+    #[test]
+    fn peak_of_many_staggered_windows() {
+        // 100 unit-rate commitments, each [i, i+10): peak overlap 10.
+        let mut c = LinkCalendar::new();
+        for i in 0..100u64 {
+            c.commit(i, t(i), t(i + 10), 1.0);
+        }
+        assert_eq!(c.peak_committed_bps(t(0), t(200)), 10.0);
+        // A window clipped to the ramp-up sees fewer overlaps.
+        assert_eq!(c.peak_committed_bps(t(0), t(5)), 5.0);
     }
 
     #[test]

@@ -9,6 +9,30 @@
 
 use crate::quantile::median;
 
+/// Maps `x` to its bin in `nbins` equal bins of `width` starting at
+/// `lo`, correcting the raw `(x − lo)/width` truncation against the
+/// actual bin edges. `width` is generally inexact in binary
+/// (e.g. (1e8 − 1e6)/14), so the division can land a value sitting
+/// exactly on a computed edge `lo + width·i` one bin low or high;
+/// nudging the index until `lo + width·idx ≤ x < lo + width·(idx+1)`
+/// restores the invariant `bin_index(bin_lo(i)) == i` for every bin.
+fn edge_corrected_index(lo: f64, width: f64, nbins: usize, x: f64) -> Option<usize> {
+    if x < lo {
+        return None;
+    }
+    let mut idx = ((x - lo) / width) as usize;
+    if idx > 0 && x < lo + width * idx as f64 {
+        idx -= 1;
+    } else if x >= lo + width * (idx + 1) as f64 {
+        idx += 1;
+    }
+    if idx < nbins {
+        Some(idx)
+    } else {
+        None
+    }
+}
+
 /// A fixed-width histogram over `[lo, hi)`.
 #[derive(Debug, Clone)]
 pub struct Histogram {
@@ -35,17 +59,11 @@ impl Histogram {
         }
     }
 
-    /// Bin index for `x`, or `None` if out of range.
+    /// Bin index for `x`, or `None` if out of range. A value equal to
+    /// [`Histogram::bin_lo`]`(i)` always lands in bin `i`, even when
+    /// the bin width is inexact in binary.
     pub fn bin_index(&self, x: f64) -> Option<usize> {
-        if x < self.lo {
-            return None;
-        }
-        let idx = ((x - self.lo) / self.width) as usize;
-        if idx < self.counts.len() {
-            Some(idx)
-        } else {
-            None
-        }
+        edge_corrected_index(self.lo, self.width, self.counts.len(), x)
     }
 
     /// Records one observation.
@@ -104,15 +122,12 @@ impl BinnedSeries {
     /// Inserts `value` under `key`; out-of-range keys are ignored and
     /// reported via the return value.
     pub fn insert(&mut self, key: f64, value: f64) -> bool {
-        if key < self.lo {
-            return false;
-        }
-        let idx = ((key - self.lo) / self.width) as usize;
-        if idx < self.bins.len() {
-            self.bins[idx].push(value);
-            true
-        } else {
-            false
+        match edge_corrected_index(self.lo, self.width, self.bins.len(), key) {
+            Some(idx) => {
+                self.bins[idx].push(value);
+                true
+            }
+            None => false,
         }
     }
 
@@ -187,6 +202,40 @@ mod tests {
         assert_eq!(h.bin_lo(0), 0.0);
         assert_eq!(h.bin_center(0), 1.0);
         assert_eq!(h.bin_center(4), 9.0);
+    }
+
+    #[test]
+    fn bin_edges_land_in_their_own_bin() {
+        // The Fig. 3 layouts: 1 MB bins and 100 MB bins expressed in
+        // bytes. (1e8 − 1e6)/14 is inexact in binary, and pre-fix the
+        // raw truncation put the edge of bin 11 into bin 10; the
+        // (1.0, 2.0, 49) layout misplaced many edges the same way.
+        for (lo, hi, nbins) in [(1e6, 1e8, 14), (1.0, 2.0, 49), (0.0, 10.0, 10)] {
+            let h = Histogram::new(lo, hi, nbins);
+            for i in 0..nbins {
+                assert_eq!(
+                    h.bin_index(h.bin_lo(i)),
+                    Some(i),
+                    "edge of bin {i} in [{lo}, {hi}) x {nbins}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binned_series_edges_land_in_their_own_bin() {
+        let lo = 1e6;
+        let hi = 1e8;
+        let nbins = 14;
+        let width = (hi - lo) / nbins as f64;
+        let mut b = BinnedSeries::new(lo, hi, nbins);
+        for i in 0..nbins {
+            assert!(b.insert(lo + width * i as f64, i as f64));
+        }
+        for i in 0..nbins {
+            assert_eq!(b.count(i), 1, "edge of bin {i} misplaced");
+            assert_eq!(b.values(i), &[i as f64]);
+        }
     }
 
     #[test]
