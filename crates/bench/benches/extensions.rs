@@ -48,7 +48,12 @@ fn bench_calendar(c: &mut Criterion) {
             b.iter(|| {
                 let mut cal = LinkCalendar::new();
                 for i in 0..n as u64 {
-                    cal.commit(i, SimTime::from_secs(i * 10), SimTime::from_secs(i * 10 + 600), 1e9);
+                    cal.commit(
+                        i,
+                        SimTime::from_secs(i * 10),
+                        SimTime::from_secs(i * 10 + 600),
+                        1e9,
+                    );
                 }
                 cal.peak_committed_bps(SimTime::ZERO, SimTime::from_secs(n as u64 * 10))
             });
@@ -60,10 +65,7 @@ fn bench_calendar(c: &mut Criterion) {
 fn bench_queue_sim(c: &mut Criterion) {
     let mut g = c.benchmark_group("queue_sim");
     g.sample_size(10);
-    let cfg = QueueSimConfig {
-        gp_packets: 20_000,
-        ..QueueSimConfig::default()
-    };
+    let cfg = QueueSimConfig { gp_packets: 20_000, ..QueueSimConfig::default() };
     g.bench_function("shared_fifo_20k", |b| {
         b.iter(|| simulate(std::hint::black_box(&cfg), Discipline::SharedFifo));
     });

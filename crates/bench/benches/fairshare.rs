@@ -8,9 +8,8 @@ use gvc_topology::{constrained_shortest_path, shortest_path, study_topology, Sit
 fn bench_max_min(c: &mut Criterion) {
     let mut g = c.benchmark_group("max_min");
     for &nflows in &[10usize, 100, 1000] {
-        let constraints: Vec<CapacityConstraint> = (0..40)
-            .map(|_| CapacityConstraint { capacity_bps: 10e9 })
-            .collect();
+        let constraints: Vec<CapacityConstraint> =
+            (0..40).map(|_| CapacityConstraint { capacity_bps: 10e9 }).collect();
         let flows: Vec<FlowDemand> = (0..nflows)
             .map(|i| FlowDemand {
                 constraints: vec![i % 40, (i * 7 + 3) % 40, (i * 13 + 1) % 40],
@@ -20,7 +19,9 @@ fn bench_max_min(c: &mut Criterion) {
             .collect();
         g.throughput(Throughput::Elements(nflows as u64));
         g.bench_function(format!("flows_{nflows}"), |b| {
-            b.iter(|| max_min_allocation(std::hint::black_box(&constraints), std::hint::black_box(&flows)));
+            b.iter(|| {
+                max_min_allocation(std::hint::black_box(&constraints), std::hint::black_box(&flows))
+            });
         });
     }
     g.finish();

@@ -19,11 +19,7 @@ fn bench_generation(c: &mut Criterion) {
     });
     g.bench_function("nersc_ornl_30", |b| {
         b.iter(|| {
-            nersc_ornl::generate(NerscOrnlConfig {
-                seed: 1,
-                n_transfers: 30,
-                background: 1.0,
-            })
+            nersc_ornl::generate(NerscOrnlConfig { seed: 1, n_transfers: 30, background: 1.0 })
         });
     });
     g.finish();

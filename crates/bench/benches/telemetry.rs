@@ -25,10 +25,7 @@ fn run_driver(telemetry: Option<&Telemetry>) -> usize {
     }
     let a = d.register_cluster("dtn.nersc.gov", nersc, ServerCaps::default(), 2);
     let b = d.register_cluster("dtn.ornl.gov", ornl, ServerCaps::default(), 2);
-    let job = |mb: u64| TransferJob {
-        size_bytes: mb << 20,
-        ..TransferJob::default()
-    };
+    let job = |mb: u64| TransferJob { size_bytes: mb << 20, ..TransferJob::default() };
     let spec = SessionSpec::sequential(vec![job(64); 24], 0.5).with_concurrency(4);
     d.schedule_session(SimTime::ZERO, a, b, spec);
     let out = d.run(SimTime::from_secs(1_000_000));
@@ -40,11 +37,11 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     g.bench_function("disabled", |b| b.iter(|| run_driver(None)));
     g.bench_function("metrics_registry", |b| {
         let ctx = Telemetry::metrics_only();
-        b.iter(|| run_driver(Some(&ctx)))
+        b.iter(|| run_driver(Some(&ctx)));
     });
     g.bench_function("ring_trace", |b| {
         let ctx = Telemetry::with_sink(Arc::new(RingSink::new(1 << 16)));
-        b.iter(|| run_driver(Some(&ctx)))
+        b.iter(|| run_driver(Some(&ctx)));
     });
     g.finish();
 }

@@ -19,24 +19,19 @@ fn main() {
         return;
     }
     let full = args.iter().any(|a| a == "--full");
-    let mut ids: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let mut ids: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
     if ids.is_empty() || ids.contains(&"all") {
         ids = EXPERIMENT_IDS.to_vec();
     }
 
     let scale = if full { Scale::Full } else { Scale::Quick };
-    eprintln!(
-        "generating scenarios at {scale:?} scale (seeds fixed; see DESIGN.md) ..."
-    );
-    let t0 = std::time::Instant::now();
+    eprintln!("generating scenarios at {scale:?} scale (seeds fixed; see DESIGN.md) ...");
+    let t0 = gvc_telemetry::Stopwatch::start();
     let scenarios = Scenarios::generate(scale);
     eprintln!(
         "scenarios ready in {:.1} s: NCAR {} / SLAC {} / ORNL {} / ANL {} transfers",
-        t0.elapsed().as_secs_f64(),
+        t0.elapsed_s(),
         scenarios.ncar.len(),
         scenarios.slac.len(),
         scenarios.ornl.log.len(),

@@ -19,10 +19,36 @@ use std::fmt::Write as _;
 
 /// All experiment ids accepted by [`run_experiment`].
 pub const EXPERIMENT_IDS: [&str; 30] = [
-    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
-    "table10", "table11", "table12", "table13", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
-    "fig7", "fig8", "ablations", "blocking", "hntes", "interdomain", "taxonomy", "collector",
-    "campus", "interference", "variance",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+    "table11",
+    "table12",
+    "table13",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "ablations",
+    "blocking",
+    "hntes",
+    "interdomain",
+    "taxonomy",
+    "collector",
+    "campus",
+    "interference",
+    "variance",
 ];
 
 /// Runs one experiment by id; `None` for an unknown id.
@@ -70,8 +96,16 @@ fn table_1_2(ds: &Dataset, title: &str) -> String {
         Some(t) => {
             let _ = writeln!(o, "{}", summary_header("sessions/transfers"));
             let _ = writeln!(o, "{}", summary_row("session size (MB)", &t.session_size_mb, 1.0, 1));
-            let _ = writeln!(o, "{}", summary_row("session duration (s)", &t.session_duration_s, 1.0, 1));
-            let _ = writeln!(o, "{}", summary_row("transfer tput (Mbps)", &t.transfer_throughput_mbps, 1.0, 1));
+            let _ = writeln!(
+                o,
+                "{}",
+                summary_row("session duration (s)", &t.session_duration_s, 1.0, 1)
+            );
+            let _ = writeln!(
+                o,
+                "{}",
+                summary_row("transfer tput (Mbps)", &t.transfer_throughput_mbps, 1.0, 1)
+            );
             let _ = writeln!(
                 o,
                 "({} transfers in {} sessions; {} largest session)",
@@ -113,7 +147,8 @@ fn table_3(s: &Scenarios) -> String {
 }
 
 fn table_4(s: &Scenarios) -> String {
-    let mut o = banner("Table IV: percentage of sessions suitable for VCs (percentage of transfers)");
+    let mut o =
+        banner("Table IV: percentage of sessions suitable for VCs (percentage of transfers)");
     let _ = writeln!(
         o,
         "{:<12} {:>8} | {:>22} {:>22}",
@@ -122,14 +157,8 @@ fn table_4(s: &Scenarios) -> String {
     for (name, ds) in [("NCAR-NICS", &s.ncar), ("SLAC-BNL", &s.slac)] {
         let grid = vc_suitability_grid(ds, &[0.0, 60.0, 120.0], &[60.0, 0.05], 10.0);
         for g in [0.0, 60.0, 120.0] {
-            let slow = grid
-                .iter()
-                .find(|c| c.gap_s == g && c.setup_delay_s == 60.0)
-                .expect("cell");
-            let fast = grid
-                .iter()
-                .find(|c| c.gap_s == g && c.setup_delay_s == 0.05)
-                .expect("cell");
+            let slow = grid.iter().find(|c| c.gap_s == g && c.setup_delay_s == 60.0).expect("cell");
+            let fast = grid.iter().find(|c| c.gap_s == g && c.setup_delay_s == 0.05).expect("cell");
             let _ = writeln!(
                 o,
                 "{name:<12} {g:>8.0} | {:>9.2}% ({:>7.2}%) {:>9.2}% ({:>7.2}%)",
@@ -175,10 +204,7 @@ fn table_6(tests: &Dataset) -> String {
 }
 
 fn size_slices(ds: &Dataset) -> (Dataset, Dataset) {
-    (
-        ds.filter_size(16_000_000_000, 17_000_000_000),
-        ds.filter_size(4_000_000_000, 5_000_000_000),
-    )
+    (ds.filter_size(16_000_000_000, 17_000_000_000), ds.filter_size(4_000_000_000, 5_000_000_000))
 }
 
 fn table_7(ncar: &Dataset) -> String {
@@ -321,33 +347,28 @@ fn table_13(s: &Scenarios) -> String {
 fn fig_1(tests: &Dataset) -> String {
     let mut o = banner("Fig. 1: throughput variance for ANL-to-NERSC transfers (boxplots, Mbps)");
     let rows = endpoint_type_table(tests);
-    let hi = rows
-        .iter()
-        .map(|r| r.throughput_mbps.max)
-        .fold(0.0f64, f64::max)
-        * 1.05;
+    let hi = rows.iter().map(|r| r.throughput_mbps.max).fold(0.0f64, f64::max) * 1.05;
     for r in &rows {
         let slice: Vec<f64> = tests
             .records()
             .iter()
             .filter(|t| {
                 matches!((t.src_kind, t.dst_kind), (Some(a), Some(b))
-                    if gvc_core::tables::EndpointCategory::ALL
-                        .iter()
-                        .find(|c| c.label() == r.category.label())
-                        .map(|_| {
-                            use gvc_logs::EndpointKind::{Disk, Memory};
-                            let want = match r.category.label() {
-                                "mem-mem" => (Memory, Memory),
-                                "mem-disk" => (Memory, Disk),
-                                "disk-mem" => (Disk, Memory),
-                                _ => (Disk, Disk),
-                            };
-                            (a, b) == want
-                        })
-                        .unwrap_or(false))
+                if gvc_core::tables::EndpointCategory::ALL
+                    .iter()
+                    .find(|c| c.label() == r.category.label())
+                    .is_some_and(|_| {
+                        use gvc_logs::EndpointKind::{Disk, Memory};
+                        let want = match r.category.label() {
+                            "mem-mem" => (Memory, Memory),
+                            "mem-disk" => (Memory, Disk),
+                            "disk-mem" => (Disk, Memory),
+                            _ => (Disk, Disk),
+                        };
+                        (a, b) == want
+                    }))
             })
-            .map(|t| t.throughput_mbps())
+            .map(gvc_logs::TransferRecord::throughput_mbps)
             .collect();
         if let Some(b) = BoxplotSummary::of(&slice) {
             let _ = writeln!(
@@ -424,10 +445,8 @@ fn fig_3_4(slac: &Dataset, full_range: bool) -> String {
     };
     for (lo, hi) in edges {
         let pick = |series: &[gvc_core::stream_analysis::StreamBinPoint]| {
-            let pts: Vec<_> = series
-                .iter()
-                .filter(|p| p.size_bytes >= lo && p.size_bytes < hi)
-                .collect();
+            let pts: Vec<_> =
+                series.iter().filter(|p| p.size_bytes >= lo && p.size_bytes < hi).collect();
             let n: usize = pts.iter().map(|p| p.count).sum();
             let med = gvc_stats::median(&pts.iter().map(|p| p.median_mbps).collect::<Vec<_>>());
             (med, n)
@@ -466,14 +485,11 @@ fn fig_5(slac: &Dataset) -> String {
     let mut o = banner("Fig. 5: number of observations per file-size bin (SLAC-BNL)");
     let analysis = stream_analysis_full(slac);
     let _ = writeln!(o, "{:>12} {:>10} {:>10}", "size (MB)", "1-stream", "8-stream");
-    let edges: Vec<(f64, f64)> = (0..16).map(|i| (i as f64 * 256e6, (i + 1) as f64 * 256e6)).collect();
+    let edges: Vec<(f64, f64)> =
+        (0..16).map(|i| (i as f64 * 256e6, (i + 1) as f64 * 256e6)).collect();
     for (lo, hi) in edges {
         let count = |series: &[gvc_core::stream_analysis::StreamBinPoint]| -> usize {
-            series
-                .iter()
-                .filter(|p| p.size_bytes >= lo && p.size_bytes < hi)
-                .map(|p| p.count)
-                .sum()
+            series.iter().filter(|p| p.size_bytes >= lo && p.size_bytes < hi).map(|p| p.count).sum()
         };
         let (n1, n8) = (count(&analysis.one_stream), count(&analysis.eight_streams));
         if n1 + n8 == 0 {
@@ -495,14 +511,12 @@ fn fig_6(ornl: &Dataset) -> String {
 }
 
 fn fig_7(s: &Scenarios) -> String {
-    let mut o = banner("Fig. 7: concurrent transfers within one transfer's duration (NERSC server)");
+    let mut o =
+        banner("Fig. 7: concurrent transfers within one transfer's duration (NERSC server)");
     let server_log = s.nersc_server_log();
     // Pick the mem-mem test with the most concurrency changes.
     let targets = s.anl_mem_mem();
-    let best = targets
-        .records()
-        .iter()
-        .max_by_key(|r| concurrency_profile(&server_log, r).len());
+    let best = targets.records().iter().max_by_key(|r| concurrency_profile(&server_log, r).len());
     let Some(target) = best else {
         let _ = writeln!(o, "(no targets)");
         return o;
@@ -526,7 +540,12 @@ fn fig_8(s: &Scenarios) -> String {
     let server_log = s.nersc_server_log();
     let targets = s.anl_mem_mem();
     let analysis = prediction_analysis(&server_log, &targets, None);
-    let _ = writeln!(o, "R = {:.0} Mbps (90th pct), {} targets", analysis.r_mbps, analysis.points.len());
+    let _ = writeln!(
+        o,
+        "R = {:.0} Mbps (90th pct), {} targets",
+        analysis.r_mbps,
+        analysis.points.len()
+    );
     let _ = writeln!(o, "rho (overall) = {}", corr(analysis.rho));
     for (q, r) in analysis.per_quartile_rho.iter().enumerate() {
         let _ = writeln!(o, "rho (quartile {}) = {}", q + 1, corr(*r));
@@ -552,7 +571,11 @@ fn ablation_suite(ncar: &Dataset) -> String {
     let _ = writeln!(o, "IQR reduction: {:.0}%", r.iqr_reduction() * 100.0);
 
     let _ = writeln!(o, "\n-- alpha-flow isolation: GP queueing wait (gp load 5%) --");
-    let _ = writeln!(o, "{:>12} {:>14} {:>14} {:>8}", "alpha util", "shared (us)", "isolated (us)", "gain");
+    let _ = writeln!(
+        o,
+        "{:>12} {:>14} {:>14} {:>8}",
+        "alpha util", "shared (us)", "isolated (us)", "gain"
+    );
     for p in ablations::isolation_sweep(0.05, &[0.1, 0.2, 0.4, 0.6, 0.8]) {
         let _ = writeln!(
             o,
@@ -623,7 +646,8 @@ fn blocking_experiment() -> String {
         );
     }
     let _ = writeln!(o, "(advance reservations keep blocking low until load nears link capacity)");
-    let (immediate, flexible) = ablations::blocking_with_flexibility(42, 4e9, 600.0, 8.0, 400, 4, 900.0);
+    let (immediate, flexible) =
+        ablations::blocking_with_flexibility(42, 4e9, 600.0, 8.0, 400, 4, 900.0);
     let _ = writeln!(
         o,
         "book-ahead flexibility at 8 erlangs: immediate P(block) {immediate:.3} -> \
@@ -676,7 +700,9 @@ fn interdomain_experiment() -> String {
         let mut g = Graph::new();
         let ids: Vec<_> = names
             .iter()
-            .map(|n| g.add_node(n, if n.starts_with("ep") { NodeKind::Host } else { NodeKind::Router }))
+            .map(|n| {
+                g.add_node(n, if n.starts_with("ep") { NodeKind::Host } else { NodeKind::Router })
+            })
             .collect();
         for w in 0..ids.len() - 1 {
             g.add_duplex_link(ids[w], ids[w + 1], 10e9, 0.005);
@@ -710,7 +736,11 @@ fn interdomain_experiment() -> String {
     let now = SimTime::from_secs(30);
     match ctl.create_circuit("ep-src", "ep-dst", 4e9, now, SimTime::from_secs(3630), now) {
         Ok(c) => {
-            let _ = writeln!(o, "end-to-end 4 Gbps circuit admitted across {} domains", c.segments.len());
+            let _ = writeln!(
+                o,
+                "end-to-end 4 Gbps circuit admitted across {} domains",
+                c.segments.len()
+            );
             let _ = writeln!(
                 o,
                 "requested at t = {:.0} s; usable at t = {:.0} s (gated by the batched 1-min domain)",
@@ -750,10 +780,7 @@ fn taxonomy_experiment() -> String {
     let horizon = SimTime::from_secs(3_600);
     let bg = generate_background(
         &topo.graph,
-        &BackgroundConfig {
-            mean_interarrival_s: 1.0,
-            ..BackgroundConfig::default()
-        },
+        &BackgroundConfig { mean_interarrival_s: 1.0, ..BackgroundConfig::default() },
         horizon,
         42,
     );
@@ -815,10 +842,7 @@ fn collector_experiment(slac: &Dataset) -> String {
         "UDP loss", "records", "local metric", "central metric"
     );
     for loss in [0.0, 0.02, 0.10, 0.30] {
-        let model = CollectorModel {
-            udp_loss: loss,
-            disabled_servers: Default::default(),
-        };
+        let model = CollectorModel { udp_loss: loss, disabled_servers: Default::default() };
         let central = model.collect(slac, 42);
         let (local_pct, central_pct) = gvc_logs::robustness_check(slac, &model, 42);
         let _ = writeln!(
@@ -879,11 +903,8 @@ fn interference_experiment() -> String {
         o,
         "(the paper analyzes each path independently; this measures how much each path's\n throughput distribution shifts when all four run concurrently — KS distance, 0 = none)"
     );
-    let ks = interference_ks(CombinedConfig {
-        seed: 4242,
-        sessions_per_path: 25,
-        horizon_days: 4.0,
-    });
+    let ks =
+        interference_ks(CombinedConfig { seed: 4242, sessions_per_path: 25, horizon_days: 4.0 });
     let _ = writeln!(o, "{:>22} {:>14}", "path", "KS distance");
     for (i, d) in ks.iter().enumerate() {
         let (a, b) = STUDY_PAIRS[i];
@@ -905,7 +926,11 @@ fn variance_experiment(s: &Scenarios) -> String {
         o,
         "(§VII lists seven candidate causes of throughput variance; eta^2 is the fraction\n of variance a factor's grouping explains on each synthetic dataset)"
     );
-    let _ = writeln!(o, "{:<14} {:>12} {:>12} {:>12} {:>12}", "dataset", "stripes", "streams", "year", "hour");
+    let _ = writeln!(
+        o,
+        "{:<14} {:>12} {:>12} {:>12} {:>12}",
+        "dataset", "stripes", "streams", "year", "hour"
+    );
     let eta = |ds: &Dataset, f: &dyn Fn(&gvc_logs::TransferRecord) -> i64| -> String {
         match variance_explained(ds, f) {
             Some(v) => format!("{v:.3}"),

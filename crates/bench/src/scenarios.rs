@@ -87,8 +87,18 @@ impl Scenarios {
         let ((ncar, slac), (ornl, anl)) = join(
             || {
                 join(
-                    || ncar_nics::generate(ncar_nics::NcarNicsConfig { seed: 2009, scale: scale.ncar() }),
-                    || slac_bnl::generate(slac_bnl::SlacBnlConfig { seed: 2012, scale: scale.slac() }),
+                    || {
+                        ncar_nics::generate(ncar_nics::NcarNicsConfig {
+                            seed: 2009,
+                            scale: scale.ncar(),
+                        })
+                    },
+                    || {
+                        slac_bnl::generate(slac_bnl::SlacBnlConfig {
+                            seed: 2012,
+                            scale: scale.slac(),
+                        })
+                    },
                 )
             },
             || {
@@ -111,13 +121,7 @@ impl Scenarios {
                 )
             },
         );
-        Scenarios {
-            scale,
-            ncar,
-            slac,
-            ornl,
-            anl,
-        }
+        Scenarios { scale, ncar, slac, ornl, anl }
     }
 
     /// The ANL test transfers (Table VI / Figs. 1, 7, 8 targets).

@@ -2,7 +2,7 @@
 //! arguments, `--flag value` pairs, and a small set of boolean
 //! `--flag` switches that take no value.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A command-line failure with a user-facing message.
@@ -28,8 +28,9 @@ impl From<std::io::Error> for CliError {
 pub struct ParsedArgs {
     /// Positional arguments, in order.
     pub positional: Vec<String>,
-    /// `--flag value` pairs.
-    pub flags: HashMap<String, String>,
+    /// `--flag value` pairs, ordered by flag name so iteration (help
+    /// text, echo output) is deterministic.
+    pub flags: BTreeMap<String, String>,
 }
 
 impl ParsedArgs {
@@ -45,15 +46,13 @@ impl ParsedArgs {
     pub fn flag_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, CliError> {
         match self.flags.get(flag) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| CliError(format!("bad value for --{flag}: {v:?}"))),
+            Some(v) => v.parse().map_err(|_| CliError(format!("bad value for --{flag}: {v:?}"))),
         }
     }
 
     /// String flag with default.
     pub fn str_flag_or<'a>(&'a self, flag: &str, default: &'a str) -> &'a str {
-        self.flags.get(flag).map(String::as_str).unwrap_or(default)
+        self.flags.get(flag).map_or(default, String::as_str)
     }
 
     /// Whether a boolean `--flag` switch was given.
@@ -76,9 +75,7 @@ pub fn parse_flags<I: IntoIterator<Item = String>>(args: I) -> Result<ParsedArgs
                 out.flags.insert(flag.to_owned(), "true".to_owned());
                 continue;
             }
-            let value = it
-                .next()
-                .ok_or_else(|| CliError(format!("--{flag} requires a value")))?;
+            let value = it.next().ok_or_else(|| CliError(format!("--{flag} requires a value")))?;
             out.flags.insert(flag.to_owned(), value);
         } else {
             out.positional.push(a);
@@ -92,7 +89,7 @@ mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> ParsedArgs {
-        parse_flags(args.iter().map(|s| s.to_string())).unwrap()
+        parse_flags(args.iter().map(std::string::ToString::to_string)).unwrap()
     }
 
     #[test]

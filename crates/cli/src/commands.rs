@@ -68,8 +68,8 @@ fn config_string(a: &ParsedArgs) -> String {
 /// nothing is attached to the subsystems).
 fn telemetry_from_flags(a: &ParsedArgs) -> Result<(Telemetry, bool), CliError> {
     if let Some(path) = a.flags.get("trace") {
-        let sink = JsonlSink::create(path)
-            .map_err(|e| CliError(format!("cannot create {path}: {e}")))?;
+        let sink =
+            JsonlSink::create(path).map_err(|e| CliError(format!("cannot create {path}: {e}")))?;
         return Ok((Telemetry::with_sink(Arc::new(sink)), true));
     }
     if a.bool_flag("metrics") {
@@ -93,7 +93,12 @@ fn save(path: &str, ds: &Dataset) -> Result<(), CliError> {
     Ok(())
 }
 
-fn print_summary<W: Write>(w: &mut W, label: &str, s: &Summary, unit: &str) -> Result<(), CliError> {
+fn print_summary<W: Write>(
+    w: &mut W,
+    label: &str,
+    s: &Summary,
+    unit: &str,
+) -> Result<(), CliError> {
     writeln!(
         w,
         "{label:<24} min {:>12.2}  q1 {:>12.2}  med {:>12.2}  mean {:>12.2}  q3 {:>12.2}  max {:>12.2}  {unit}",
@@ -109,7 +114,7 @@ fn cmd_summary<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
         return Ok(());
     }
     let sizes: Vec<f64> = ds.sizes_bytes().iter().map(|b| b / 1e6).collect();
-    let durs: Vec<f64> = ds.records().iter().map(|r| r.duration_s()).collect();
+    let durs: Vec<f64> = ds.records().iter().map(gvc_logs::TransferRecord::duration_s).collect();
     print_summary(w, "size", &Summary::of(&sizes).expect("non-empty"), "MB")?;
     print_summary(w, "duration", &Summary::of(&durs).expect("non-empty"), "s")?;
     print_summary(
@@ -149,7 +154,7 @@ fn cmd_sessions<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
     )?;
     if !g.sessions.is_empty() {
         let sizes: Vec<f64> = g.sessions.iter().map(|s| s.size_bytes() as f64 / 1e6).collect();
-        let durs: Vec<f64> = g.sessions.iter().map(|s| s.duration_s()).collect();
+        let durs: Vec<f64> = g.sessions.iter().map(gvc_core::Session::duration_s).collect();
         print_summary(w, "session size", &Summary::of(&sizes).expect("non-empty"), "MB")?;
         print_summary(w, "session duration", &Summary::of(&durs).expect("non-empty"), "s")?;
     }
@@ -175,10 +180,7 @@ fn cmd_suitability<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> 
     }
     let grouping = group_sessions(&ds, gap);
     let v = vc_suitability(&grouping, &ds, setup, factor);
-    writeln!(
-        w,
-        "g = {gap} s, setup delay = {setup} s, overhead factor = {factor}"
-    )?;
+    writeln!(w, "g = {gap} s, setup delay = {setup} s, overhead factor = {factor}")?;
     writeln!(w, "q3 transfer throughput: {:.1} Mbps", v.q3_throughput_mbps)?;
     writeln!(
         w,
@@ -206,8 +208,7 @@ fn list_flag_or(a: &ParsedArgs, name: &str, default: &[f64]) -> Result<Vec<f64>,
             .split(',')
             .map(|s| {
                 let s = s.trim();
-                s.parse::<f64>()
-                    .map_err(|_| CliError(format!("--{name}: {s:?} is not a number")))
+                s.parse::<f64>().map_err(|_| CliError(format!("--{name}: {s:?} is not a number")))
             })
             .collect(),
     }
@@ -278,21 +279,16 @@ fn cmd_generate<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
             seed,
             scale,
         }),
-        "slac" => gvc_workload::slac_bnl::generate(gvc_workload::slac_bnl::SlacBnlConfig {
-            seed,
-            scale,
-        }),
+        "slac" => {
+            gvc_workload::slac_bnl::generate(gvc_workload::slac_bnl::SlacBnlConfig { seed, scale })
+        }
         "anl" => gvc_workload::nersc_anl::generate(gvc_workload::nersc_anl::NerscAnlConfig {
             seed,
             scale,
             production_sessions_per_day: 60.0,
             horizon_days: 50.0 * scale.clamp(0.1, 1.0),
         }),
-        other => {
-            return Err(CliError(format!(
-                "unknown scenario {other:?} (want ncar|slac|anl)"
-            )))
-        }
+        other => return Err(CliError(format!("unknown scenario {other:?} (want ncar|slac|anl)"))),
     };
     save(&out, &ds)?;
     writeln!(w, "wrote {} transfers to {out}", ds.len())?;
@@ -338,10 +334,7 @@ fn cmd_simulate<W: Write>(
     let src = d.register_cluster("dtn.nersc.gov", nersc, ServerCaps::default(), 2);
     let dst = d.register_cluster("dtn.ornl.gov", ornl, ServerCaps::default(), 2);
 
-    let job = |mb: u64| TransferJob {
-        size_bytes: mb << 20,
-        ..TransferJob::default()
-    };
+    let job = |mb: u64| TransferJob { size_bytes: mb << 20, ..TransferJob::default() };
     // One circuit-backed bulk session plus standalone best-effort
     // transfers, so kernel, IDC, transfer, and net activity all show
     // up in a single instrumented run.
@@ -360,11 +353,7 @@ fn cmd_simulate<W: Write>(
     save(&out, &result.log)?;
     writeln!(w, "wrote {} transfers to {out}", result.log.len())?;
     if let Some(stats) = &result.idc_stats {
-        writeln!(
-            w,
-            "circuits: {} admitted, {} blocked",
-            stats.admitted, stats.blocked
-        )?;
+        writeln!(w, "circuits: {} admitted, {} blocked", stats.admitted, stats.blocked)?;
     }
     Ok(())
 }
@@ -416,7 +405,7 @@ mod tests {
     use gvc_logs::{TransferRecord, TransferType};
 
     fn args(v: &[&str]) -> ParsedArgs {
-        parse_flags(v.iter().map(|s| s.to_string())).unwrap()
+        parse_flags(v.iter().map(std::string::ToString::to_string)).unwrap()
     }
 
     fn run(v: &[&str]) -> Result<String, CliError> {
@@ -503,10 +492,8 @@ mod tests {
             .and_then(|t| t.split('%').next())
             .unwrap()
             .to_owned();
-        let grid_line = out
-            .lines()
-            .find(|l| l.contains("g=  60.0s") && l.contains("setup="))
-            .unwrap();
+        let grid_line =
+            out.lines().find(|l| l.contains("g=  60.0s") && l.contains("setup=")).unwrap();
         assert!(grid_line.contains(&format!("sessions {pct:>6}%")), "{grid_line} vs {pct}");
     }
 
@@ -559,7 +546,14 @@ mod tests {
         let out_path = tmpfile("sim.log");
         let trace_path = tmpfile("sim.jsonl");
         let msg = run(&[
-            "simulate", &out_path, "--seed", "7", "--jobs", "4", "--trace", &trace_path,
+            "simulate",
+            &out_path,
+            "--seed",
+            "7",
+            "--jobs",
+            "4",
+            "--trace",
+            &trace_path,
             "--metrics",
         ])
         .unwrap();

@@ -61,10 +61,8 @@ fn full_workflow_through_files() {
     assert!(stdout.contains("throughput"));
 
     // sessions
-    let out = gvc()
-        .args(["sessions", log.to_str().unwrap(), "--gap", "60"])
-        .output()
-        .expect("spawn");
+    let out =
+        gvc().args(["sessions", log.to_str().unwrap(), "--gap", "60"]).output().expect("spawn");
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("sessions over"));
 
@@ -83,10 +81,7 @@ fn full_workflow_through_files() {
     assert!(String::from_utf8_lossy(&out.stdout).contains("anonymized remotes"));
 
     // anonymized copy cannot be sessionized
-    let out = gvc()
-        .args(["sessions", anon.to_str().unwrap()])
-        .output()
-        .expect("spawn");
+    let out = gvc().args(["sessions", anon.to_str().unwrap()]).output().expect("spawn");
     assert!(String::from_utf8_lossy(&out.stdout).contains("0 sessions"));
 
     std::fs::remove_file(&log).ok();
@@ -211,10 +206,7 @@ fn simulate_with_trace_emits_valid_jsonl_with_all_namespaces() {
     // appear in one run.
     assert!(text.lines().next().unwrap().contains("run.manifest"));
     for prefix in ["kernel.", "idc.", "transfer.", "net."] {
-        assert!(
-            kinds.iter().any(|k| k.starts_with(prefix)),
-            "no {prefix}* events in {kinds:?}"
-        );
+        assert!(kinds.iter().any(|k| k.starts_with(prefix)), "no {prefix}* events in {kinds:?}");
     }
     std::fs::remove_file(&log).ok();
     std::fs::remove_file(&trace).ok();

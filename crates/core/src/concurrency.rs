@@ -65,11 +65,12 @@ pub fn concurrency_profile(ds: &Dataset, target: &TransferRecord) -> Vec<Concurr
     points.sort_unstable();
     points.dedup();
     points
-        .windows(2)
-        .map(|w| ConcurrencyInterval {
-            start_us: w[0],
-            duration_s: (w[1] - w[0]) as f64 / 1e6,
-            concurrent: active_at(ds, &target.server, w[0]).len(),
+        .iter()
+        .zip(points.iter().skip(1))
+        .map(|(&lo, &hi)| ConcurrencyInterval {
+            start_us: lo,
+            duration_s: (hi - lo) as f64 / 1e6,
+            concurrent: active_at(ds, &target.server, lo).len(),
         })
         .collect()
 }
@@ -119,13 +120,11 @@ pub fn prediction_analysis(
 ) -> PredictionAnalysis {
     // One value per target record (positional alignment with
     // `predicted` matters; `throughputs_mbps()` drops degenerates).
-    let actual: Vec<f64> = targets.records().iter().map(|r| r.throughput_mbps()).collect();
+    let actual: Vec<f64> =
+        targets.records().iter().map(gvc_logs::TransferRecord::throughput_mbps).collect();
     let r = r_mbps.unwrap_or_else(|| quantile(&actual, 0.90).unwrap_or(0.0));
-    let predicted: Vec<f64> = targets
-        .records()
-        .iter()
-        .map(|t| predict_throughput_mbps(ds, t, r))
-        .collect();
+    let predicted: Vec<f64> =
+        targets.records().iter().map(|t| predict_throughput_mbps(ds, t, r)).collect();
     let points: Vec<(f64, f64)> = actual.iter().copied().zip(predicted.iter().copied()).collect();
 
     // Quartiles by actual throughput.
@@ -150,14 +149,10 @@ pub fn prediction_analysis(
         let y: Vec<f64> = idx.iter().map(|&i| predicted[i]).collect();
         pearson(&x, &y)
     };
+    let [qa, qb, qc, qd] = &quartiles;
     PredictionAnalysis {
         rho: pearson(&actual, &predicted),
-        per_quartile_rho: [
-            corr_of(&quartiles[0]),
-            corr_of(&quartiles[1]),
-            corr_of(&quartiles[2]),
-            corr_of(&quartiles[3]),
-        ],
+        per_quartile_rho: [corr_of(qa), corr_of(qb), corr_of(qc), corr_of(qd)],
         points,
         r_mbps: r,
     }
@@ -198,10 +193,7 @@ mod tests {
         let ds = Dataset::from_records(vec![target.clone(), other]);
         let p = concurrency_profile(&ds, &target);
         assert_eq!(p.len(), 3);
-        assert_eq!(
-            p.iter().map(|iv| iv.concurrent).collect::<Vec<_>>(),
-            vec![1, 2, 1]
-        );
+        assert_eq!(p.iter().map(|iv| iv.concurrent).collect::<Vec<_>>(), vec![1, 2, 1]);
         let total: f64 = p.iter().map(|iv| iv.duration_s).sum();
         assert!((total - 30.0).abs() < 1e-9);
     }

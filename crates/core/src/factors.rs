@@ -23,7 +23,9 @@ pub struct FactorRow {
 
 /// Groups transfers by calendar year of their start time (Table VIII).
 pub fn by_year(ds: &Dataset) -> Vec<FactorRow> {
-    group_by(ds, |r| i64::from(CivilDateTime::from_unix(r.start_unix_us.div_euclid(1_000_000)).year))
+    group_by(ds, |r| {
+        i64::from(CivilDateTime::from_unix(r.start_unix_us.div_euclid(1_000_000)).year)
+    })
 }
 
 /// Groups transfers by stripe count (Table IX).
@@ -45,11 +47,8 @@ pub fn variance_explained<F>(ds: &Dataset, key: F) -> Option<f64>
 where
     F: Fn(&gvc_logs::TransferRecord) -> i64,
 {
-    let values: Vec<(i64, f64)> = ds
-        .records()
-        .iter()
-        .map(|r| (key(r), r.throughput_mbps()))
-        .collect();
+    let values: Vec<(i64, f64)> =
+        ds.records().iter().map(|r| (key(r), r.throughput_mbps())).collect();
     if values.len() < 2 {
         return None;
     }
@@ -81,12 +80,7 @@ fn group_by<F: Fn(&gvc_logs::TransferRecord) -> i64>(ds: &Dataset, key: F) -> Ve
     }
     groups
         .into_iter()
-        .filter_map(|(k, v)| {
-            Some(FactorRow {
-                key: k,
-                throughput_mbps: Summary::of(&v)?,
-            })
-        })
+        .filter_map(|(k, v)| Some(FactorRow { key: k, throughput_mbps: Summary::of(&v)? }))
         .collect()
 }
 
@@ -175,10 +169,7 @@ mod tests {
 
     #[test]
     fn variance_unexplained_by_constant_factor() {
-        let ds = Dataset::from_records(vec![
-            rec(Y2010, 8.0, 1, 8),
-            rec(Y2010 + 10, 4.0, 1, 8),
-        ]);
+        let ds = Dataset::from_records(vec![rec(Y2010, 8.0, 1, 8), rec(Y2010 + 10, 4.0, 1, 8)]);
         let eta = variance_explained(&ds, |r| i64::from(r.num_stripes)).unwrap();
         assert!(eta.abs() < 1e-12);
     }

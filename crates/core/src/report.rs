@@ -46,16 +46,13 @@ pub struct FeasibilityReport {
 impl FeasibilityReport {
     /// The Table IV cell for a given g and setup delay (seconds).
     pub fn cell(&self, gap_s: f64, setup_delay_s: f64) -> Option<&VcSuitability> {
-        self.suitability
-            .iter()
-            .find(|c| c.gap_s == gap_s && c.setup_delay_s == setup_delay_s)
+        self.suitability.iter().find(|c| c.gap_s == gap_s && c.setup_delay_s == setup_delay_s)
     }
 
     /// The headline: % sessions and % transfers suitable at g = 1 min
     /// under the deployed 1-minute setup delay.
     pub fn headline(&self) -> Option<(f64, f64)> {
-        self.cell(60.0, 60.0)
-            .map(|c| (c.pct_sessions(), c.pct_transfers()))
+        self.cell(60.0, 60.0).map(|c| (c.pct_sessions(), c.pct_transfers()))
     }
 }
 

@@ -32,10 +32,7 @@ pub fn throughput_vs_size(ds: &Dataset) -> Vec<ScatterPoint> {
 
 /// The peak-throughput point, if any.
 pub fn peak(points: &[ScatterPoint]) -> Option<ScatterPoint> {
-    points
-        .iter()
-        .copied()
-        .max_by(|a, b| a.throughput_mbps.partial_cmp(&b.throughput_mbps).expect("no NaN"))
+    points.iter().copied().max_by(|a, b| a.throughput_mbps.total_cmp(&b.throughput_mbps))
 }
 
 /// Points above a throughput threshold (the paper's "> 1.5 Gbps"

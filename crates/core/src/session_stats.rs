@@ -43,25 +43,14 @@ fn triple(s: &Session) -> (u64, f64, Option<f64>) {
 
 /// Computes the highlights for a grouping over dataset `ds`.
 pub fn session_highlights(grouping: &SessionGrouping, ds: &Dataset) -> SessionHighlights {
-    let largest = grouping
-        .sessions
-        .iter()
-        .max_by_key(|s| s.size_bytes())
-        .map(triple);
+    let largest = grouping.sessions.iter().max_by_key(|s| s.size_bytes()).map(triple);
     let longest = grouping
         .sessions
         .iter()
-        .max_by(|a, b| {
-            a.duration_s()
-                .partial_cmp(&b.duration_s())
-                .expect("no NaN durations")
-        })
+        .max_by(|a, b| a.duration_s().total_cmp(&b.duration_s()))
         .map(triple);
-    let rates: Vec<f64> = grouping
-        .sessions
-        .iter()
-        .filter_map(Session::effective_throughput_mbps)
-        .collect();
+    let rates: Vec<f64> =
+        grouping.sessions.iter().filter_map(Session::effective_throughput_mbps).collect();
     let q3_transfer = quantile(&ds.throughputs_mbps(), 0.75).unwrap_or(0.0);
     let below = if rates.is_empty() {
         0.0
@@ -85,18 +74,9 @@ pub fn session_highlights_from_store(store: &SessionStore, gap_s: f64) -> Sessio
         (v.size_bytes(), v.duration_s(), v.effective_throughput_mbps())
     };
     let largest = views.iter().max_by_key(|v| v.size_bytes()).map(triple);
-    let longest = views
-        .iter()
-        .max_by(|a, b| {
-            a.duration_s()
-                .partial_cmp(&b.duration_s())
-                .expect("no NaN durations")
-        })
-        .map(triple);
-    let rates: Vec<f64> = views
-        .iter()
-        .filter_map(|v| v.effective_throughput_mbps())
-        .collect();
+    let longest = views.iter().max_by(|a, b| a.duration_s().total_cmp(&b.duration_s())).map(triple);
+    let rates: Vec<f64> =
+        views.iter().filter_map(super::sweep::SessionView::effective_throughput_mbps).collect();
     let q3_transfer = quantile(&store.throughputs_mbps(), 0.75).unwrap_or(0.0);
     let below = if rates.is_empty() {
         0.0
@@ -114,11 +94,7 @@ pub fn session_highlights_from_store(store: &SessionStore, gap_s: f64) -> Sessio
 /// OLS fit of per-transfer throughput (Mbps) against start year —
 /// quantifying the Table VIII decline as a slope (Mbps/year) with r².
 pub fn yearly_trend(ds: &Dataset) -> Option<LinearFit> {
-    let x: Vec<f64> = ds
-        .records()
-        .iter()
-        .map(|r| f64::from(r.start_civil().year))
-        .collect();
+    let x: Vec<f64> = ds.records().iter().map(|r| f64::from(r.start_civil().year)).collect();
     let y: Vec<f64> = ds.throughputs_mbps();
     linear_fit(&x, &y)
 }

@@ -34,18 +34,15 @@ impl Session {
         self.records.is_empty()
     }
 
-    /// Session start: first transfer's start (unix µs).
+    /// Session start: first transfer's start (unix µs); 0 when
+    /// empty (grouping never produces an empty session).
     pub fn start_unix_us(&self) -> i64 {
-        self.records.first().expect("non-empty").start_unix_us
+        self.records.first().map_or(0, |r| r.start_unix_us)
     }
 
-    /// Session end: latest transfer end (unix µs).
+    /// Session end: latest transfer end (unix µs); 0 when empty.
     pub fn end_unix_us(&self) -> i64 {
-        self.records
-            .iter()
-            .map(TransferRecord::end_unix_us)
-            .max()
-            .expect("non-empty")
+        self.records.iter().map(TransferRecord::end_unix_us).max().unwrap_or(0)
     }
 
     /// Wall-clock duration, seconds (the Table I/II "session
@@ -147,10 +144,7 @@ pub fn group_sessions(ds: &Dataset, gap_s: f64) -> SessionGrouping {
     let mut ungroupable = 0usize;
     for r in ds.records() {
         match r.pair_key() {
-            Some((s, p)) => pairs
-                .entry((s.to_owned(), p.to_owned()))
-                .or_default()
-                .push(r),
+            Some((s, p)) => pairs.entry((s.to_owned(), p.to_owned())).or_default().push(r),
             None => ungroupable += 1,
         }
     }
@@ -161,9 +155,7 @@ pub fn group_sessions(ds: &Dataset, gap_s: f64) -> SessionGrouping {
         let mut session_end = i64::MIN;
         for r in recs {
             if !current.is_empty() && r.start_unix_us - session_end > gap_us {
-                sessions.push(Session {
-                    records: std::mem::take(&mut current),
-                });
+                sessions.push(Session { records: std::mem::take(&mut current) });
                 session_end = i64::MIN;
             }
             session_end = session_end.max(r.end_unix_us());
@@ -174,11 +166,7 @@ pub fn group_sessions(ds: &Dataset, gap_s: f64) -> SessionGrouping {
         }
     }
 
-    SessionGrouping {
-        sessions,
-        ungroupable,
-        gap_s,
-    }
+    SessionGrouping { sessions, ungroupable, gap_s }
 }
 
 #[cfg(test)]
@@ -268,10 +256,8 @@ mod tests {
 
     #[test]
     fn anonymized_records_reported_ungroupable() {
-        let ds = Dataset::from_records(vec![
-            rec(0.0, 10.0, 100, None),
-            rec(1.0, 10.0, 100, Some("p")),
-        ]);
+        let ds =
+            Dataset::from_records(vec![rec(0.0, 10.0, 100, None), rec(1.0, 10.0, 100, Some("p"))]);
         let g = group_sessions(&ds, 60.0);
         assert_eq!(g.ungroupable, 1);
         assert_eq!(g.grouped_transfers(), 1);

@@ -45,7 +45,8 @@ pub fn throughput_quartile_indices(ds: &Dataset) -> [Vec<usize>; 4] {
     let q1 = quantile(&ds.throughputs_mbps(), 0.25).unwrap_or(0.0);
     let q2 = quantile(&ds.throughputs_mbps(), 0.50).unwrap_or(0.0);
     let q3 = quantile(&ds.throughputs_mbps(), 0.75).unwrap_or(0.0);
-    let tps: Vec<f64> = ds.records().iter().map(|r| r.throughput_mbps()).collect();
+    let tps: Vec<f64> =
+        ds.records().iter().map(gvc_logs::TransferRecord::throughput_mbps).collect();
     let mut out: [Vec<usize>; 4] = Default::default();
     for (i, &t) in tps.iter().enumerate() {
         let q = if t <= q1 {
@@ -89,12 +90,10 @@ pub fn router_correlation(
     };
     RouterCorrelation {
         interface: series.interface.clone(),
-        per_quartile: [
-            corr_of(&quartiles[0]),
-            corr_of(&quartiles[1]),
-            corr_of(&quartiles[2]),
-            corr_of(&quartiles[3]),
-        ],
+        per_quartile: {
+            let [qa, qb, qc, qd] = &quartiles;
+            [corr_of(qa), corr_of(qb), corr_of(qc), corr_of(qd)]
+        },
         overall: pearson(&gridftp, &snmp),
     }
 }
@@ -135,12 +134,10 @@ where
     };
     RouterCorrelation {
         interface: fwd.interface.clone(),
-        per_quartile: [
-            corr_of(&quartiles[0]),
-            corr_of(&quartiles[1]),
-            corr_of(&quartiles[2]),
-            corr_of(&quartiles[3]),
-        ],
+        per_quartile: {
+            let [qa, qb, qc, qd] = &quartiles;
+            [corr_of(qa), corr_of(qb), corr_of(qc), corr_of(qd)]
+        },
         overall: pearson(&gridftp, &snmp),
     }
 }
@@ -151,10 +148,7 @@ pub fn correlation_table(
     series: &[&SnmpSeries],
     kind: CorrelationKind,
 ) -> Vec<RouterCorrelation> {
-    series
-        .iter()
-        .map(|s| router_correlation(ds, s, kind))
-        .collect()
+    series.iter().map(|s| router_correlation(ds, s, kind)).collect()
 }
 
 #[cfg(test)]

@@ -117,10 +117,7 @@ mod tests {
     fn bins_are_paper_sized() {
         // 1 MB bins below 1 GB: two 10 MB-ish transfers land in
         // distinct adjacent bins.
-        let ds = Dataset::from_records(vec![
-            rec(10_400_000, 1.0, 8),
-            rec(11_600_000, 1.0, 8),
-        ]);
+        let ds = Dataset::from_records(vec![rec(10_400_000, 1.0, 8), rec(11_600_000, 1.0, 8)]);
         let a = stream_analysis_small(&ds);
         assert_eq!(a.eight_streams.len(), 2);
         assert!((a.eight_streams[0].size_bytes - 10_500_000.0).abs() < 1.0);
@@ -168,10 +165,7 @@ mod tests {
 
     #[test]
     fn full_concatenates_ranges() {
-        let ds = Dataset::from_records(vec![
-            rec(500_000_000, 5.0, 8),
-            rec(2_000_000_500, 20.0, 8),
-        ]);
+        let ds = Dataset::from_records(vec![rec(500_000_000, 5.0, 8), rec(2_000_000_500, 20.0, 8)]);
         let a = stream_analysis_full(&ds);
         assert_eq!(a.eight_streams.len(), 2);
         assert!(a.eight_streams[0].size_bytes < 1e9);

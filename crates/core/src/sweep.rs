@@ -93,16 +93,12 @@ impl<'a> SessionView<'a> {
 
     /// Session start: first transfer's start (unix µs).
     pub fn start_unix_us(&self) -> i64 {
-        self.records.first().expect("non-empty").start_unix_us
+        self.records.first().map_or(0, |r| r.start_unix_us)
     }
 
     /// Session end: latest transfer end (unix µs).
     pub fn end_unix_us(&self) -> i64 {
-        self.records
-            .iter()
-            .map(TransferRecord::end_unix_us)
-            .max()
-            .expect("non-empty")
+        self.records.iter().map(TransferRecord::end_unix_us).max().unwrap_or(0)
     }
 
     /// Wall-clock duration, seconds.
@@ -174,9 +170,11 @@ impl SessionStore {
         });
         // Gather into the slab without cloning any record.
         let mut slots: Vec<Option<TransferRecord>> = records.into_iter().map(Some).collect();
+        // `order` is a permutation of 0..len, so every take succeeds
+        // and the slab keeps the full record count.
         let slab: Vec<TransferRecord> = order
             .iter()
-            .map(|&i| slots[i as usize].take().expect("permutation"))
+            .filter_map(|&i| slots.get_mut(i as usize).and_then(Option::take))
             .collect();
         let mut pairs = Vec::new();
         let mut groupable = slab.len() as u32;
@@ -192,11 +190,7 @@ impl SessionStore {
                 run_start = w as u32 + 1;
             }
         }
-        SessionStore {
-            records: slab.into(),
-            pairs,
-            groupable,
-        }
+        SessionStore { records: slab.into(), pairs, groupable }
     }
 
     /// Every record in the store (groupable prefix, then the
@@ -243,9 +237,7 @@ impl SessionStore {
 
     /// A borrowed view of the session covering `range`.
     pub fn session(&self, range: SessionRange) -> SessionView<'_> {
-        SessionView {
-            records: &self.records[range.start as usize..range.end as usize],
-        }
+        SessionView { records: &self.records[range.start as usize..range.end as usize] }
     }
 
     /// Sessions at one gap value, as index ranges (pair order, then
@@ -255,22 +247,17 @@ impl SessionStore {
         let mut out = Vec::new();
         for &(lo, hi) in &self.pairs {
             let recs = &self.records[lo as usize..hi as usize];
+            let Some(first) = recs.first() else { continue };
             let mut session_start = lo;
-            let mut max_end = recs[0].end_unix_us();
+            let mut max_end = first.end_unix_us();
             for (k, r) in recs.iter().enumerate().skip(1) {
                 if r.start_unix_us - max_end > gap_us {
-                    out.push(SessionRange {
-                        start: session_start,
-                        end: lo + k as u32,
-                    });
+                    out.push(SessionRange { start: session_start, end: lo + k as u32 });
                     session_start = lo + k as u32;
                 }
                 max_end = max_end.max(r.end_unix_us());
             }
-            out.push(SessionRange {
-                start: session_start,
-                end: hi,
-            });
+            out.push(SessionRange { start: session_start, end: hi });
         }
         out
     }
@@ -294,15 +281,10 @@ impl SessionStore {
             // remember each gap's slot in the caller's order.
             gap_order: {
                 let mut idx: Vec<usize> = (0..gaps_s.len()).collect();
-                idx.sort_by(|&a, &b| {
-                    gaps_s[a].partial_cmp(&gaps_s[b]).expect("no NaN gaps")
-                });
+                idx.sort_by(|&a, &b| gaps_s[a].total_cmp(&gaps_s[b]));
                 idx.iter().map(|&i| (gap_to_us(gaps_s[i]), i)).collect()
             },
-            thresholds_s: setup_delays_s
-                .iter()
-                .map(|&d| overhead_factor * d)
-                .collect(),
+            thresholds_s: setup_delays_s.iter().map(|&d| overhead_factor * d).collect(),
             q3_bps: q3_mbps * 1e6,
         };
         let aggs = sweep_pairs(&ctx, &self.pairs);
@@ -339,7 +321,7 @@ impl SessionStore {
                     total_sessions: aggs[gi].sessions,
                     suitable_transfers: aggs[gi].suitable_transfers[di],
                     total_transfers,
-                })
+                });
             }
         }
         SweepResult {
@@ -362,9 +344,8 @@ impl SessionStore {
         overhead_factor: f64,
         telemetry: &Telemetry,
     ) -> SweepResult {
-        let hist = telemetry
-            .registry
-            .histogram("analysis_sweep_duration_seconds", &[], Histogram::timing);
+        let hist =
+            telemetry.registry.histogram("analysis_sweep_duration_seconds", &[], Histogram::timing);
         let result = {
             let _timer = SpanTimer::start(&hist);
             self.sweep(gaps_s, setup_delays_s, overhead_factor)
@@ -401,9 +382,7 @@ pub struct SweepResult {
 impl SweepResult {
     /// The cell for a given gap and setup delay (seconds).
     pub fn cell(&self, gap_s: f64, setup_delay_s: f64) -> Option<&VcSuitability> {
-        self.cells
-            .iter()
-            .find(|c| c.gap_s == gap_s && c.setup_delay_s == setup_delay_s)
+        self.cells.iter().find(|c| c.gap_s == gap_s && c.setup_delay_s == setup_delay_s)
     }
 }
 
@@ -496,10 +475,8 @@ fn sweep_pairs(ctx: &SweepCtx<'_>, pairs: &[(u32, u32)]) -> Vec<GapAgg> {
         let total: usize = pairs.iter().map(|&(lo, hi)| (hi - lo) as usize).sum();
         if pairs.len() > 1 && total > PARALLEL_THRESHOLD_RECORDS {
             let mid = pairs.len() / 2;
-            let (mut a, b) = rayon::join(
-                || sweep_pairs(ctx, &pairs[..mid]),
-                || sweep_pairs(ctx, &pairs[mid..]),
-            );
+            let (mut a, b) =
+                rayon::join(|| sweep_pairs(ctx, &pairs[..mid]), || sweep_pairs(ctx, &pairs[mid..]));
             for (x, y) in a.iter_mut().zip(&b) {
                 x.absorb(y);
             }
@@ -532,7 +509,8 @@ fn sweep_pair(ctx: &SweepCtx<'_>, lo: u32, hi: u32, out: &mut [GapAgg]) {
     // Boundary gaps: position k splits sessions at parameter g iff
     // start[k] − max(end[0..k]) > g.
     let mut boundaries: Vec<(i64, u32)> = Vec::with_capacity(m.saturating_sub(1));
-    let mut max_end = recs[0].end_unix_us();
+    let Some(first) = recs.first() else { return };
+    let mut max_end = first.end_unix_us();
     for (k, r) in recs.iter().enumerate().skip(1) {
         boundaries.push((r.start_unix_us - max_end, k as u32));
         max_end = max_end.max(r.end_unix_us());

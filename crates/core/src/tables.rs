@@ -26,12 +26,9 @@ pub struct SessionTable {
 /// Builds Table I/II from a grouping and its source dataset.
 /// Returns `None` when either is empty.
 pub fn session_table(grouping: &SessionGrouping, ds: &Dataset) -> Option<SessionTable> {
-    let sizes: Vec<f64> = grouping
-        .sessions
-        .iter()
-        .map(|s| s.size_bytes() as f64 / 1e6)
-        .collect();
-    let durations: Vec<f64> = grouping.sessions.iter().map(|s| s.duration_s()).collect();
+    let sizes: Vec<f64> = grouping.sessions.iter().map(|s| s.size_bytes() as f64 / 1e6).collect();
+    let durations: Vec<f64> =
+        grouping.sessions.iter().map(super::sessions::Session::duration_s).collect();
     let throughputs = ds.throughputs_mbps();
     Some(SessionTable {
         session_size_mb: Summary::of(&sizes)?,
@@ -72,7 +69,8 @@ pub struct TransferTable {
 
 /// Builds a transfer summary for a dataset slice.
 pub fn transfer_table(ds: &Dataset) -> Option<TransferTable> {
-    let durations: Vec<f64> = ds.records().iter().map(|r| r.duration_s()).collect();
+    let durations: Vec<f64> =
+        ds.records().iter().map(gvc_logs::TransferRecord::duration_s).collect();
     Some(TransferTable {
         duration_s: Summary::of(&durations)?,
         throughput_mbps: Summary::of(&ds.throughputs_mbps())?,
@@ -147,15 +145,11 @@ pub fn endpoint_type_table(ds: &Dataset) -> Vec<EndpointTypeRow> {
                     (Some(s), Some(d)) => cat.matches(s, d),
                     _ => false,
                 })
-                .map(|r| r.throughput_mbps())
+                .map(gvc_logs::TransferRecord::throughput_mbps)
                 .collect();
             let throughput_mbps = Summary::of(&slice)?;
             let cv = throughput_mbps.cv().unwrap_or(0.0);
-            Some(EndpointTypeRow {
-                category: cat,
-                throughput_mbps,
-                cv,
-            })
+            Some(EndpointTypeRow { category: cat, throughput_mbps, cv })
         })
         .collect()
 }
@@ -180,7 +174,7 @@ mod tests {
     #[test]
     fn session_table_units() {
         let ds = Dataset::from_records(vec![
-            rec(0.0, 10.0, 10_000_000),  // 10 MB, 8 Mbps
+            rec(0.0, 10.0, 10_000_000),   // 10 MB, 8 Mbps
             rec(100.0, 10.0, 30_000_000), // 30 MB, 24 Mbps
         ]);
         let g = group_sessions(&ds, 1.0);
@@ -208,7 +202,9 @@ mod tests {
             assert_eq!(a.session_duration_s, b.session_duration_s, "gap {gap}");
             assert_eq!(a.transfer_throughput_mbps, b.transfer_throughput_mbps, "gap {gap}");
         }
-        assert!(session_table_from_store(&SessionStore::from_dataset(&Dataset::new()), 60.0).is_none());
+        assert!(
+            session_table_from_store(&SessionStore::from_dataset(&Dataset::new()), 60.0).is_none()
+        );
     }
 
     #[test]
@@ -246,18 +242,11 @@ mod tests {
         let rows = endpoint_type_table(&ds);
         assert_eq!(rows.len(), 4);
         let get = |c: EndpointCategory| {
-            rows.iter()
-                .find(|r| r.category == c)
-                .unwrap()
-                .throughput_mbps
-                .median
+            rows.iter().find(|r| r.category == c).unwrap().throughput_mbps.median
         };
         assert!(get(EndpointCategory::MemMem) > get(EndpointCategory::MemDisk));
         assert!(get(EndpointCategory::DiskMem) > get(EndpointCategory::DiskDisk));
-        assert_eq!(
-            rows.iter().map(|r| r.throughput_mbps.n).sum::<usize>(),
-            5
-        );
+        assert_eq!(rows.iter().map(|r| r.throughput_mbps.n).sum::<usize>(), 5);
     }
 
     #[test]

@@ -36,15 +36,9 @@ pub fn time_of_day_scatter(ds: &Dataset) -> Vec<TimeOfDayPoint> {
 pub fn by_hour(ds: &Dataset) -> Vec<(u32, Summary)> {
     let mut groups: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
     for r in ds.records() {
-        groups
-            .entry(r.start_civil().hour)
-            .or_default()
-            .push(r.throughput_mbps());
+        groups.entry(r.start_civil().hour).or_default().push(r.throughput_mbps());
     }
-    groups
-        .into_iter()
-        .filter_map(|(h, v)| Some((h, Summary::of(&v)?)))
-        .collect()
+    groups.into_iter().filter_map(|(h, v)| Some((h, Summary::of(&v)?))).collect()
 }
 
 #[cfg(test)]
@@ -77,11 +71,7 @@ mod tests {
 
     #[test]
     fn hour_buckets() {
-        let ds = Dataset::from_records(vec![
-            rec(2, 100.0),
-            rec(2, 110.0),
-            rec(8, 150.0),
-        ]);
+        let ds = Dataset::from_records(vec![rec(2, 100.0), rec(2, 110.0), rec(8, 150.0)]);
         let rows = by_hour(&ds);
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].0, 2);

@@ -86,8 +86,7 @@ pub fn vc_suitability(
         // Without this guard, a zero q3 plus a zero setup delay made
         // the test read `0.0 >= 0.0` and marked *every* session —
         // including zero-byte ones — suitable.
-        let suitable =
-            q3_bps > 0.0 && s.size_bytes() as f64 * 8.0 / q3_bps >= threshold_s;
+        let suitable = q3_bps > 0.0 && s.size_bytes() as f64 * 8.0 / q3_bps >= threshold_s;
         if suitable {
             suitable_sessions += 1;
             suitable_transfers += s.len();
@@ -166,11 +165,7 @@ mod tests {
 
     #[test]
     fn lower_setup_delay_admits_more() {
-        let ds = dataset(&[
-            (1_000_000_000, 1000.0),
-            (100_000_000, 100.0),
-            (5_000_000, 5.0),
-        ]);
+        let ds = dataset(&[(1_000_000_000, 1000.0), (100_000_000, 100.0), (5_000_000, 5.0)]);
         let g = group_sessions(&ds, 60.0);
         let slow = vc_suitability(&g, &ds, 60.0, 10.0);
         let fast = vc_suitability(&g, &ds, 0.05, 10.0);

@@ -107,8 +107,9 @@ impl CivilDateTime {
     /// Parses the ISO 8601 rendering produced by [`Self::iso8601`].
     pub fn parse_iso8601(s: &str) -> Option<CivilDateTime> {
         let b = s.as_bytes();
-        if b.len() != 20 || b[4] != b'-' || b[7] != b'-' || b[10] != b'T' || b[13] != b':' || b[16] != b':' || b[19] != b'Z'
-        {
+        const SEPS: [(usize, u8); 6] =
+            [(4, b'-'), (7, b'-'), (10, b'T'), (13, b':'), (16, b':'), (19, b'Z')];
+        if b.len() != 20 || SEPS.iter().any(|&(i, ch)| b.get(i) != Some(&ch)) {
             return None;
         }
         let num = |r: std::ops::Range<usize>| s.get(r).and_then(|t| t.parse::<u32>().ok());
@@ -120,7 +121,12 @@ impl CivilDateTime {
             minute: num(14..16)?,
             second: num(17..19)?,
         };
-        if !(1..=12).contains(&dt.month) || !(1..=31).contains(&dt.day) || dt.hour > 23 || dt.minute > 59 || dt.second > 59 {
+        if !(1..=12).contains(&dt.month)
+            || !(1..=31).contains(&dt.day)
+            || dt.hour > 23
+            || dt.minute > 59
+            || dt.second > 59
+        {
             return None;
         }
         Some(dt)
@@ -174,14 +180,7 @@ mod tests {
 
     #[test]
     fn iso8601_round_trip() {
-        let dt = CivilDateTime {
-            year: 2010,
-            month: 9,
-            day: 14,
-            hour: 2,
-            minute: 0,
-            second: 59,
-        };
+        let dt = CivilDateTime { year: 2010, month: 9, day: 14, hour: 2, minute: 0, second: 59 };
         let s = dt.iso8601();
         assert_eq!(s, "2010-09-14T02:00:59Z");
         assert_eq!(CivilDateTime::parse_iso8601(&s), Some(dt));

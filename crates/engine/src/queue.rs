@@ -57,10 +57,7 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -95,12 +92,7 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue with the clock at the epoch.
     pub fn new() -> EventQueue<E> {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
-            now: SimTime::ZERO,
-            telemetry: None,
-        }
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO, telemetry: None }
     }
 
     /// Attaches kernel metrics (push/pop counts, depth high-water
@@ -125,11 +117,7 @@ impl<E> EventQueue<E> {
             at = at,
             now = self.now
         );
-        self.heap.push(Entry {
-            at,
-            seq: self.seq,
-            event,
-        });
+        self.heap.push(Entry { at, seq: self.seq, event });
         self.seq += 1;
         if let Some(t) = &self.telemetry {
             t.scheduled.inc();

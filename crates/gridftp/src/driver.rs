@@ -16,12 +16,11 @@ use gvc_net::tcp::TcpModel;
 use gvc_net::{FlowCompletion, FlowSpec, NetTelemetry, NetworkSim};
 use gvc_oscars::{Idc, IdcTelemetry, ReservationId, ReservationRequest};
 use gvc_stats::rng::component_rng;
-use gvc_telemetry::{Counter, Histogram, Telemetry, TraceEvent, Tracer};
+use gvc_telemetry::{Counter, Histogram, Stopwatch, Telemetry, TraceEvent, Tracer};
 use gvc_topology::{NodeId, Path};
 use rand::rngs::SmallRng;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Driver/transfer-lifecycle telemetry, registered from a
 /// [`Telemetry`] context by [`Driver::with_telemetry`].
@@ -172,8 +171,7 @@ impl Driver {
     /// transfer lifecycle. Order-independent with [`Driver::with_idc`].
     pub fn with_telemetry(mut self, ctx: &Telemetry) -> Driver {
         self.pending.set_telemetry(QueueTelemetry::register(&ctx.registry));
-        self.sim
-            .set_telemetry(NetTelemetry::register(&ctx.registry, ctx.tracer.clone()));
+        self.sim.set_telemetry(NetTelemetry::register(&ctx.registry, ctx.tracer.clone()));
         if let Some(idc) = self.idc.as_mut() {
             idc.set_telemetry(IdcTelemetry::register(&ctx.registry, ctx.tracer.clone()));
         }
@@ -260,7 +258,13 @@ impl Driver {
     }
 
     /// Schedules a single transfer (a one-job session).
-    pub fn schedule_transfer(&mut self, at: SimTime, src: ClusterId, dst: ClusterId, job: TransferJob) {
+    pub fn schedule_transfer(
+        &mut self,
+        at: SimTime,
+        src: ClusterId,
+        dst: ClusterId,
+        job: TransferJob,
+    ) {
         self.schedule_session(at, src, dst, SessionSpec::sequential(vec![job], 0.0));
     }
 
@@ -278,13 +282,12 @@ impl Driver {
         self.pending.schedule(at, Event::ResizeCluster(cluster, n_servers));
     }
 
-    fn path_between(&self, src: ClusterId, dst: ClusterId) -> Path {
+    fn path_between(&self, src: ClusterId, dst: ClusterId) -> Option<Path> {
         gvc_topology::shortest_path(
             self.sim.graph(),
             self.clusters[src.0].node,
             self.clusters[dst.0].node,
         )
-        .expect("clusters must be connected")
     }
 
     /// Handles one script event, timing it per class when telemetry is
@@ -296,14 +299,12 @@ impl Driver {
         };
         let (class_idx, class) = ev.class();
         let t_us = self.sim.now().micros() as i64;
-        let started = Instant::now();
+        let started = Stopwatch::start();
         self.handle_event(ev);
-        let wall = started.elapsed().as_secs_f64();
+        let wall = started.elapsed_s();
         t.event_seconds[class_idx].record(wall);
         t.tracer.emit_with(|| {
-            TraceEvent::new(t_us, "kernel.event")
-                .field("class", class)
-                .field("wall_us", wall * 1e6)
+            TraceEvent::new(t_us, "kernel.event").field("class", class).field("wall_us", wall * 1e6)
         });
     }
 
@@ -351,11 +352,15 @@ impl Driver {
                 end: now + SimSpan::from_secs_f64(vc.max_duration_s),
             };
             if let Ok(id) = idc.create_reservation(req) {
-                let ready = idc.provision(id, now);
-                self.sessions[idx].vc = Some((id, ready, vc.rate_bps));
-                if vc.wait_for_circuit {
-                    self.pending.schedule(ready, Event::LaunchNext(idx));
-                    return;
+                // Provisioning a freshly admitted reservation cannot
+                // fail; if it somehow does, the session simply runs
+                // IP-routed.
+                if let Ok(ready) = idc.provision(id, now) {
+                    self.sessions[idx].vc = Some((id, ready, vc.rate_bps));
+                    if vc.wait_for_circuit {
+                        self.pending.schedule(ready, Event::LaunchNext(idx));
+                        return;
+                    }
                 }
             }
         }
@@ -365,28 +370,31 @@ impl Driver {
     /// Launches jobs until the session's concurrency target is met.
     fn launch_ready_jobs(&mut self, idx: usize) {
         loop {
-            let (can_launch, job) = {
+            let job = {
                 let s = &self.sessions[idx];
-                if s.done || s.next_job >= s.spec.jobs.len() || s.in_flight >= s.spec.concurrency {
-                    (false, None)
+                if s.done || s.in_flight >= s.spec.concurrency {
+                    None
                 } else {
-                    (true, Some(s.spec.jobs[s.next_job].clone()))
+                    s.spec.jobs.get(s.next_job).cloned()
                 }
             };
-            if !can_launch {
-                break;
-            }
-            let job = job.expect("job present");
-            self.launch_job(idx, job);
+            let Some(job) = job else { break };
+            let launched = self.launch_job(idx, job);
             let s = &mut self.sessions[idx];
             s.next_job += 1;
-            s.in_flight += 1;
+            if launched {
+                s.in_flight += 1;
+            }
         }
     }
 
-    fn launch_job(&mut self, idx: usize, job: TransferJob) {
+    /// Returns whether a flow was actually started; jobs between
+    /// disconnected clusters are dropped.
+    fn launch_job(&mut self, idx: usize, job: TransferJob) -> bool {
         let (src, dst) = (self.sessions[idx].src, self.sessions[idx].dst);
-        let path = self.path_between(src, dst);
+        let Some(path) = self.path_between(src, dst) else {
+            return false;
+        };
         let prepared: PreparedTransfer = prepare_transfer(
             self.sim.graph(),
             &path,
@@ -432,6 +440,7 @@ impl Driver {
                 failed: prepared.failed,
             },
         );
+        true
     }
 
     fn handle_completion(&mut self, c: FlowCompletion) {
@@ -498,12 +507,15 @@ impl Driver {
         let s = &mut self.sessions[idx];
         s.in_flight -= 1;
         if s.next_job < s.spec.jobs.len() {
-            let gap = SimSpan::from_secs_f64(info.overhead_s + s.spec.inter_transfer_gap_s.max(0.0));
+            let gap =
+                SimSpan::from_secs_f64(info.overhead_s + s.spec.inter_transfer_gap_s.max(0.0));
             self.pending.schedule(self.sim.now() + gap, Event::LaunchNext(idx));
         } else if s.in_flight == 0 && !s.done {
             s.done = true;
             if let (Some((id, _, _)), Some(idc)) = (s.vc, self.idc.as_mut()) {
-                idc.teardown(id, self.sim.now());
+                // The session owns this reservation, so it is known to
+                // the IDC; teardown is also idempotent.
+                let _ = idc.teardown(id, self.sim.now());
             }
             if let Some(t) = &self.telemetry {
                 t.sessions_completed.inc();
@@ -524,40 +536,38 @@ impl Driver {
         loop {
             let t_event = self.pending.peek_time();
             let t_comp = self.sim.peek_completion();
-            match (t_event, t_comp) {
+            // Which timeline advances next? Completions win ties so a
+            // freed slot is visible to the event sharing its instant.
+            let next_is_completion = match (t_event, t_comp) {
                 (None, None) => break,
-                (Some(te), None) => {
-                    if te > limit {
-                        break;
-                    }
-                    self.sim.run_until(te).into_iter().for_each(|_| {});
-                    let (_, ev) = self.pending.pop().expect("peeked");
+                (Some(_), None) => false,
+                (None, Some(_)) => true,
+                (Some(te), Some(tc)) => tc <= te,
+            };
+            if next_is_completion {
+                let Some(tc) = t_comp else { break };
+                if tc > limit {
+                    break;
+                }
+                let done = self.sim.run_until(tc);
+                for c in done {
+                    self.handle_completion(c);
+                }
+            } else {
+                let Some(te) = t_event else { break };
+                if te > limit {
+                    break;
+                }
+                let done = self.sim.run_until(te);
+                for c in done {
+                    self.handle_completion(c);
+                }
+                if let Some((_, ev)) = self.pending.pop() {
                     self.dispatch(ev);
                 }
-                (event_t, Some(tc)) if event_t.is_none_or(|te| tc <= te) => {
-                    if tc > limit {
-                        break;
-                    }
-                    let done = self.sim.run_until(tc);
-                    for c in done {
-                        self.handle_completion(c);
-                    }
-                }
-                (Some(te), Some(_)) => {
-                    if te > limit {
-                        break;
-                    }
-                    let done = self.sim.run_until(te);
-                    for c in done {
-                        self.handle_completion(c);
-                    }
-                    let (_, ev) = self.pending.pop().expect("peeked");
-                    self.dispatch(ev);
-                }
-                (None, Some(_)) => unreachable!("covered above"),
             }
         }
-        let idc_stats = self.idc.as_ref().map(|i| i.stats());
+        let idc_stats = self.idc.as_ref().map(gvc_oscars::Idc::stats);
         if let Some(t) = &self.telemetry {
             t.tracer.flush();
         }
@@ -628,11 +638,11 @@ pub struct DriverOutput {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use gvc_logs::EndpointKind;
     use gvc_net::background::{generate_background, BackgroundConfig};
     use gvc_oscars::SetupDelayModel;
     use gvc_topology::{study_topology, Site};
+    use proptest::prelude::*;
 
     fn base_driver(seed: u64) -> (Driver, ClusterId, ClusterId) {
         let t = study_topology();
@@ -645,10 +655,7 @@ mod tests {
     }
 
     fn job(mb: u64) -> TransferJob {
-        TransferJob {
-            size_bytes: mb << 20,
-            ..TransferJob::default()
-        }
+        TransferJob { size_bytes: mb << 20, ..TransferJob::default() }
     }
 
     #[test]
@@ -690,10 +697,7 @@ mod tests {
         let recs = out.log.records();
         // All four start together: negative gap between consecutive
         // log entries (end of one vs start of next).
-        let neg = recs
-            .windows(2)
-            .filter(|w| w[1].start_unix_us < w[0].end_unix_us())
-            .count();
+        let neg = recs.windows(2).filter(|w| w[1].start_unix_us < w[0].end_unix_us()).count();
         assert!(neg >= 3, "expected overlapping transfers, got {neg}");
     }
 
@@ -751,12 +755,8 @@ mod tests {
         let mut d = Driver::new(sim, 6);
         let a = d.register_cluster("nersc", nersc, ServerCaps::default(), 1);
         let b = d.register_cluster("ornl", ornl, ServerCaps::default(), 1);
-        let bg = generate_background(
-            &t.graph,
-            &BackgroundConfig::default(),
-            SimTime::from_secs(120),
-            6,
-        );
+        let bg =
+            generate_background(&t.graph, &BackgroundConfig::default(), SimTime::from_secs(120), 6);
         assert!(!bg.is_empty());
         d.schedule_background(bg);
         d.schedule_transfer(SimTime::ZERO, a, b, job(128));
@@ -777,13 +777,12 @@ mod tests {
         let mut d = Driver::new(sim, 7).with_idc(idc);
         let a = d.register_cluster("slac", slac, ServerCaps::default(), 1);
         let b = d.register_cluster("bnl", bnl, ServerCaps::default(), 1);
-        let spec = SessionSpec::sequential(vec![job(512)], 0.0).with_vc(
-            crate::session::VcRequestSpec {
+        let spec =
+            SessionSpec::sequential(vec![job(512)], 0.0).with_vc(crate::session::VcRequestSpec {
                 rate_bps: 1e9,
                 max_duration_s: 3600.0,
                 wait_for_circuit: true,
-            },
-        );
+            });
         d.schedule_session(SimTime::ZERO, a, b, spec);
         let out = d.run(SimTime::from_secs(100_000));
         assert_eq!(out.log.len(), 1);
@@ -829,14 +828,12 @@ mod tests {
         assert_eq!(reg.counter("idc_admitted_total", &[]).get(), 1);
         assert!(reg.counter("sim_events_dispatched_total", &[]).get() >= 3);
         assert!(reg.counter("net_fairshare_recomputations_total", &[]).get() >= 3);
-        let tp = reg
-            .histogram("gridftp_transfer_throughput_mbps", &[], Histogram::rate_mbps)
-            .snapshot();
+        let tp =
+            reg.histogram("gridftp_transfer_throughput_mbps", &[], Histogram::rate_mbps).snapshot();
         assert_eq!(tp.count(), 3);
 
         // All four subsystem namespaces appear in the trace.
-        let kinds: std::collections::HashSet<&str> =
-            ring.events().iter().map(|e| e.kind).collect();
+        let kinds: std::collections::HashSet<&str> = ring.events().iter().map(|e| e.kind).collect();
         for expected in [
             "kernel.event",
             "idc.admit",
@@ -898,53 +895,34 @@ mod tests {
             d.run(SimTime::from_secs(1_000_000)).log
         };
         assert_eq!(run(42), run(42));
-        assert_ne!(
-            run(42).records()[0].duration_us,
-            run(43).records()[0].duration_us
-        );
+        assert_ne!(run(42).records()[0].duration_us, run(43).records()[0].duration_us);
     }
 
     #[test]
     fn tstat_reports_loss_and_failure_fractions() {
         let (mut d, a, b) = base_driver(20);
-        d = d
-            .with_tcp(TcpModel {
-                loss_probability: 1.0,
-                ..TcpModel::default()
-            })
-            .with_failures(crate::transfer::FailureModel {
+        d = d.with_tcp(TcpModel { loss_probability: 1.0, ..TcpModel::default() }).with_failures(
+            crate::transfer::FailureModel {
                 probability: 1.0,
                 min_recovery_s: 1.0,
                 max_recovery_s: 1.0,
                 marker_interval_s: 0.0,
-            });
-        d.schedule_session(
-            SimTime::ZERO,
-            a,
-            b,
-            SessionSpec::sequential(vec![job(64); 5], 0.0),
+            },
         );
+        d.schedule_session(SimTime::ZERO, a, b, SessionSpec::sequential(vec![job(64); 5], 0.0));
         let out = d.run(SimTime::from_secs(1_000_000));
         assert_eq!(out.tstat.transfers.len(), 5);
         assert_eq!(out.tstat.loss_fraction(), 1.0);
         assert_eq!(out.tstat.failure_fraction(), 1.0);
         // And with everything off, both fractions are zero.
         let (mut d2, a2, b2) = base_driver(20);
-        d2 = d2
-            .with_tcp(TcpModel {
-                loss_probability: 0.0,
-                ..TcpModel::default()
-            })
-            .with_failures(crate::transfer::FailureModel {
+        d2 = d2.with_tcp(TcpModel { loss_probability: 0.0, ..TcpModel::default() }).with_failures(
+            crate::transfer::FailureModel {
                 probability: 0.0,
                 ..crate::transfer::FailureModel::default()
-            });
-        d2.schedule_session(
-            SimTime::ZERO,
-            a2,
-            b2,
-            SessionSpec::sequential(vec![job(64); 5], 0.0),
+            },
         );
+        d2.schedule_session(SimTime::ZERO, a2, b2, SessionSpec::sequential(vec![job(64); 5], 0.0));
         let out2 = d2.run(SimTime::from_secs(1_000_000));
         assert_eq!(out2.tstat.loss_fraction(), 0.0);
         assert_eq!(out2.tstat.failure_fraction(), 0.0);
@@ -967,14 +945,11 @@ mod tests {
                 SessionSpec::sequential(vec![job(256); 6], 0.0),
             );
             let out = d.run(SimTime::from_secs(1_000_000));
-            out.log.records().iter().map(|r| r.duration_s()).sum::<f64>()
+            out.log.records().iter().map(gvc_logs::TransferRecord::duration_s).sum::<f64>()
         };
         let clean = run(0.0);
         let failing = run(1.0);
-        assert!(
-            failing > clean + 6.0 * 19.0,
-            "failing {failing} vs clean {clean}"
-        );
+        assert!(failing > clean + 6.0 * 19.0, "failing {failing} vs clean {clean}");
     }
 
     proptest! {

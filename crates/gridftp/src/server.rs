@@ -84,15 +84,7 @@ impl ServerCluster {
         let agg = sim.add_resource(caps.node_cap_bps * n);
         let disk_read = sim.add_resource(caps.disk_read_bps * n);
         let disk_write = sim.add_resource(caps.disk_write_bps * n);
-        ServerCluster {
-            name: name.to_owned(),
-            node,
-            caps,
-            n_servers,
-            agg,
-            disk_read,
-            disk_write,
-        }
+        ServerCluster { name: name.to_owned(), node, caps, n_servers, agg, disk_read, disk_write }
     }
 
     /// Current server count.
@@ -139,14 +131,8 @@ impl ServerCluster {
     pub fn per_transfer_cap_bps(&self, stripes: u32, disk: bool, as_source: bool) -> f64 {
         let k = f64::from(stripes.clamp(1, self.n_servers));
         let per_server = if disk {
-            let d = if as_source {
-                self.caps.disk_read_bps
-            } else {
-                self.caps.disk_write_bps
-            };
-            d.min(self.caps.node_cap_bps)
-                .min(self.caps.nic_bps)
-                .min(self.caps.disk_stream_bps)
+            let d = if as_source { self.caps.disk_read_bps } else { self.caps.disk_write_bps };
+            d.min(self.caps.node_cap_bps).min(self.caps.nic_bps).min(self.caps.disk_stream_bps)
         } else {
             self.caps.node_cap_bps.min(self.caps.nic_bps)
         };
@@ -187,14 +173,8 @@ mod tests {
     fn stripes_clamped_to_cluster_size() {
         let (mut sim, node) = sim();
         let c = ServerCluster::register(&mut sim, "s", node, ServerCaps::default(), 2);
-        assert_eq!(
-            c.per_transfer_cap_bps(8, false, true),
-            c.per_transfer_cap_bps(2, false, true)
-        );
-        assert_eq!(
-            c.per_transfer_cap_bps(0, false, true),
-            c.per_transfer_cap_bps(1, false, true)
-        );
+        assert_eq!(c.per_transfer_cap_bps(8, false, true), c.per_transfer_cap_bps(2, false, true));
+        assert_eq!(c.per_transfer_cap_bps(0, false, true), c.per_transfer_cap_bps(1, false, true));
     }
 
     #[test]
@@ -217,10 +197,7 @@ mod tests {
         let mut c = ServerCluster::register(&mut sim, "s", node, ServerCaps::default(), 3);
         c.resize(&mut sim, 1);
         assert_eq!(c.n_servers(), 1);
-        assert_eq!(
-            c.per_transfer_cap_bps(3, false, true),
-            c.per_transfer_cap_bps(1, false, true)
-        );
+        assert_eq!(c.per_transfer_cap_bps(3, false, true), c.per_transfer_cap_bps(1, false, true));
     }
 
     #[test]

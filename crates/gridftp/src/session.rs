@@ -43,12 +43,7 @@ pub struct SessionSpec {
 impl SessionSpec {
     /// A sequential session with the given jobs and gap.
     pub fn sequential(jobs: Vec<TransferJob>, gap_s: f64) -> SessionSpec {
-        SessionSpec {
-            jobs,
-            inter_transfer_gap_s: gap_s,
-            concurrency: 1,
-            vc: None,
-        }
+        SessionSpec { jobs, inter_transfer_gap_s: gap_s, concurrency: 1, vc: None }
     }
 
     /// Sets the concurrency, returning `self`.
@@ -91,14 +86,8 @@ mod tests {
     #[test]
     fn totals() {
         let jobs = vec![
-            TransferJob {
-                size_bytes: 100,
-                ..TransferJob::default()
-            },
-            TransferJob {
-                size_bytes: 200,
-                ..TransferJob::default()
-            },
+            TransferJob { size_bytes: 100, ..TransferJob::default() },
+            TransferJob { size_bytes: 200, ..TransferJob::default() },
         ];
         let s = SessionSpec::sequential(jobs, 1.0);
         assert_eq!(s.total_bytes(), 300);
@@ -109,13 +98,11 @@ mod tests {
 
     #[test]
     fn builders() {
-        let s = SessionSpec::sequential(vec![], 0.0)
-            .with_concurrency(4)
-            .with_vc(VcRequestSpec {
-                rate_bps: 1e9,
-                max_duration_s: 600.0,
-                wait_for_circuit: true,
-            });
+        let s = SessionSpec::sequential(vec![], 0.0).with_concurrency(4).with_vc(VcRequestSpec {
+            rate_bps: 1e9,
+            max_duration_s: 600.0,
+            wait_for_circuit: true,
+        });
         assert_eq!(s.concurrency, 4);
         assert!(s.vc.is_some());
         assert!(s.is_empty());

@@ -214,7 +214,8 @@ mod tests {
         let path = t.path(Site::Nersc, Site::Ornl);
         let (nersc, ornl) = (t.dtn(Site::Nersc), t.dtn(Site::Ornl));
         let mut sim = NetworkSim::new(t.graph, 0);
-        let src = ServerCluster::register(&mut sim, "dtn.nersc.gov", nersc, ServerCaps::default(), 1);
+        let src =
+            ServerCluster::register(&mut sim, "dtn.nersc.gov", nersc, ServerCaps::default(), 1);
         let dst = ServerCluster::register(&mut sim, "dtn.ornl.gov", ornl, ServerCaps::default(), 1);
         Fixture { sim, path, src, dst }
     }
@@ -224,17 +225,11 @@ mod tests {
     }
 
     fn no_failures() -> FailureModel {
-        FailureModel {
-            probability: 0.0,
-            ..FailureModel::default()
-        }
+        FailureModel { probability: 0.0, ..FailureModel::default() }
     }
 
     fn no_loss_tcp() -> TcpModel {
-        TcpModel {
-            loss_probability: 0.0,
-            ..TcpModel::default()
-        }
+        TcpModel { loss_probability: 0.0, ..TcpModel::default() }
     }
 
     #[test]
@@ -302,12 +297,28 @@ mod tests {
             ..TransferJob::default()
         };
         let mem = prepare_transfer(
-            f.sim.graph(), &f.path, &f.src, &f.dst,
-            mk(EndpointKind::Memory), &no_loss_tcp(), quiet_noise(), no_failures(), 0.0, &mut rng1,
+            f.sim.graph(),
+            &f.path,
+            &f.src,
+            &f.dst,
+            mk(EndpointKind::Memory),
+            &no_loss_tcp(),
+            quiet_noise(),
+            no_failures(),
+            0.0,
+            &mut rng1,
         );
         let disk = prepare_transfer(
-            f.sim.graph(), &f.path, &f.src, &f.dst,
-            mk(EndpointKind::Disk), &no_loss_tcp(), quiet_noise(), no_failures(), 0.0, &mut rng2,
+            f.sim.graph(),
+            &f.path,
+            &f.src,
+            &f.dst,
+            mk(EndpointKind::Disk),
+            &no_loss_tcp(),
+            quiet_noise(),
+            no_failures(),
+            0.0,
+            &mut rng2,
         );
         assert!(disk.steady_cap_bps < mem.steady_cap_bps);
         assert_eq!(disk.spec.resources.len(), 3); // agg x2 + disk write
@@ -332,10 +343,28 @@ mod tests {
         let mut rng1 = component_rng(1, "t");
         let mut rng2 = component_rng(1, "t");
         let one = prepare_transfer(
-            sim.graph(), &path, &src, &dst, mk(1), &no_loss_tcp(), quiet_noise(), no_failures(), 0.0, &mut rng1,
+            sim.graph(),
+            &path,
+            &src,
+            &dst,
+            mk(1),
+            &no_loss_tcp(),
+            quiet_noise(),
+            no_failures(),
+            0.0,
+            &mut rng1,
         );
         let three = prepare_transfer(
-            sim.graph(), &path, &src, &dst, mk(3), &no_loss_tcp(), quiet_noise(), no_failures(), 0.0, &mut rng2,
+            sim.graph(),
+            &path,
+            &src,
+            &dst,
+            mk(3),
+            &no_loss_tcp(),
+            quiet_noise(),
+            no_failures(),
+            0.0,
+            &mut rng2,
         );
         assert!(three.steady_cap_bps > 2.0 * one.steady_cap_bps);
     }
@@ -352,8 +381,16 @@ mod tests {
             ..TransferJob::default()
         };
         let p = prepare_transfer(
-            f.sim.graph(), &f.path, &f.src, &f.dst, job,
-            &no_loss_tcp(), quiet_noise(), no_failures(), 0.5, &mut rng,
+            f.sim.graph(),
+            &f.path,
+            &f.src,
+            &f.dst,
+            job,
+            &no_loss_tcp(),
+            quiet_noise(),
+            no_failures(),
+            0.5,
+            &mut rng,
         );
         assert!(p.overhead_s > 0.5, "control overhead present");
     }
@@ -371,12 +408,28 @@ mod tests {
         let mut rng2 = component_rng(2, "t");
         let job = TransferJob::default;
         let ok = prepare_transfer(
-            f.sim.graph(), &f.path, &f.src, &f.dst, job(),
-            &no_loss_tcp(), quiet_noise(), no_failures(), 0.0, &mut rng1,
+            f.sim.graph(),
+            &f.path,
+            &f.src,
+            &f.dst,
+            job(),
+            &no_loss_tcp(),
+            quiet_noise(),
+            no_failures(),
+            0.0,
+            &mut rng1,
         );
         let failed = prepare_transfer(
-            f.sim.graph(), &f.path, &f.src, &f.dst, job(),
-            &no_loss_tcp(), quiet_noise(), always, 0.0, &mut rng2,
+            f.sim.graph(),
+            &f.path,
+            &f.src,
+            &f.dst,
+            job(),
+            &no_loss_tcp(),
+            quiet_noise(),
+            always,
+            0.0,
+            &mut rng2,
         );
         assert!(failed.failed);
         assert!(!ok.failed);

@@ -68,7 +68,10 @@ impl AlphaClassifier {
     }
 
     /// Splits records into (α, β) partitions.
-    pub fn partition<'a>(&self, records: &'a [FlowRecord]) -> (Vec<&'a FlowRecord>, Vec<&'a FlowRecord>) {
+    pub fn partition<'a>(
+        &self,
+        records: &'a [FlowRecord],
+    ) -> (Vec<&'a FlowRecord>, Vec<&'a FlowRecord>) {
         records.iter().partition(|r| self.is_alpha(r))
     }
 
@@ -79,11 +82,7 @@ impl AlphaClassifier {
         if total == 0 {
             return 0.0;
         }
-        let alpha: u64 = records
-            .iter()
-            .filter(|r| self.is_alpha(r))
-            .map(|r| r.bytes)
-            .sum();
+        let alpha: u64 = records.iter().filter(|r| self.is_alpha(r)).map(|r| r.bytes).sum();
         alpha as f64 / total as f64
     }
 }
@@ -118,10 +117,7 @@ mod tests {
 
     #[test]
     fn boundary_inclusive() {
-        let c = AlphaClassifier {
-            min_bytes: 1000,
-            min_rate_bps: 8000.0,
-        };
+        let c = AlphaClassifier { min_bytes: 1000, min_rate_bps: 8000.0 };
         // Exactly 1000 bytes in exactly 1 s = 8000 bps.
         assert!(c.is_alpha(&rec(1000, 1.0)));
     }

@@ -38,11 +38,7 @@ pub struct HntesController {
 impl HntesController {
     /// A controller with the given classifier and a 7-day rule TTL.
     pub fn new(classifier: AlphaClassifier) -> HntesController {
-        HntesController {
-            classifier,
-            rules: HashMap::new(),
-            rule_ttl_us: 7 * 86_400 * 1_000_000,
-        }
+        HntesController { classifier, rules: HashMap::new(), rule_ttl_us: 7 * 86_400 * 1_000_000 }
     }
 
     /// Number of installed rules.
@@ -64,10 +60,7 @@ impl HntesController {
         let mut touched = 0;
         for r in records {
             if self.classifier.is_alpha(r) {
-                let rule = RedirectRule {
-                    ingress: r.ingress,
-                    egress: r.egress,
-                };
+                let rule = RedirectRule { ingress: r.ingress, egress: r.egress };
                 self.rules.insert(rule, now_unix_us);
                 touched += 1;
             }

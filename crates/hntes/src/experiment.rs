@@ -70,16 +70,10 @@ pub fn capture_experiment(
 
     for (day, records) in day_records.iter().enumerate() {
         let (redirected, missed, false_pos) = controller.apply(records);
-        let day_alpha: u64 = records
-            .iter()
-            .filter(|r| classifier.is_alpha(r))
-            .map(|r| r.bytes)
-            .sum();
-        let day_captured: u64 = redirected
-            .iter()
-            .filter(|r| classifier.is_alpha(r))
-            .map(|r| r.bytes)
-            .sum();
+        let day_alpha: u64 =
+            records.iter().filter(|r| classifier.is_alpha(r)).map(|r| r.bytes).sum();
+        let day_captured: u64 =
+            redirected.iter().filter(|r| classifier.is_alpha(r)).map(|r| r.bytes).sum();
         alpha_bytes += day_alpha;
         captured_bytes += day_captured;
         false_bytes += false_pos.iter().map(|r| r.bytes).sum::<u64>();
@@ -138,7 +132,8 @@ mod tests {
     #[test]
     fn repetitive_traffic_is_captured_after_day_one() {
         // The same science pair every day: day 0 missed, days 1+ hit.
-        let days: Vec<Vec<FlowRecord>> = (0..5).map(|d| vec![alpha(1, 2, d), beta(3, 4, d)]).collect();
+        let days: Vec<Vec<FlowRecord>> =
+            (0..5).map(|d| vec![alpha(1, 2, d), beta(3, 4, d)]).collect();
         let r = capture_experiment(AlphaClassifier::default(), &days);
         assert_eq!(r.days, 5);
         assert_eq!(r.daily_capture[0], 0.0);
@@ -154,7 +149,8 @@ mod tests {
     #[test]
     fn nonrepetitive_traffic_is_never_captured() {
         // A fresh pair every day: pair-learning captures nothing.
-        let days: Vec<Vec<FlowRecord>> = (0..4).map(|d| vec![alpha(d as u32, 100 + d as u32, d)]).collect();
+        let days: Vec<Vec<FlowRecord>> =
+            (0..4).map(|d| vec![alpha(d as u32, 100 + d as u32, d)]).collect();
         let r = capture_experiment(AlphaClassifier::default(), &days);
         assert_eq!(r.capture_fraction(), 0.0);
         assert_eq!(r.missed_flows, 4);
@@ -183,10 +179,7 @@ mod tests {
     #[test]
     fn mixed_pairs_partial_capture() {
         // Pair (1,2) repeats; pair (9,9) appears once on the last day.
-        let days = vec![
-            vec![alpha(1, 2, 0)],
-            vec![alpha(1, 2, 1), alpha(9, 9, 1)],
-        ];
+        let days = vec![vec![alpha(1, 2, 0)], vec![alpha(1, 2, 1), alpha(9, 9, 1)]];
         let r = capture_experiment(AlphaClassifier::default(), &days);
         // 3 alpha flows x 20 GB; captured: day1 pair (1,2) only.
         assert_eq!(r.alpha_bytes, 60_000_000_000);

@@ -116,10 +116,13 @@ mod tests {
     #[test]
     fn from_transfer_log_maps_directions() {
         use gvc_logs::{Dataset, TransferRecord, TransferType};
-        let retr = TransferRecord::simple(TransferType::Retr, 100, 0, 1_000_000, "srv", Some("peer"));
-        let stor = TransferRecord::simple(TransferType::Store, 200, 5, 1_000_000, "srv", Some("peer"));
+        let retr =
+            TransferRecord::simple(TransferType::Retr, 100, 0, 1_000_000, "srv", Some("peer"));
+        let stor =
+            TransferRecord::simple(TransferType::Store, 200, 5, 1_000_000, "srv", Some("peer"));
         let anon = TransferRecord::simple(TransferType::Retr, 300, 9, 1_000_000, "srv", None);
-        let foreign = TransferRecord::simple(TransferType::Retr, 400, 11, 1_000_000, "srv", Some("offnet"));
+        let foreign =
+            TransferRecord::simple(TransferType::Retr, 400, 11, 1_000_000, "srv", Some("offnet"));
         let ds = Dataset::from_records(vec![retr, stor, anon, foreign]);
         let flows = from_transfer_log(&ds, |name| match name {
             "srv" => Some(NodeId(1)),

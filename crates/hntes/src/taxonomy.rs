@@ -135,10 +135,7 @@ pub fn classify(flows: &[FlowDims], k: f64) -> TaxonomyReport {
             porcupine: f.burstiness > t_burst,
         })
         .collect();
-    TaxonomyReport {
-        tags,
-        thresholds: (t_bytes, t_dur, t_rate, t_burst),
-    }
+    TaxonomyReport { tags, thresholds: (t_bytes, t_dur, t_rate, t_burst) }
 }
 
 #[cfg(test)]
@@ -146,12 +143,7 @@ mod tests {
     use super::*;
 
     fn mouse() -> FlowDims {
-        FlowDims {
-            bytes: 1e6,
-            duration_s: 1.0,
-            rate_bps: 8e6,
-            burstiness: 1.1,
-        }
+        FlowDims { bytes: 1e6, duration_s: 1.0, rate_bps: 8e6, burstiness: 1.1 }
     }
 
     /// A population of mice plus one outlier per dimension.
@@ -182,11 +174,7 @@ mod tests {
         let mut pop = vec![mouse(); 50];
         // Three flows both huge and bursty, one bursty-only.
         for _ in 0..3 {
-            pop.push(FlowDims {
-                bytes: 5e10,
-                burstiness: 30.0,
-                ..mouse()
-            });
+            pop.push(FlowDims { bytes: 5e10, burstiness: 30.0, ..mouse() });
         }
         pop.push(FlowDims { burstiness: 30.0, ..mouse() });
         let r = classify(&pop, 3.0);

@@ -24,10 +24,15 @@ pub enum AnonymizePolicy {
 /// Applies a policy to a dataset, returning the anonymized copy.
 pub fn anonymize_dataset(ds: &Dataset, policy: AnonymizePolicy) -> Dataset {
     match policy {
-        AnonymizePolicy::Drop => ds.records().iter().cloned().map(|mut r| {
-            r.remote = None;
-            r
-        }).collect(),
+        AnonymizePolicy::Drop => ds
+            .records()
+            .iter()
+            .cloned()
+            .map(|mut r| {
+                r.remote = None;
+                r
+            })
+            .collect(),
         AnonymizePolicy::Pseudonym => {
             let mut mapping: HashMap<String, String> = HashMap::new();
             let mut next = 0usize;

@@ -47,10 +47,7 @@ impl CollectorModel {
     /// independently with probability `1 − udp_loss`. Deterministic in
     /// `seed`.
     pub fn collect(&self, local: &Dataset, seed: u64) -> Dataset {
-        assert!(
-            (0.0..=1.0).contains(&self.udp_loss),
-            "udp_loss must be a probability"
-        );
+        assert!((0.0..=1.0).contains(&self.udp_loss), "udp_loss must be a probability");
         let mut rng = component_rng(seed, "usage-collector");
         local
             .records()
@@ -71,11 +68,8 @@ impl CollectorModel {
         if local.is_empty() {
             return 0.0;
         }
-        let reporting = local
-            .records()
-            .iter()
-            .filter(|r| !self.disabled_servers.contains(&r.server))
-            .count();
+        let reporting =
+            local.records().iter().filter(|r| !self.disabled_servers.contains(&r.server)).count();
         reporting as f64 / local.len() as f64 * (1.0 - self.udp_loss)
     }
 }
@@ -107,7 +101,7 @@ pub(crate) mod analysis_support {
             return 0.0;
         }
         let mut tps: Vec<f64> = ds.records().iter().map(TransferRecord::throughput_mbps).collect();
-        tps.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        tps.sort_by(f64::total_cmp);
         let q3 = tps[(tps.len() as f64 * 0.75) as usize % tps.len()];
         let q3_bps = (q3 * 1e6).max(1.0);
 
@@ -176,10 +170,7 @@ mod tests {
     #[test]
     fn lossless_collection_is_identity() {
         let ds = dataset(50, "srv");
-        let m = CollectorModel {
-            udp_loss: 0.0,
-            disabled_servers: HashSet::new(),
-        };
+        let m = CollectorModel { udp_loss: 0.0, disabled_servers: HashSet::new() };
         assert_eq!(m.collect(&ds, 1), ds);
         assert!((m.expected_yield(&ds) - 1.0).abs() < 1e-12);
     }
@@ -187,10 +178,7 @@ mod tests {
     #[test]
     fn udp_loss_drops_roughly_the_expected_fraction() {
         let ds = dataset(2_000, "srv");
-        let m = CollectorModel {
-            udp_loss: 0.10,
-            disabled_servers: HashSet::new(),
-        };
+        let m = CollectorModel { udp_loss: 0.10, disabled_servers: HashSet::new() };
         let central = m.collect(&ds, 7);
         let frac = central.len() as f64 / ds.len() as f64;
         assert!((frac - 0.90).abs() < 0.03, "survived {frac}");
@@ -209,10 +197,7 @@ mod tests {
     #[test]
     fn collection_is_deterministic_in_seed() {
         let ds = dataset(500, "srv");
-        let m = CollectorModel {
-            udp_loss: 0.2,
-            disabled_servers: HashSet::new(),
-        };
+        let m = CollectorModel { udp_loss: 0.2, disabled_servers: HashSet::new() };
         assert_eq!(m.collect(&ds, 9), m.collect(&ds, 9));
         assert_ne!(m.collect(&ds, 9), m.collect(&ds, 10));
     }
@@ -222,10 +207,7 @@ mod tests {
         // One big session: the transfer-percentage metric barely moves
         // when a few records drop.
         let ds = dataset(400, "srv");
-        let m = CollectorModel {
-            udp_loss: 0.05,
-            disabled_servers: HashSet::new(),
-        };
+        let m = CollectorModel { udp_loss: 0.05, disabled_servers: HashSet::new() };
         let (local, central) = robustness_check(&ds, &m, 11);
         assert!(local > 90.0, "local {local}");
         assert!((local - central).abs() < 15.0, "local {local} central {central}");
@@ -234,10 +216,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "probability")]
     fn invalid_loss_panics() {
-        let m = CollectorModel {
-            udp_loss: 1.5,
-            disabled_servers: HashSet::new(),
-        };
+        let m = CollectorModel { udp_loss: 1.5, disabled_servers: HashSet::new() };
         m.collect(&Dataset::new(), 0);
     }
 }

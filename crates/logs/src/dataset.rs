@@ -68,23 +68,17 @@ impl Dataset {
 
     /// Transfers of one direction.
     pub fn filter_type(&self, t: TransferType) -> Dataset {
-        Dataset {
-            records: self.records.iter().filter(|r| r.transfer_type == t).cloned().collect(),
-        }
+        Dataset { records: self.records.iter().filter(|r| r.transfer_type == t).cloned().collect() }
     }
 
     /// Transfers with the given stream count.
     pub fn filter_streams(&self, n: u32) -> Dataset {
-        Dataset {
-            records: self.records.iter().filter(|r| r.num_streams == n).cloned().collect(),
-        }
+        Dataset { records: self.records.iter().filter(|r| r.num_streams == n).cloned().collect() }
     }
 
     /// Transfers with the given stripe count.
     pub fn filter_stripes(&self, n: u32) -> Dataset {
-        Dataset {
-            records: self.records.iter().filter(|r| r.num_stripes == n).cloned().collect(),
-        }
+        Dataset { records: self.records.iter().filter(|r| r.num_stripes == n).cloned().collect() }
     }
 
     /// Transfers whose remote endpoint matches (sessionizable subset
@@ -114,9 +108,7 @@ impl Dataset {
 
     /// Retains transfers matching an arbitrary predicate.
     pub fn filter<F: Fn(&TransferRecord) -> bool>(&self, pred: F) -> Dataset {
-        Dataset {
-            records: self.records.iter().filter(|r| pred(r)).cloned().collect(),
-        }
+        Dataset { records: self.records.iter().filter(|r| pred(r)).cloned().collect() }
     }
 
     /// Per-transfer throughputs in Mbps (the Tables I/II/V–IX sample).
@@ -173,14 +165,8 @@ mod tests {
     use super::*;
 
     fn rec(start: i64, size: u64, streams: u32) -> TransferRecord {
-        let mut r = TransferRecord::simple(
-            TransferType::Store,
-            size,
-            start,
-            1_000_000,
-            "s",
-            Some("r"),
-        );
+        let mut r =
+            TransferRecord::simple(TransferType::Store, size, start, 1_000_000, "s", Some("r"));
         r.num_streams = streams;
         r
     }

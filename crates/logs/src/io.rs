@@ -41,7 +41,7 @@ fn opt_token(v: Option<&str>) -> &str {
 }
 
 fn kind_token(v: Option<EndpointKind>) -> &'static str {
-    v.map(EndpointKind::token).unwrap_or("-")
+    v.map_or("-", EndpointKind::token)
 }
 
 /// Writes one record as a log line (no trailing newline).
@@ -66,37 +66,35 @@ pub fn format_record(r: &TransferRecord) -> String {
 /// Parses one log line (without newline).
 pub fn parse_record(line: &str) -> Result<TransferRecord, String> {
     let fields: Vec<&str> = line.split('|').collect();
-    if fields.len() != 12 {
-        return Err(format!("expected 12 fields, got {}", fields.len()));
-    }
+    let n_fields = fields.len();
+    let Ok(
+        [f_type, f_size, f_start, f_dur, f_server, f_remote, f_streams, f_stripes, f_buf, f_block, f_src, f_dst],
+    ) = <[&str; 12]>::try_from(fields)
+    else {
+        return Err(format!("expected 12 fields, got {n_fields}"));
+    };
     let parse_num = |s: &str, what: &str| -> Result<i64, String> {
         s.parse::<i64>().map_err(|_| format!("bad {what}: {s:?}"))
     };
     let transfer_type =
-        TransferType::parse(fields[0]).ok_or_else(|| format!("bad transfer type: {:?}", fields[0]))?;
-    let size_bytes = parse_num(fields[1], "size")? as u64;
-    let start_unix_us = parse_num(fields[2], "start")?;
-    let duration_us = parse_num(fields[3], "duration")?;
-    if fields[4].is_empty() {
+        TransferType::parse(f_type).ok_or_else(|| format!("bad transfer type: {f_type:?}"))?;
+    let size_bytes = parse_num(f_size, "size")? as u64;
+    let start_unix_us = parse_num(f_start, "start")?;
+    let duration_us = parse_num(f_dur, "duration")?;
+    if f_server.is_empty() {
         return Err("empty server name".to_owned());
     }
-    let server = fields[4].to_owned();
-    let remote = if fields[5] == "-" {
-        None
-    } else {
-        Some(fields[5].to_owned())
-    };
-    let num_streams = parse_num(fields[6], "streams")? as u32;
-    let num_stripes = parse_num(fields[7], "stripes")? as u32;
-    let tcp_buffer_bytes = parse_num(fields[8], "tcp buffer")? as u64;
-    let block_size_bytes = parse_num(fields[9], "block size")? as u64;
+    let server = f_server.to_owned();
+    let remote = if f_remote == "-" { None } else { Some(f_remote.to_owned()) };
+    let num_streams = parse_num(f_streams, "streams")? as u32;
+    let num_stripes = parse_num(f_stripes, "stripes")? as u32;
+    let tcp_buffer_bytes = parse_num(f_buf, "tcp buffer")? as u64;
+    let block_size_bytes = parse_num(f_block, "block size")? as u64;
     let parse_kind = |s: &str, what: &str| -> Result<Option<EndpointKind>, String> {
         if s == "-" {
             Ok(None)
         } else {
-            EndpointKind::parse(s)
-                .map(Some)
-                .ok_or_else(|| format!("bad {what}: {s:?}"))
+            EndpointKind::parse(s).map(Some).ok_or_else(|| format!("bad {what}: {s:?}"))
         }
     };
     Ok(TransferRecord {
@@ -110,8 +108,8 @@ pub fn parse_record(line: &str) -> Result<TransferRecord, String> {
         num_stripes,
         tcp_buffer_bytes,
         block_size_bytes,
-        src_kind: parse_kind(fields[10], "src kind")?,
-        dst_kind: parse_kind(fields[11], "dst kind")?,
+        src_kind: parse_kind(f_src, "src kind")?,
+        dst_kind: parse_kind(f_dst, "dst kind")?,
     })
 }
 
@@ -141,18 +139,13 @@ pub fn write_dataset<W: Write>(w: &mut W, ds: &Dataset) -> std::io::Result<()> {
 pub fn parse_dataset<R: BufRead>(r: R) -> Result<Dataset, ParseError> {
     let mut records = Vec::new();
     for (idx, line) in r.lines().enumerate() {
-        let line = line.map_err(|e| ParseError {
-            line: idx + 1,
-            reason: format!("io error: {e}"),
-        })?;
+        let line =
+            line.map_err(|e| ParseError { line: idx + 1, reason: format!("io error: {e}") })?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        records.push(parse_record(trimmed).map_err(|reason| ParseError {
-            line: idx + 1,
-            reason,
-        })?);
+        records.push(parse_record(trimmed).map_err(|reason| ParseError { line: idx + 1, reason })?);
     }
     Ok(Dataset::from_records(records))
 }

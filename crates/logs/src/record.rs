@@ -186,7 +186,14 @@ mod tests {
     use super::*;
 
     fn rec() -> TransferRecord {
-        TransferRecord::simple(TransferType::Store, 1_000_000_000, 1_000_000, 8_000_000, "srv.a", Some("peer.b"))
+        TransferRecord::simple(
+            TransferType::Store,
+            1_000_000_000,
+            1_000_000,
+            8_000_000,
+            "srv.a",
+            Some("peer.b"),
+        )
     }
 
     #[test]

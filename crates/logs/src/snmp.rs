@@ -35,12 +35,7 @@ impl SnmpSeries {
     /// Panics on a non-positive bin width.
     pub fn new(interface: &str, origin_us: i64, bin_width_us: i64) -> SnmpSeries {
         assert!(bin_width_us > 0, "bin width must be positive");
-        SnmpSeries {
-            interface: interface.to_owned(),
-            bin_width_us,
-            origin_us,
-            bins: Vec::new(),
-        }
+        SnmpSeries { interface: interface.to_owned(), bin_width_us, origin_us, bins: Vec::new() }
     }
 
     /// The conventional 30-second series.
@@ -130,16 +125,11 @@ impl SnmpSeries {
         if end_us <= start_us {
             return Vec::new();
         }
-        let first = self
-            .bin_index(start_us.max(self.origin_us))
-            .unwrap_or(0);
+        let first = self.bin_index(start_us.max(self.origin_us)).unwrap_or(0);
         let mut out = Vec::new();
         let mut i = first;
         while self.bin_start(i) < end_us {
-            out.push(SnmpSample {
-                bin_start_us: self.bin_start(i),
-                bytes: self.bytes_in_bin(i),
-            });
+            out.push(SnmpSample { bin_start_us: self.bin_start(i), bytes: self.bytes_in_bin(i) });
             i += 1;
         }
         out

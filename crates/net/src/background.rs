@@ -68,8 +68,7 @@ pub fn generate_background(
     let routers: Vec<NodeId> = graph
         .iter_nodes()
         .filter(|(_, n)| {
-            n.kind == NodeKind::Router
-                && !cfg.exclude_suffixes.iter().any(|s| n.name.ends_with(s))
+            n.kind == NodeKind::Router && !cfg.exclude_suffixes.iter().any(|s| n.name.ends_with(s))
         })
         .map(|(id, _)| id)
         .collect();
@@ -78,8 +77,11 @@ pub fn generate_background(
     }
     let mut rng = component_rng(seed, "background");
     let inter = Exponential::with_mean(cfg.mean_interarrival_s);
-    let size = LogNormal::from_median_mean(cfg.median_size_bytes, cfg.mean_size_bytes)
-        .expect("background size distribution must have mean > median");
+    // A calibration with mean <= median cannot be log-normal; treat it
+    // as "no background traffic" rather than panic on bad config.
+    let Some(size) = LogNormal::from_median_mean(cfg.median_size_bytes, cfg.mean_size_bytes) else {
+        return Vec::new();
+    };
     let mut out = Vec::new();
     let mut t = 0.0f64;
     loop {
@@ -90,7 +92,10 @@ pub fn generate_background(
         }
         // Random distinct router pair with a route between them.
         let pair: Vec<NodeId> = routers.choose_multiple(&mut rng, 2).copied().collect();
-        let Some(path) = gvc_topology::shortest_path(graph, pair[0], pair[1]) else {
+        let &[src, dst] = pair.as_slice() else {
+            continue;
+        };
+        let Some(path) = gvc_topology::shortest_path(graph, src, dst) else {
             continue;
         };
         if path.links.is_empty() {
@@ -101,9 +106,7 @@ pub fn generate_background(
         let cap = cfg.rate_cap_bps * (0.1 + 0.9 * rng.gen::<f64>());
         out.push(BackgroundArrival {
             at,
-            spec: FlowSpec::best_effort(path.links, bytes)
-                .with_cap(cap)
-                .with_tag(cfg.tag),
+            spec: FlowSpec::best_effort(path.links, bytes).with_cap(cap).with_tag(cfg.tag),
         });
     }
     out
@@ -146,10 +149,7 @@ mod tests {
     #[test]
     fn arrival_rate_matches_config() {
         let t = study_topology();
-        let cfg = BackgroundConfig {
-            mean_interarrival_s: 1.0,
-            ..BackgroundConfig::default()
-        };
+        let cfg = BackgroundConfig { mean_interarrival_s: 1.0, ..BackgroundConfig::default() };
         let arr = generate_background(&t.graph, &cfg, SimTime::from_secs(2000), 11);
         // Expect ~2000 arrivals, allow 10 %.
         assert!((arr.len() as f64 - 2000.0).abs() < 200.0, "{}", arr.len());
@@ -172,7 +172,8 @@ mod tests {
     #[test]
     fn campus_switches_never_carry_background() {
         let t = study_topology();
-        let arr = generate_background(&t.graph, &BackgroundConfig::default(), SimTime::from_secs(600), 5);
+        let arr =
+            generate_background(&t.graph, &BackgroundConfig::default(), SimTime::from_secs(600), 5);
         for a in &arr {
             for &l in &a.spec.route {
                 let link = t.graph.link(l);

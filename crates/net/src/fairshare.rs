@@ -45,10 +45,7 @@ const EPS: f64 = 1e-9;
 /// empty constraint list receive their `max_rate_bps` (or 0 if
 /// infinite).
 pub fn max_min_allocation(constraints: &[CapacityConstraint], flows: &[FlowDemand]) -> Vec<f64> {
-    let mut alloc: Vec<f64> = flows
-        .iter()
-        .map(|f| f.min_rate_bps.min(f.max_rate_bps))
-        .collect();
+    let mut alloc: Vec<f64> = flows.iter().map(|f| f.min_rate_bps.min(f.max_rate_bps)).collect();
 
     // De-duplicate each flow's constraint list once up front.
     let flow_constraints: Vec<Vec<ConstraintIx>> = flows
@@ -96,9 +93,7 @@ pub fn max_min_allocation(constraints: &[CapacityConstraint], flows: &[FlowDeman
     let mut active: Vec<bool> = flows
         .iter()
         .enumerate()
-        .map(|(fi, f)| {
-            !flow_constraints[fi].is_empty() && alloc[fi] + EPS < f.max_rate_bps
-        })
+        .map(|(fi, f)| !flow_constraints[fi].is_empty() && alloc[fi] + EPS < f.max_rate_bps)
         .collect();
     // Flows with no constraints get their cap immediately (nothing to
     // share against); infinite caps degrade to zero extra.
@@ -123,9 +118,7 @@ pub fn max_min_allocation(constraints: &[CapacityConstraint], flows: &[FlowDeman
         let mut changed = false;
         for (fi, _) in flows.iter().enumerate() {
             if active[fi]
-                && flow_constraints[fi]
-                    .iter()
-                    .any(|&c| remaining[c] <= EPS && counts[c] > 0)
+                && flow_constraints[fi].iter().any(|&c| remaining[c] <= EPS && counts[c] > 0)
             {
                 // Saturated constraint with active flows: no growth room.
                 if flow_constraints[fi].iter().any(|&c| remaining[c] <= EPS) {
@@ -193,11 +186,7 @@ mod tests {
     }
 
     fn flow(cs: &[usize], min: f64, max: f64) -> FlowDemand {
-        FlowDemand {
-            constraints: cs.to_vec(),
-            min_rate_bps: min,
-            max_rate_bps: max,
-        }
+        FlowDemand { constraints: cs.to_vec(), min_rate_bps: min, max_rate_bps: max }
     }
 
     #[test]
@@ -257,10 +246,7 @@ mod tests {
 
     #[test]
     fn over_admitted_guarantees_scale_down() {
-        let a = max_min_allocation(
-            &caps(&[10.0]),
-            &[flow(&[0], 8.0, 8.0), flow(&[0], 8.0, 8.0)],
-        );
+        let a = max_min_allocation(&caps(&[10.0]), &[flow(&[0], 8.0, 8.0), flow(&[0], 8.0, 8.0)]);
         assert!((a[0] - 5.0).abs() < 1e-6);
         assert!((a[1] - 5.0).abs() < 1e-6);
     }

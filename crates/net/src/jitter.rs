@@ -30,11 +30,7 @@ pub struct JitterModel {
 
 impl Default for JitterModel {
     fn default() -> JitterModel {
-        JitterModel {
-            line_rate_bps: 10e9,
-            mtu_bytes: 1500.0,
-            alpha_burst_bytes: 256.0 * 1024.0,
-        }
+        JitterModel { line_rate_bps: 10e9, mtu_bytes: 1500.0, alpha_burst_bytes: 256.0 * 1024.0 }
     }
 }
 
@@ -120,10 +116,7 @@ mod tests {
         let m = JitterModel::default();
         let shared = m.shared_queue_wait_s(0.05, 0.40);
         let isolated = m.isolated_queue_wait_s(0.05);
-        assert!(
-            shared > 10.0 * isolated,
-            "shared={shared} isolated={isolated}"
-        );
+        assert!(shared > 10.0 * isolated, "shared={shared} isolated={isolated}");
     }
 
     #[test]
@@ -153,10 +146,7 @@ mod tests {
     fn mm1_limit_matches_closed_form() {
         // With alpha burst == MTU the mix collapses to deterministic
         // service: W = rho * S / (2 (1 - rho)) (M/D/1).
-        let m = JitterModel {
-            alpha_burst_bytes: 1500.0,
-            ..JitterModel::default()
-        };
+        let m = JitterModel { alpha_burst_bytes: 1500.0, ..JitterModel::default() };
         let s = 1500.0 * 8.0 / 10e9;
         let rho: f64 = 0.5;
         let expected = rho * s / (2.0 * (1.0 - rho));

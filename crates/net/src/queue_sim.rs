@@ -92,10 +92,7 @@ pub struct QueueSimResult {
 /// (fixed packet/burst sizes). The event loop merges both arrival
 /// streams in time order and replays the queue exactly.
 pub fn simulate(cfg: &QueueSimConfig, discipline: Discipline) -> QueueSimResult {
-    assert!(
-        cfg.gp_util + cfg.alpha_util < 1.0,
-        "offered load must be < 1"
-    );
+    assert!(cfg.gp_util + cfg.alpha_util < 1.0, "offered load must be < 1");
     let mut rng = component_rng(cfg.seed, "queue-sim");
 
     let tx = |bytes: f64| bytes * 8.0 / cfg.line_rate_bps;
@@ -121,7 +118,7 @@ pub fn simulate(cfg: &QueueSimConfig, discipline: Discipline) -> QueueSimResult 
     }
     impl Ord for Arrival {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.at.partial_cmp(&other.at).expect("no NaN")
+            self.at.total_cmp(&other.at)
         }
     }
 
@@ -129,10 +126,7 @@ pub fn simulate(cfg: &QueueSimConfig, discipline: Discipline) -> QueueSimResult 
     let mut t = 0.0;
     for _ in 0..cfg.gp_packets {
         t += gp_inter.sample(&mut rng);
-        heap.push(Reverse(Arrival {
-            at: t,
-            class: Class::GeneralPurpose,
-        }));
+        heap.push(Reverse(Arrival { at: t, class: Class::GeneralPurpose }));
     }
     let horizon = t;
     let mut ta = 0.0;
@@ -141,10 +135,7 @@ pub fn simulate(cfg: &QueueSimConfig, discipline: Discipline) -> QueueSimResult 
         if ta > horizon {
             break;
         }
-        heap.push(Reverse(Arrival {
-            at: ta,
-            class: Class::Alpha,
-        }));
+        heap.push(Reverse(Arrival { at: ta, class: Class::Alpha }));
     }
     // Tiny jitter so simultaneous arrivals are strictly ordered.
     let _ = rng.gen::<f64>();
@@ -230,7 +221,7 @@ pub fn simulate(cfg: &QueueSimConfig, discipline: Discipline) -> QueueSimResult 
     }
 
     let mut sorted = gp_waits_us.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    sorted.sort_by(f64::total_cmp);
     let p99 = if sorted.is_empty() {
         0.0
     } else {

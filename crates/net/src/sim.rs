@@ -66,12 +66,7 @@ pub struct FlowTrace {
 impl FlowTrace {
     /// The rate in force at instant `t` (0 before the first point).
     pub fn rate_at(&self, t: SimTime) -> f64 {
-        self.points
-            .iter()
-            .take_while(|(at, _)| *at <= t)
-            .last()
-            .map(|&(_, r)| r)
-            .unwrap_or(0.0)
+        self.points.iter().take_while(|(at, _)| *at <= t).last().map_or(0.0, |&(_, r)| r)
     }
 
     /// Number of rate changes recorded.
@@ -198,11 +193,7 @@ impl NetworkSim {
     /// endpoint names).
     pub fn monitor_link(&mut self, link: LinkId) {
         let l = self.graph.link(link);
-        let name = format!(
-            "{}->{}",
-            self.graph.node(l.src).name,
-            self.graph.node(l.dst).name
-        );
+        let name = format!("{}->{}", self.graph.node(l.src).name, self.graph.node(l.dst).name);
         self.snmp.monitor(link, &name, self.epoch_unix_us);
     }
 
@@ -284,8 +275,7 @@ impl NetworkSim {
             t.recomputations.inc();
             let n_flows = self.flows.len();
             t.tracer.emit_with(|| {
-                TraceEvent::new(self.now.micros() as i64, "net.fairshare")
-                    .field("flows", n_flows)
+                TraceEvent::new(self.now.micros() as i64, "net.fairshare").field("flows", n_flows)
             });
         }
         let n_links = self.graph.link_count();
@@ -293,21 +283,16 @@ impl NetworkSim {
             .graph
             .links()
             .iter()
-            .map(|l| CapacityConstraint {
-                capacity_bps: l.capacity_bps,
-            })
+            .map(|l| CapacityConstraint { capacity_bps: l.capacity_bps })
             .collect();
-        constraints.extend(self.resources.iter().map(|&c| CapacityConstraint {
-            capacity_bps: c,
-        }));
+        constraints.extend(self.resources.iter().map(|&c| CapacityConstraint { capacity_bps: c }));
 
         let ids: Vec<FlowId> = self.flows.keys().copied().collect();
         let demands: Vec<FlowDemand> = ids
             .iter()
             .map(|id| {
                 let f = &self.flows[id];
-                let mut cs: Vec<usize> =
-                    f.spec.route.iter().map(|l| l.0 as usize).collect();
+                let mut cs: Vec<usize> = f.spec.route.iter().map(|l| l.0 as usize).collect();
                 cs.extend(f.spec.resources.iter().map(|r| n_links + r.0 as usize));
                 FlowDemand {
                     constraints: cs,
@@ -319,16 +304,12 @@ impl NetworkSim {
         let alloc = max_min_allocation(&constraints, &demands);
         let now = self.now;
         for (id, rate) in ids.into_iter().zip(alloc) {
-            let f = self.flows.get_mut(&id).expect("flow exists");
+            let Some(f) = self.flows.get_mut(&id) else { continue };
             let changed = (f.rate_bps - rate).abs() > 1e-6;
             f.rate_bps = rate;
             f.peak_rate_bps = f.peak_rate_bps.max(rate);
             if changed && self.traced_tags.contains(&f.spec.tag) {
-                self.traces
-                    .entry(f.spec.tag)
-                    .or_default()
-                    .points
-                    .push((now, rate));
+                self.traces.entry(f.spec.tag).or_default().points.push((now, rate));
             }
         }
         self.rates_dirty = false;
@@ -416,7 +397,7 @@ impl NetworkSim {
                         .map(|(&id, _)| id)
                         .collect();
                     for id in done {
-                        let f = self.flows.remove(&id).expect("present");
+                        let Some(f) = self.flows.remove(&id) else { continue };
                         out.push(FlowCompletion {
                             id,
                             tag: f.spec.tag,
@@ -545,11 +526,8 @@ mod tests {
         // Circuit flow guaranteed 6 Gbps (and capped there); nine
         // best-effort competitors. Without the guarantee it would get
         // 0.8 Gbps.
-        let vc = sim.add_flow(
-            FlowSpec::best_effort(vec![l], 6e9)
-                .with_guarantee(6e9)
-                .with_cap(6e9),
-        );
+        let vc =
+            sim.add_flow(FlowSpec::best_effort(vec![l], 6e9).with_guarantee(6e9).with_cap(6e9));
         for _ in 0..9 {
             sim.add_flow(FlowSpec::best_effort(vec![l], 1e12));
         }
@@ -566,12 +544,8 @@ mod tests {
         let (ac, _) = g.add_duplex_link(a, c, 10e9, 0.01);
         let mut sim = NetworkSim::new(g, 0);
         let server = sim.add_resource(2e9);
-        let f1 = sim.add_flow(
-            FlowSpec::best_effort(vec![ab], 1e9).with_resources(vec![server]),
-        );
-        let f2 = sim.add_flow(
-            FlowSpec::best_effort(vec![ac], 1e9).with_resources(vec![server]),
-        );
+        let f1 = sim.add_flow(FlowSpec::best_effort(vec![ab], 1e9).with_resources(vec![server]));
+        let f2 = sim.add_flow(FlowSpec::best_effort(vec![ac], 1e9).with_resources(vec![server]));
         assert!((sim.flow_rate(f1).unwrap() - 1e9).abs() < 1e3);
         assert!((sim.flow_rate(f2).unwrap() - 1e9).abs() < 1e3);
     }
@@ -640,9 +614,7 @@ mod tests {
 
     #[test]
     fn rate_at_before_first_point_is_zero() {
-        let t = FlowTrace {
-            points: vec![(SimTime::from_secs(5), 1e9)],
-        };
+        let t = FlowTrace { points: vec![(SimTime::from_secs(5), 1e9)] };
         assert_eq!(t.rate_at(SimTime::from_secs(4)), 0.0);
         assert_eq!(t.rate_at(SimTime::from_secs(5)), 1e9);
     }
@@ -687,8 +659,7 @@ mod tests {
         let snmp = reg.counter("net_snmp_deposited_bytes_total", &[]).get();
         assert!((snmp as f64 - 1.5e9).abs() < 4.0, "snmp bytes {snmp}");
 
-        let kinds: std::collections::HashSet<&str> =
-            ring.events().iter().map(|e| e.kind).collect();
+        let kinds: std::collections::HashSet<&str> = ring.events().iter().map(|e| e.kind).collect();
         assert!(kinds.contains("net.fairshare"));
         assert!(kinds.contains("net.snmp_deposit"));
     }

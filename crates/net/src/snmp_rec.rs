@@ -26,14 +26,12 @@ impl SnmpRecorder {
     /// Starts monitoring `link` with 30-second bins from `origin_us`
     /// (unix microseconds). Re-registering an interface resets it.
     pub fn monitor(&mut self, link: LinkId, name: &str, origin_us: i64) {
-        self.series
-            .insert(link, SnmpSeries::thirty_second(name, origin_us));
+        self.series.insert(link, SnmpSeries::thirty_second(name, origin_us));
     }
 
     /// Starts monitoring with a custom bin width.
     pub fn monitor_with_width(&mut self, link: LinkId, name: &str, origin_us: i64, width_us: i64) {
-        self.series
-            .insert(link, SnmpSeries::new(name, origin_us, width_us));
+        self.series.insert(link, SnmpSeries::new(name, origin_us, width_us));
     }
 
     /// True when `link` is monitored.

@@ -73,23 +73,14 @@ impl LinkCalendar {
 
     /// Committed bandwidth at instant `t`.
     pub fn committed_at(&self, t: SimTime) -> f64 {
-        self.commitments
-            .iter()
-            .filter(|c| c.start <= t && c.end > t)
-            .map(|c| c.rate_bps)
-            .sum()
+        self.commitments.iter().filter(|c| c.start <= t && c.end > t).map(|c| c.rate_bps).sum()
     }
 
     /// Records a commitment.
     pub fn commit(&mut self, owner: u64, start: SimTime, end: SimTime, rate_bps: f64) {
         assert!(end > start, "commitment window must be non-empty");
         assert!(rate_bps > 0.0, "commitment rate must be positive");
-        self.commitments.push(Commitment {
-            start,
-            end,
-            rate_bps,
-            owner,
-        });
+        self.commitments.push(Commitment { start, end, rate_bps, owner });
     }
 
     /// Releases all commitments of `owner` from `at` onward: windows
@@ -150,12 +141,14 @@ impl NetworkCalendar {
 
     /// Spare reservable bandwidth on `link` over `[start, end)` given
     /// its reservable `capacity_bps`.
-    pub fn available_bps(&self, link: LinkId, capacity_bps: f64, start: SimTime, end: SimTime) -> f64 {
-        let committed = self
-            .links
-            .get(&link)
-            .map(|c| c.peak_committed_bps(start, end))
-            .unwrap_or(0.0);
+    pub fn available_bps(
+        &self,
+        link: LinkId,
+        capacity_bps: f64,
+        start: SimTime,
+        end: SimTime,
+    ) -> f64 {
+        let committed = self.links.get(&link).map_or(0.0, |c| c.peak_committed_bps(start, end));
         (capacity_bps - committed).max(0.0)
     }
 

@@ -72,6 +72,28 @@ pub enum BlockReason {
     NoFeasiblePath,
 }
 
+/// Why a signalling operation (provision/teardown) failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdcError {
+    /// The reservation id is not known to this IDC.
+    UnknownReservation(ReservationId),
+    /// The reservation's current state does not allow the operation.
+    InvalidState(ReservationId, ReservationState),
+}
+
+impl std::fmt::Display for IdcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IdcError::UnknownReservation(id) => write!(f, "unknown reservation {}", id.0),
+            IdcError::InvalidState(id, st) => {
+                write!(f, "reservation {} cannot be signalled in state {st:?}", id.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for IdcError {}
+
 /// Aggregate admission statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IdcStats {
@@ -112,7 +134,7 @@ impl IdcStats {
 ///         end: SimTime::from_secs(3600),
 ///     })
 ///     .expect("10 Gbps links have room for 4 Gbps");
-/// let ready = idc.provision(id, SimTime::ZERO);
+/// let ready = idc.provision(id, SimTime::ZERO).expect("scheduled");
 /// assert_eq!(ready, SimTime::from_secs(60)); // the deployed 1-min setup
 /// ```
 pub struct Idc {
@@ -195,12 +217,7 @@ impl Idc {
         let graph = &self.graph;
         let frac = self.reservable_fraction;
         let path = constrained_shortest_path(graph, req.src, req.dst, req.rate_bps, |l| {
-            calendar.available_bps(
-                l,
-                graph.link(l).capacity_bps * frac,
-                req.start,
-                req.end,
-            )
+            calendar.available_bps(l, graph.link(l).capacity_bps * frac, req.start, req.end)
         });
         let Some(path) = path else {
             self.stats.blocked += 1;
@@ -217,8 +234,7 @@ impl Idc {
         };
         let id = ReservationId(self.next_id);
         self.next_id += 1;
-        self.calendar
-            .commit_path(id.0, &path.links, req.start, req.end, req.rate_bps);
+        self.calendar.commit_path(id.0, &path.links, req.start, req.end, req.rate_bps);
         if let Some(t) = &self.telemetry {
             t.admitted.inc();
             // Post-commit utilization of the bottleneck link on the
@@ -231,9 +247,12 @@ impl Idc {
                     let committed = self
                         .calendar
                         .link(l)
-                        .map(|c| c.peak_committed_bps(req.start, req.end))
-                        .unwrap_or(0.0);
-                    if cap > 0.0 { committed / cap } else { 0.0 }
+                        .map_or(0.0, |c| c.peak_committed_bps(req.start, req.end));
+                    if cap > 0.0 {
+                        committed / cap
+                    } else {
+                        0.0
+                    }
                 })
                 .fold(0.0, f64::max);
             t.path_utilization.record(util);
@@ -266,15 +285,15 @@ impl Idc {
     /// `createPath`). Returns the instant the circuit becomes usable
     /// under the setup-delay model.
     ///
-    /// # Panics
-    /// Panics when the reservation is unknown or already released.
-    pub fn provision(&mut self, id: ReservationId, now: SimTime) -> SimTime {
-        let r = self.reservations.get_mut(&id).expect("unknown reservation");
-        assert!(
-            matches!(r.state, ReservationState::Scheduled | ReservationState::Provisioning),
-            "cannot provision a reservation in state {:?}",
-            r.state
-        );
+    /// # Errors
+    /// [`IdcError::UnknownReservation`] when `id` was never admitted,
+    /// [`IdcError::InvalidState`] when the reservation is already
+    /// active or released.
+    pub fn provision(&mut self, id: ReservationId, now: SimTime) -> Result<SimTime, IdcError> {
+        let r = self.reservations.get_mut(&id).ok_or(IdcError::UnknownReservation(id))?;
+        if !matches!(r.state, ReservationState::Scheduled | ReservationState::Provisioning) {
+            return Err(IdcError::InvalidState(id, r.state));
+        }
         let ready = self.setup.ready_at(now).max(r.request.start);
         r.state = ReservationState::Active;
         r.ready_at = Some(ready);
@@ -287,15 +306,19 @@ impl Idc {
                     .field("setup_s", (ready - now).as_secs_f64())
             });
         }
-        ready
+        Ok(ready)
     }
 
     /// Tears a reservation down at `now`, releasing its remaining
-    /// calendar window.
-    pub fn teardown(&mut self, id: ReservationId, now: SimTime) {
-        let r = self.reservations.get_mut(&id).expect("unknown reservation");
+    /// calendar window. Tearing down an already-released reservation
+    /// is a no-op (teardown is idempotent).
+    ///
+    /// # Errors
+    /// [`IdcError::UnknownReservation`] when `id` was never admitted.
+    pub fn teardown(&mut self, id: ReservationId, now: SimTime) -> Result<(), IdcError> {
+        let r = self.reservations.get_mut(&id).ok_or(IdcError::UnknownReservation(id))?;
         if r.state == ReservationState::Released {
-            return;
+            return Ok(());
         }
         let was_active = r.state == ReservationState::Active;
         r.state = ReservationState::Released;
@@ -308,6 +331,7 @@ impl Idc {
                 TraceEvent::new(now.micros() as i64, "idc.teardown").field("id", id.0)
             });
         }
+        Ok(())
     }
 
     /// The reservation record.
@@ -317,15 +341,13 @@ impl Idc {
 
     /// Spare reservable bandwidth between two endpoints over a window
     /// (what a client could still get).
-    pub fn probe_available_bps(
-        &self,
-        req: ReservationRequest,
-    ) -> f64 {
+    pub fn probe_available_bps(&self, req: ReservationRequest) -> f64 {
         // Binary-search the admissible rate via CSPF feasibility.
-        let (mut lo, mut hi) = (0.0f64, self.graph.links()
-            .iter()
-            .map(|l| l.capacity_bps)
-            .fold(0.0, f64::max) * self.reservable_fraction);
+        let (mut lo, mut hi) = (
+            0.0f64,
+            self.graph.links().iter().map(|l| l.capacity_bps).fold(0.0, f64::max)
+                * self.reservable_fraction,
+        );
         for _ in 0..40 {
             let mid = (lo + hi) / 2.0;
             let feasible = constrained_shortest_path(&self.graph, req.src, req.dst, mid, |l| {
@@ -393,7 +415,7 @@ mod tests {
         req.rate_bps = 8e9;
         let id = idc.create_reservation(req).unwrap();
         assert_eq!(idc.create_reservation(req), Err(BlockReason::NoFeasiblePath));
-        idc.teardown(id, SimTime::from_secs(10));
+        idc.teardown(id, SimTime::from_secs(10)).unwrap();
         // Remaining window [10, 3600) is free again.
         let mut later = req;
         later.start = SimTime::from_secs(10);
@@ -415,7 +437,7 @@ mod tests {
     fn provisioning_sets_ready_per_model() {
         let (mut idc, req) = idc();
         let id = idc.create_reservation(req).unwrap();
-        let ready = idc.provision(id, SimTime::from_secs(0));
+        let ready = idc.provision(id, SimTime::from_secs(0)).unwrap();
         assert_eq!(ready, SimTime::from_secs(60));
         let r = idc.reservation(id).unwrap();
         assert_eq!(r.state, ReservationState::Active);
@@ -430,7 +452,7 @@ mod tests {
         req.end = SimTime::from_secs(2000);
         let id = idc.create_reservation(req).unwrap();
         // Provisioned early: usable only from the window start.
-        let ready = idc.provision(id, SimTime::from_secs(0));
+        let ready = idc.provision(id, SimTime::from_secs(0)).unwrap();
         assert_eq!(ready, SimTime::from_secs(1000));
     }
 
@@ -477,19 +499,13 @@ mod tests {
         bad.rate_bps = 0.0;
         assert!(i.create_reservation(bad).is_err());
 
-        i.provision(a, SimTime::ZERO);
-        i.teardown(a, SimTime::from_secs(30));
+        i.provision(a, SimTime::ZERO).unwrap();
+        i.teardown(a, SimTime::from_secs(30)).unwrap();
 
         assert_eq!(reg.counter("idc_requests_total", &[]).get(), 4);
         assert_eq!(reg.counter("idc_admitted_total", &[]).get(), 2);
-        assert_eq!(
-            reg.counter("idc_blocked_total", &[("reason", "no_feasible_path")]).get(),
-            1
-        );
-        assert_eq!(
-            reg.counter("idc_blocked_total", &[("reason", "invalid_request")]).get(),
-            1
-        );
+        assert_eq!(reg.counter("idc_blocked_total", &[("reason", "no_feasible_path")]).get(), 1);
+        assert_eq!(reg.counter("idc_blocked_total", &[("reason", "invalid_request")]).get(), 1);
         assert_eq!(reg.gauge("idc_reservations_active", &[]).get(), 0);
         let setup = reg
             .histogram("idc_setup_delay_seconds", &[], gvc_telemetry::Histogram::timing)
@@ -500,12 +516,18 @@ mod tests {
         let kinds: Vec<&str> = ring.events().iter().map(|e| e.kind).collect();
         assert_eq!(
             kinds,
-            vec!["idc.admit", "idc.admit", "idc.block", "idc.block", "idc.provision", "idc.teardown"]
+            vec![
+                "idc.admit",
+                "idc.admit",
+                "idc.block",
+                "idc.block",
+                "idc.provision",
+                "idc.teardown"
+            ]
         );
         // Second admit on the same window fills the path to capacity.
-        let util = reg
-            .histogram("idc_path_utilization", &[], || Histogram::new(0.01, 1.6, 11))
-            .snapshot();
+        let util =
+            reg.histogram("idc_path_utilization", &[], || Histogram::new(0.01, 1.6, 11)).snapshot();
         assert_eq!(util.count(), 2);
     }
 
@@ -513,8 +535,8 @@ mod tests {
     fn double_teardown_is_idempotent() {
         let (mut idc, req) = idc();
         let id = idc.create_reservation(req).unwrap();
-        idc.teardown(id, SimTime::from_secs(5));
-        idc.teardown(id, SimTime::from_secs(6));
+        idc.teardown(id, SimTime::from_secs(5)).unwrap();
+        idc.teardown(id, SimTime::from_secs(6)).unwrap();
         assert_eq!(idc.reservation(id).unwrap().state, ReservationState::Released);
     }
 }

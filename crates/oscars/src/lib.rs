@@ -24,7 +24,7 @@ pub mod reservation;
 pub mod setup;
 
 pub use calendar::{LinkCalendar, NetworkCalendar};
-pub use idc::{BlockReason, Idc, IdcStats, IdcTelemetry};
+pub use idc::{BlockReason, Idc, IdcError, IdcStats, IdcTelemetry};
 pub use interdomain::{Domain, InterDomainBlock, InterDomainCircuit, InterDomainController};
 pub use reservation::{Reservation, ReservationId, ReservationRequest, ReservationState};
 pub use setup::SetupDelayModel;

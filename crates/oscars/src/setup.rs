@@ -31,9 +31,7 @@ pub enum SetupDelayModel {
 impl SetupDelayModel {
     /// The ESnet deployment: 1-minute batches.
     pub fn esnet_deployed() -> SetupDelayModel {
-        SetupDelayModel::Batched {
-            interval: SimSpan::from_mins(1),
-        }
+        SetupDelayModel::Batched { interval: SimSpan::from_mins(1) }
     }
 
     /// The paper's hardware lower bound: flat 50 ms.
@@ -101,10 +99,7 @@ mod tests {
     fn nominal_delays() {
         assert_eq!(SetupDelayModel::one_minute().nominal_delay(), SimSpan::from_mins(1));
         assert_eq!(SetupDelayModel::esnet_deployed().nominal_delay(), SimSpan::from_mins(1));
-        assert_eq!(
-            SetupDelayModel::hardware().nominal_delay(),
-            SimSpan::from_millis(50)
-        );
+        assert_eq!(SetupDelayModel::hardware().nominal_delay(), SimSpan::from_millis(50));
     }
 
     proptest! {

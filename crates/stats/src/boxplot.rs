@@ -29,35 +29,20 @@ impl BoxplotSummary {
             return None;
         }
         let mut sorted: Vec<f64> = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in boxplot input"));
-        let q1 = quantile_sorted(&sorted, 0.25);
-        let median = quantile_sorted(&sorted, 0.50);
-        let q3 = quantile_sorted(&sorted, 0.75);
+        sorted.sort_by(f64::total_cmp);
+        let q1 = quantile_sorted(&sorted, 0.25)?;
+        let median = quantile_sorted(&sorted, 0.50)?;
+        let q3 = quantile_sorted(&sorted, 0.75)?;
         let iqr = q3 - q1;
         let lo_fence = q1 - 1.5 * iqr;
         let hi_fence = q3 + 1.5 * iqr;
-        let lo_whisker = *sorted
-            .iter()
-            .find(|&&x| x >= lo_fence)
-            .expect("fence below max implies a point exists");
-        let hi_whisker = *sorted
-            .iter()
-            .rev()
-            .find(|&&x| x <= hi_fence)
-            .expect("fence above min implies a point exists");
-        let outliers = sorted
-            .iter()
-            .copied()
-            .filter(|&x| x < lo_fence || x > hi_fence)
-            .collect();
-        Some(BoxplotSummary {
-            q1,
-            median,
-            q3,
-            lo_whisker,
-            hi_whisker,
-            outliers,
-        })
+        // The fences bracket the box, so a point inside them exists
+        // whenever the input is NaN-free; fall back to the box edge
+        // rather than panic when it is not.
+        let lo_whisker = sorted.iter().find(|&&x| x >= lo_fence).copied().unwrap_or(q1);
+        let hi_whisker = sorted.iter().rev().find(|&&x| x <= hi_fence).copied().unwrap_or(q3);
+        let outliers = sorted.iter().copied().filter(|&x| x < lo_fence || x > hi_fence).collect();
+        Some(BoxplotSummary { q1, median, q3, lo_whisker, hi_whisker, outliers })
     }
 
     /// Inter-quartile range.
@@ -142,6 +127,14 @@ mod tests {
         assert_eq!(b.q3, 3.0);
         assert_eq!(b.lo_whisker, 3.0);
         assert_eq!(b.hi_whisker, 3.0);
+    }
+
+    #[test]
+    fn nan_input_does_not_panic() {
+        // Regression: the sort comparator and the whisker expects used
+        // to panic when NaN slipped in.
+        let b = BoxplotSummary::of(&[1.0, 2.0, f64::NAN, 3.0]);
+        assert!(b.is_some());
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
 /// Midranks of `data`: ties get the average of the ranks they span.
 fn midranks(data: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..data.len()).collect();
-    idx.sort_by(|&a, &b| data[a].partial_cmp(&data[b]).expect("NaN in rank input"));
+    idx.sort_by(|&a, &b| data[a].total_cmp(&data[b]));
     let mut ranks = vec![0.0; data.len()];
     let mut i = 0;
     while i < idx.len() {

@@ -19,7 +19,7 @@ impl Ecdf {
             return None;
         }
         let mut sorted = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ECDF input"));
+        sorted.sort_by(f64::total_cmp);
         Some(Ecdf { sorted })
     }
 

@@ -51,12 +51,7 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, nbins: usize) -> Histogram {
         assert!(nbins > 0, "histogram needs at least one bin");
         assert!(hi > lo, "histogram range must be non-empty");
-        Histogram {
-            lo,
-            width: (hi - lo) / nbins as f64,
-            counts: vec![0; nbins],
-            out_of_range: 0,
-        }
+        Histogram { lo, width: (hi - lo) / nbins as f64, counts: vec![0; nbins], out_of_range: 0 }
     }
 
     /// Bin index for `x`, or `None` if out of range. A value equal to
@@ -112,11 +107,7 @@ impl BinnedSeries {
     pub fn new(lo: f64, hi: f64, nbins: usize) -> BinnedSeries {
         assert!(nbins > 0, "binned series needs at least one bin");
         assert!(hi > lo, "binned series range must be non-empty");
-        BinnedSeries {
-            lo,
-            width: (hi - lo) / nbins as f64,
-            bins: vec![Vec::new(); nbins],
-        }
+        BinnedSeries { lo, width: (hi - lo) / nbins as f64, bins: vec![Vec::new(); nbins] }
     }
 
     /// Inserts `value` under `key`; out-of-range keys are ignored and

@@ -26,7 +26,9 @@ pub mod summary;
 
 pub use boxplot::BoxplotSummary;
 pub use correlation::{covariance, pearson, spearman};
-pub use dist::{Distribution, Empirical, Exponential, LogNormal, Mixture, Pareto, TruncNormal, UniformRange};
+pub use dist::{
+    Distribution, Empirical, Exponential, LogNormal, Mixture, Pareto, TruncNormal, UniformRange,
+};
 pub use ecdf::Ecdf;
 pub use hist::{BinnedSeries, Histogram};
 pub use quantile::{median, quantile, quartiles};

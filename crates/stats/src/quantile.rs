@@ -22,23 +22,25 @@ pub fn quantile(data: &[f64], p: f64) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<f64> = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
-    Some(quantile_sorted(&sorted, p))
+    sorted.sort_by(f64::total_cmp);
+    quantile_sorted(&sorted, p)
 }
 
 /// Same as [`quantile`] but assumes `sorted` is already ascending.
-/// Useful when many quantiles are taken from the same data.
-pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
-    debug_assert!(!sorted.is_empty());
+/// Useful when many quantiles are taken from the same data. Returns
+/// `None` on an empty slice.
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> Option<f64> {
+    let (&first, &last) = (sorted.first()?, sorted.last()?);
     let n = sorted.len();
     if n == 1 {
-        return sorted[0];
+        return Some(first);
     }
     let h = (n - 1) as f64 * p;
     let lo = h.floor() as usize;
     let hi = (lo + 1).min(n - 1);
     let frac = h - lo as f64;
-    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    let (a, b) = (sorted.get(lo).copied().unwrap_or(last), sorted.get(hi).copied().unwrap_or(last));
+    Some(a + (b - a) * frac)
 }
 
 /// Median (the 0.5 quantile).
@@ -52,11 +54,11 @@ pub fn quartiles(data: &[f64]) -> Option<(f64, f64, f64)> {
         return None;
     }
     let mut sorted: Vec<f64> = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quartiles input"));
+    sorted.sort_by(f64::total_cmp);
     Some((
-        quantile_sorted(&sorted, 0.25),
-        quantile_sorted(&sorted, 0.50),
-        quantile_sorted(&sorted, 0.75),
+        quantile_sorted(&sorted, 0.25)?,
+        quantile_sorted(&sorted, 0.50)?,
+        quantile_sorted(&sorted, 0.75)?,
     ))
 }
 
@@ -113,5 +115,22 @@ mod tests {
     fn unsorted_input_ok() {
         let xs = [10.0, 1.0, 7.0, 3.0];
         assert_eq!(quantile(&xs, 0.5), Some(5.0));
+    }
+
+    #[test]
+    fn quantile_sorted_empty_is_none() {
+        // Regression: used to debug_assert and index out of bounds.
+        assert_eq!(quantile_sorted(&[], 0.5), None);
+    }
+
+    #[test]
+    fn nan_input_does_not_panic() {
+        // Regression: the sort comparator used to panic on NaN; with
+        // total_cmp NaN sorts to the top and the finite quantiles stay
+        // meaningful.
+        let xs = [2.0, f64::NAN, 1.0];
+        let q = quantile(&xs, 0.0);
+        assert_eq!(q, Some(1.0));
+        assert!(quantile(&xs, 1.0).is_some_and(f64::is_nan));
     }
 }

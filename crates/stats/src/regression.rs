@@ -50,12 +50,7 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> Option<LinearFit> {
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
     let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
-    Some(LinearFit {
-        slope,
-        intercept,
-        r_squared,
-        n: x.len(),
-    })
+    Some(LinearFit { slope, intercept, r_squared, n: x.len() })
 }
 
 #[cfg(test)]

@@ -35,7 +35,7 @@ impl Summary {
             return None;
         }
         let mut sorted: Vec<f64> = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in Summary input"));
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len();
         let mean = sorted.iter().sum::<f64>() / n as f64;
         let sd = if n < 2 {
@@ -46,12 +46,12 @@ impl Summary {
         };
         Some(Summary {
             n,
-            min: sorted[0],
-            q1: quantile_sorted(&sorted, 0.25),
-            median: quantile_sorted(&sorted, 0.50),
+            min: sorted.first().copied()?,
+            q1: quantile_sorted(&sorted, 0.25)?,
+            median: quantile_sorted(&sorted, 0.50)?,
             mean,
-            q3: quantile_sorted(&sorted, 0.75),
-            max: sorted[n - 1],
+            q3: quantile_sorted(&sorted, 0.75)?,
+            max: sorted.last().copied()?,
             sd,
         })
     }
@@ -147,6 +147,14 @@ mod tests {
         let xs: Vec<f64> = (0..100).map(|x| x as f64).collect();
         let s = Summary::of(&xs).unwrap();
         assert!((s.iqr() - 49.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_input_does_not_panic() {
+        // Regression: Summary::of used to panic sorting NaN input.
+        let s = Summary::of(&[1.0, f64::NAN, 3.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert!(s.max.is_nan());
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod trace;
 
 pub use manifest::{fnv1a64, RunManifest};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
-pub use trace::{JsonlSink, RingSink, SpanTimer, TraceEvent, TraceSink, Tracer, Value};
+pub use trace::{JsonlSink, RingSink, SpanTimer, Stopwatch, TraceEvent, TraceSink, Tracer, Value};
 
 use std::sync::Arc;
 
@@ -56,18 +56,12 @@ pub struct Telemetry {
 impl Telemetry {
     /// A live context tracing into `sink`.
     pub fn with_sink(sink: Arc<dyn TraceSink>) -> Telemetry {
-        Telemetry {
-            registry: Arc::new(Registry::new()),
-            tracer: Tracer::to_sink(sink),
-        }
+        Telemetry { registry: Arc::new(Registry::new()), tracer: Tracer::to_sink(sink) }
     }
 
     /// Metrics-only context: registry live, tracing disabled.
     pub fn metrics_only() -> Telemetry {
-        Telemetry {
-            registry: Arc::new(Registry::new()),
-            tracer: Tracer::disabled(),
-        }
+        Telemetry { registry: Arc::new(Registry::new()), tracer: Tracer::disabled() }
     }
 }
 

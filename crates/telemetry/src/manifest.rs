@@ -41,10 +41,8 @@ impl RunManifest {
     /// A manifest stamped now. `config` should be a canonical
     /// `key=value` listing of every knob that affects the output.
     pub fn new(tool: &str, seed: u64, config: &str) -> RunManifest {
-        let started_unix_ms = SystemTime::now()
-            .duration_since(UNIX_EPOCH)
-            .map(|d| d.as_millis() as u64)
-            .unwrap_or(0);
+        let started_unix_ms =
+            SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_millis() as u64);
         RunManifest {
             tool: tool.to_string(),
             seed,

@@ -274,10 +274,8 @@ struct Key {
 
 impl Key {
     fn new(name: &str, labels: &[(&str, &str)]) -> Key {
-        let mut labels: Vec<(String, String)> = labels
-            .iter()
-            .map(|(k, v)| (k.to_string(), v.to_string()))
-            .collect();
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
         labels.sort();
         Key { name: name.to_string(), labels }
     }
@@ -315,9 +313,10 @@ impl Registry {
     /// Gets or creates the counter `name{labels}`.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
         let key = Key::new(name, labels);
-        let mut m = self.metrics.lock().expect("registry poisoned");
+        let mut m = self.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         match m.entry(key).or_insert_with(|| Metric::Counter(Arc::new(Counter::new()))) {
             Metric::Counter(c) => Arc::clone(c),
+            // gvc-lint: allow(no-panic-in-lib) — fail fast on a type clash: returning a mismatched metric would corrupt series silently
             _ => panic!("metric {name} already registered with a different type"),
         }
     }
@@ -325,9 +324,10 @@ impl Registry {
     /// Gets or creates the gauge `name{labels}`.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
         let key = Key::new(name, labels);
-        let mut m = self.metrics.lock().expect("registry poisoned");
+        let mut m = self.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         match m.entry(key).or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new()))) {
             Metric::Gauge(g) => Arc::clone(g),
+            // gvc-lint: allow(no-panic-in-lib) — fail fast on a type clash: returning a mismatched metric would corrupt series silently
             _ => panic!("metric {name} already registered with a different type"),
         }
     }
@@ -341,9 +341,10 @@ impl Registry {
         make: impl FnOnce() -> Histogram,
     ) -> Arc<Histogram> {
         let key = Key::new(name, labels);
-        let mut m = self.metrics.lock().expect("registry poisoned");
+        let mut m = self.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         match m.entry(key).or_insert_with(|| Metric::Histogram(Arc::new(make()))) {
             Metric::Histogram(h) => Arc::clone(h),
+            // gvc-lint: allow(no-panic-in-lib) — fail fast on a type clash: returning a mismatched metric would corrupt series silently
             _ => panic!("metric {name} already registered with a different type"),
         }
     }
@@ -351,7 +352,7 @@ impl Registry {
     /// Renders every metric in Prometheus text exposition format,
     /// sorted by name then labels.
     pub fn render(&self) -> String {
-        let m = self.metrics.lock().expect("registry poisoned");
+        let m = self.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut out = String::new();
         let mut last_name = "";
         for (key, metric) in m.iter() {
@@ -376,7 +377,8 @@ impl Registry {
                     for (i, &c) in snap.counts().iter().enumerate() {
                         cum += c;
                         let le = snap.upper_bound(i);
-                        let le = if le.is_infinite() { "+Inf".to_string() } else { format!("{le}") };
+                        let le =
+                            if le.is_infinite() { "+Inf".to_string() } else { format!("{le}") };
                         let _ = writeln!(
                             out,
                             "{}_bucket{} {cum}",
@@ -384,7 +386,8 @@ impl Registry {
                             key.render_labels(Some(("le", le)))
                         );
                     }
-                    let _ = writeln!(out, "{}_sum{} {}", key.name, key.render_labels(None), snap.sum());
+                    let _ =
+                        writeln!(out, "{}_sum{} {}", key.name, key.render_labels(None), snap.sum());
                     let _ = writeln!(out, "{}_count{} {}", key.name, key.render_labels(None), cum);
                 }
             }
@@ -477,8 +480,7 @@ mod tests {
         let r = Registry::new();
         r.counter("idc_admitted_total", &[]).add(3);
         r.gauge("sim_event_queue_depth_hwm", &[]).set(42);
-        r.histogram("idc_setup_delay_seconds", &[], Histogram::timing)
-            .record(60.0);
+        r.histogram("idc_setup_delay_seconds", &[], Histogram::timing).record(60.0);
         let text = r.render();
         assert!(text.contains("# TYPE idc_admitted_total counter"));
         assert!(text.contains("idc_admitted_total 3"));

@@ -168,20 +168,18 @@ pub struct JsonlSink {
 impl JsonlSink {
     /// Creates (truncating) the file at `path`.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
-        Ok(JsonlSink {
-            w: Mutex::new(BufWriter::new(File::create(path)?)),
-        })
+        Ok(JsonlSink { w: Mutex::new(BufWriter::new(File::create(path)?)) })
     }
 }
 
 impl TraceSink for JsonlSink {
     fn emit(&self, ev: &TraceEvent) {
-        let mut w = self.w.lock().expect("jsonl sink poisoned");
+        let mut w = self.w.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let _ = writeln!(w, "{}", ev.to_json());
     }
 
     fn flush(&self) {
-        let _ = self.w.lock().expect("jsonl sink poisoned").flush();
+        let _ = self.w.lock().unwrap_or_else(std::sync::PoisonError::into_inner).flush();
     }
 }
 
@@ -205,20 +203,17 @@ impl RingSink {
     /// Panics when `cap` is zero.
     pub fn new(cap: usize) -> RingSink {
         assert!(cap > 0, "ring capacity must be positive");
-        RingSink {
-            cap,
-            buf: Mutex::new(VecDeque::with_capacity(cap)),
-        }
+        RingSink { cap, buf: Mutex::new(VecDeque::with_capacity(cap)) }
     }
 
     /// The retained events, oldest first.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.buf.lock().expect("ring poisoned").iter().cloned().collect()
+        self.buf.lock().unwrap_or_else(std::sync::PoisonError::into_inner).iter().cloned().collect()
     }
 
     /// Number of retained events.
     pub fn len(&self) -> usize {
-        self.buf.lock().expect("ring poisoned").len()
+        self.buf.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
     }
 
     /// True when nothing is retained.
@@ -229,7 +224,7 @@ impl RingSink {
 
 impl TraceSink for RingSink {
     fn emit(&self, ev: &TraceEvent) {
-        let mut b = self.buf.lock().expect("ring poisoned");
+        let mut b = self.buf.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if b.len() == self.cap {
             b.pop_front();
         }
@@ -295,6 +290,30 @@ impl<'a> SpanTimer<'a> {
 impl Drop for SpanTimer<'_> {
     fn drop(&mut self) {
         self.hist.record(self.start.elapsed().as_secs_f64());
+    }
+}
+
+/// Free-standing wall-clock stopwatch for self-instrumentation.
+///
+/// Lives in `gvc-telemetry` deliberately: the simulation crates are
+/// held to the `determinism` lint (no ambient clocks), while measuring
+/// how long the *host* took never feeds back into simulated results.
+/// Use this instead of reaching for `std::time::Instant` in lib code.
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts the stopwatch.
+    #[must_use]
+    pub fn start() -> Stopwatch {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Wall seconds since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed_s(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
     }
 }
 

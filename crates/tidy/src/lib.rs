@@ -1,0 +1,22 @@
+//! `gvc-tidy`: the workspace's own static-analysis pass.
+//!
+//! A rust-`tidy`-style, dependency-free lint engine: a small
+//! comment/string/char-literal-aware scanner ([`lexer`]), a rule
+//! registry with per-rule file allowlists and inline suppressions
+//! ([`rules`]), and human + JSON diagnostics with `file:line:col`
+//! spans ([`diag`]). The [`runner`] walks the workspace and applies
+//! every rule; the `gvc-tidy` binary wires that to an exit code, the
+//! telemetry registry (`tidy_*` counters), and CI.
+//!
+//! See `docs/static-analysis.md` for the rule catalog, the rationale
+//! behind each rule, the suppression syntax, and how to add a rule.
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod runner;
+
+pub use diag::Violation;
+pub use lexer::SourceFile;
+pub use rules::{default_rules, Rule};
+pub use runner::{run, TidyReport};

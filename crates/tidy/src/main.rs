@@ -1,0 +1,140 @@
+//! The `gvc-tidy` binary: run the workspace static-analysis pass.
+//!
+//! ```text
+//! gvc-tidy [--root <path>] [--format human|json] [--metrics <path>]
+//!          [--list-rules]
+//! ```
+//!
+//! Exit code 0 when the tree is clean, 1 on violations, 2 on usage or
+//! I/O errors. `--metrics` writes `tidy_*` counters (rules run, files
+//! scanned, violations by rule) in Prometheus text exposition through
+//! the shared `gvc-telemetry` registry, alongside a `run.manifest`
+//! JSON line, so lint runs carry the same provenance as simulations.
+
+use gvc_telemetry::{Registry, RunManifest};
+use gvc_tidy::rules::default_rules;
+use gvc_tidy::runner;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    json: bool,
+    metrics: Option<PathBuf>,
+    list_rules: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts =
+        Options { root: workspace_root(), json: false, metrics: None, list_rules: false };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a path")?;
+                opts.root = PathBuf::from(v);
+            }
+            "--format" => match it.next().map(String::as_str) {
+                Some("human") => opts.json = false,
+                Some("json") => opts.json = true,
+                other => return Err(format!("--format must be human|json, got {other:?}")),
+            },
+            "--metrics" => {
+                let v = it.next().ok_or("--metrics needs a path")?;
+                opts.metrics = Some(PathBuf::from(v));
+            }
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => {
+                return Err("usage: gvc-tidy [--root <path>] [--format human|json] \
+                            [--metrics <path>] [--list-rules]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag {other}; see --help")),
+        }
+    }
+    Ok(opts)
+}
+
+/// The workspace root: `$CARGO_MANIFEST_DIR/../..` when run via
+/// `cargo run -p gvc-tidy`, else the current directory.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(|p| p.parent()).map_or_else(|| PathBuf::from("."), PathBuf::from)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let rules = default_rules();
+    if opts.list_rules {
+        for r in &rules {
+            println!("{:<20} {}", r.name(), r.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let report = match runner::run(&opts.root, &rules) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gvc-tidy: scanning {} failed: {e}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    // tidy_* counters through the shared telemetry registry, so lint
+    // runs render in the same exposition format as simulations.
+    let registry = Registry::new();
+    registry.counter("tidy_files_scanned_total", &[]).add(report.files_scanned as u64);
+    registry.counter("tidy_rules_run_total", &[]).add(report.rules_run as u64);
+    for rule in &rules {
+        registry.counter("tidy_violations_total", &[("rule", rule.name())]);
+    }
+    for (rule, n) in report.by_rule() {
+        registry.counter("tidy_violations_total", &[("rule", rule)]).add(n as u64);
+    }
+    if let Some(path) = &opts.metrics {
+        let manifest = RunManifest::new("gvc-tidy", 0, &format!("root={}", opts.root.display()));
+        let body = format!("{}\n{}\n", registry.render().trim_end(), manifest.to_json());
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("gvc-tidy: writing metrics to {} failed: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if opts.json {
+        let mut out = String::from("[");
+        for (i, v) in report.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&v.render_json());
+        }
+        out.push(']');
+        println!("{out}");
+    } else {
+        for v in &report.violations {
+            println!("{}", v.render_human());
+        }
+        let mut summary = format!(
+            "gvc-tidy: {} file(s), {} rule(s), {} violation(s)",
+            report.files_scanned,
+            report.rules_run,
+            report.violations.len()
+        );
+        for (rule, n) in report.by_rule() {
+            summary.push_str(&format!("\n  {rule}: {n}"));
+        }
+        let _ = writeln!(std::io::stderr(), "{summary}");
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

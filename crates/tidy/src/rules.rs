@@ -1,0 +1,575 @@
+//! The rule registry and the initial rule set.
+//!
+//! Each rule works on a [`SourceFile`]'s masked code view (comments
+//! and string contents blanked), so forbidden tokens inside strings
+//! or comments never fire. Rules carry their own scope (which files
+//! they apply to) plus a per-rule allowlist of path substrings that
+//! exempts whole files; line-level exemptions use
+//! `// gvc-lint: allow(<rule>) — <justification>` comments, which the
+//! runner applies after the rule fires.
+
+use crate::diag::Violation;
+use crate::lexer::SourceFile;
+
+/// Library crates held to the panic-freedom and no-stdout standard.
+/// `cli` and `bench` are deliberately absent: binaries own their
+/// output and may fail fast on startup errors.
+pub const LIB_CRATES: &[&str] = &[
+    "core",
+    "engine",
+    "net",
+    "oscars",
+    "gridftp",
+    "logs",
+    "stats",
+    "telemetry",
+    "workload",
+    "topology",
+    "hntes",
+];
+
+/// Crates allowed to read wall clocks and unseeded entropy: the
+/// telemetry spine (provenance timestamps, wall-time histograms) and
+/// the CLI (user-facing timing).
+pub const WALLCLOCK_CRATES: &[&str] = &["telemetry", "cli"];
+
+/// Files whose job is rendering reports and tables; unordered-map
+/// iteration there produces nondeterministic output.
+pub const PRESENTATION_FILES: &[&str] = &["tables.rs", "report.rs", "fmt.rs", "session_stats.rs"];
+
+/// A static-analysis rule.
+pub trait Rule {
+    /// Registry name, used in diagnostics and `allow(...)` comments.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list-rules` and the docs.
+    fn description(&self) -> &'static str;
+    /// Path substrings exempting whole files from this rule.
+    fn allowlist(&self) -> &[String];
+    /// Checks one file, returning all violations found.
+    fn check(&self, file: &SourceFile) -> Vec<Violation>;
+
+    /// True when `file` is exempted by the allowlist.
+    fn allowlisted(&self, file: &SourceFile) -> bool {
+        self.allowlist().iter().any(|p| file.rel_path.contains(p.as_str()))
+    }
+}
+
+/// The crate a `crates/<name>/src/...` path belongs to, with the
+/// `src`-relative tail; `None` outside `crates/`.
+fn crate_of(rel: &str) -> Option<(&str, &str)> {
+    let rest = rel.strip_prefix("crates/")?;
+    let (krate, tail) = rest.split_once('/')?;
+    Some((krate, tail))
+}
+
+/// True for non-binary library-crate sources (`crates/<lib>/src/`,
+/// excluding `src/bin/`).
+fn in_lib_crate(rel: &str) -> bool {
+    match crate_of(rel) {
+        Some((krate, tail)) => {
+            LIB_CRATES.contains(&krate) && tail.starts_with("src/") && !tail.starts_with("src/bin/")
+        }
+        None => false,
+    }
+}
+
+/// Column positions (1-based) where `tok` occurs in `line` as a code
+/// token: the preceding character must not be part of an identifier.
+fn token_cols(line: &str, tok: &str) -> Vec<usize> {
+    let bytes = line.as_bytes();
+    // Tokens that start mid-expression (`.unwrap()`) carry their own
+    // boundary; identifier-leading tokens must not match inside a
+    // longer identifier (`eprint!` inside nothing, `rng` in `thread_rng`).
+    let check_left = tok.starts_with(|c: char| c.is_ascii_alphanumeric() || c == '_');
+    line.match_indices(tok)
+        .filter(|&(at, _)| {
+            !check_left || at == 0 || {
+                let p = bytes[at - 1] as char;
+                !(p.is_ascii_alphanumeric() || p == '_')
+            }
+        })
+        .map(|(at, _)| at + 1)
+        .collect()
+}
+
+fn violation(
+    rule: &'static str,
+    file: &SourceFile,
+    line_idx: usize,
+    col: usize,
+    message: String,
+) -> Violation {
+    Violation {
+        rule,
+        path: file.rel_path.clone(),
+        line: line_idx + 1,
+        col,
+        message,
+        snippet: file.raw.get(line_idx).map(|l| l.trim().to_string()).unwrap_or_default(),
+    }
+}
+
+/// `no-panic-in-lib`: library crates must not contain panic paths in
+/// non-test code — `unwrap`/`expect`, the panic macro family, or
+/// slice indexing with a literal index. Fallible paths return
+/// `Result`/`Option`; true invariants may be suppressed inline with a
+/// justification.
+pub struct NoPanicInLib {
+    allow: Vec<String>,
+}
+
+const PANIC_TOKENS: &[&str] =
+    &[".unwrap()", ".expect(", "panic!(", "unreachable!(", "todo!(", "unimplemented!("];
+
+impl NoPanicInLib {
+    pub fn new(allow: Vec<String>) -> NoPanicInLib {
+        NoPanicInLib { allow }
+    }
+
+    /// 1-based columns of `ident[<int literal>]` slice indexing.
+    fn literal_index_cols(line: &str) -> Vec<usize> {
+        let b = line.as_bytes();
+        let mut out = Vec::new();
+        for at in 0..b.len() {
+            if b[at] != b'[' || at == 0 {
+                continue;
+            }
+            let prev = b[at - 1] as char;
+            if !(prev.is_ascii_alphanumeric() || prev == '_' || prev == ')' || prev == ']') {
+                continue;
+            }
+            let mut j = at + 1;
+            let mut digits = 0usize;
+            while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+                if b[j].is_ascii_digit() {
+                    digits += 1;
+                }
+                j += 1;
+            }
+            if digits > 0 && j < b.len() && b[j] == b']' {
+                out.push(at + 1);
+            }
+        }
+        out
+    }
+}
+
+impl Rule for NoPanicInLib {
+    fn name(&self) -> &'static str {
+        "no-panic-in-lib"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid unwrap()/expect()/panic!/unreachable!/todo!/unimplemented! and literal slice \
+         indexing in non-test library-crate code"
+    }
+
+    fn allowlist(&self) -> &[String] {
+        &self.allow
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Violation> {
+        if !in_lib_crate(&file.rel_path) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (idx, code) in file.code.iter().enumerate() {
+            if file.is_test.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            for tok in PANIC_TOKENS {
+                for col in token_cols(code, tok) {
+                    out.push(violation(
+                        self.name(),
+                        file,
+                        idx,
+                        col,
+                        format!(
+                            "`{}` can panic; return Result/Option or restructure \
+                             (suppress only with a justified gvc-lint allow)",
+                            tok.trim_start_matches('.')
+                        ),
+                    ));
+                }
+            }
+            for col in NoPanicInLib::literal_index_cols(code) {
+                out.push(violation(
+                    self.name(),
+                    file,
+                    idx,
+                    col,
+                    "literal slice index can panic; use .get(..), .first()/.last(), or \
+                     pattern matching"
+                        .to_string(),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// `determinism`: simulation and analysis code must not read wall
+/// clocks or OS entropy — sim time flows through `gvc-engine::time`,
+/// randomness through the vendored seeded `rand`. Only the telemetry
+/// spine and the CLI may touch the real world.
+pub struct Determinism {
+    allow: Vec<String>,
+}
+
+const NONDETERMINISM_TOKENS: &[&str] =
+    &["SystemTime::now", "Instant::now", "thread_rng", "from_entropy", "rand::random"];
+
+impl Determinism {
+    pub fn new(allow: Vec<String>) -> Determinism {
+        Determinism { allow }
+    }
+}
+
+impl Rule for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid wall-clock reads and unseeded RNGs outside the telemetry spine and the CLI"
+    }
+
+    fn allowlist(&self) -> &[String] {
+        &self.allow
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Violation> {
+        let scoped = match crate_of(&file.rel_path) {
+            Some((krate, _)) => !WALLCLOCK_CRATES.contains(&krate),
+            // Root src/ and integration tests are simulation-facing.
+            None => true,
+        };
+        if !scoped {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (idx, code) in file.code.iter().enumerate() {
+            if file.is_test.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            for tok in NONDETERMINISM_TOKENS {
+                for col in token_cols(code, tok) {
+                    out.push(violation(
+                        self.name(),
+                        file,
+                        idx,
+                        col,
+                        format!(
+                            "`{tok}` is nondeterministic; use gvc-engine sim time or a \
+                             seeded component RNG (gvc-stats::rng)"
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `no-stdout-in-lib`: library crates write no terminal output; logs
+/// and metrics flow through the telemetry spine, rendering through
+/// the report layer.
+pub struct NoStdoutInLib {
+    allow: Vec<String>,
+}
+
+const STDOUT_TOKENS: &[&str] = &["println!", "print!", "eprintln!", "eprint!", "dbg!"];
+
+impl NoStdoutInLib {
+    pub fn new(allow: Vec<String>) -> NoStdoutInLib {
+        NoStdoutInLib { allow }
+    }
+}
+
+impl Rule for NoStdoutInLib {
+    fn name(&self) -> &'static str {
+        "no-stdout-in-lib"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid println!/eprintln!/dbg! in library crates; route output through telemetry \
+         or the report layer"
+    }
+
+    fn allowlist(&self) -> &[String] {
+        &self.allow
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Violation> {
+        if !in_lib_crate(&file.rel_path) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (idx, code) in file.code.iter().enumerate() {
+            if file.is_test.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            for tok in STDOUT_TOKENS {
+                for col in token_cols(code, tok) {
+                    out.push(violation(
+                        self.name(),
+                        file,
+                        idx,
+                        col,
+                        format!(
+                            "`{tok}` in a library crate; use the telemetry tracer or return \
+                                 renderable data"
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `ordered-iteration`: report- and table-producing files must not
+/// mention `HashMap`/`HashSet` at all — iteration order would leak
+/// into rendered output. Use `BTreeMap`/`BTreeSet` or sort
+/// explicitly.
+pub struct OrderedIteration {
+    allow: Vec<String>,
+}
+
+impl OrderedIteration {
+    pub fn new(allow: Vec<String>) -> OrderedIteration {
+        OrderedIteration { allow }
+    }
+
+    fn presentation(rel: &str) -> bool {
+        let file_name = rel.rsplit('/').next().unwrap_or(rel);
+        PRESENTATION_FILES.contains(&file_name) || rel.starts_with("crates/cli/src/")
+    }
+}
+
+impl Rule for OrderedIteration {
+    fn name(&self) -> &'static str {
+        "ordered-iteration"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid HashMap/HashSet in report- and table-rendering files; use BTreeMap/BTreeSet \
+         or an explicit sort"
+    }
+
+    fn allowlist(&self) -> &[String] {
+        &self.allow
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Violation> {
+        if !OrderedIteration::presentation(&file.rel_path) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (idx, code) in file.code.iter().enumerate() {
+            if file.is_test.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            for tok in ["HashMap", "HashSet"] {
+                for col in token_cols(code, tok) {
+                    out.push(violation(
+                        self.name(),
+                        file,
+                        idx,
+                        col,
+                        format!(
+                            "`{tok}` in a report/table-producing file: iteration order leaks \
+                             into output; use BTreeMap/BTreeSet or sort before rendering"
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `hygiene`: no tabs, no trailing whitespace, and every task marker
+/// comment carries an issue reference (`#<digits>`).
+pub struct Hygiene {
+    allow: Vec<String>,
+}
+
+impl Hygiene {
+    pub fn new(allow: Vec<String>) -> Hygiene {
+        Hygiene { allow }
+    }
+}
+
+impl Rule for Hygiene {
+    fn name(&self) -> &'static str {
+        "hygiene"
+    }
+
+    fn description(&self) -> &'static str {
+        "no tabs, no trailing whitespace, and TODO/FIXME must reference an issue (#N)"
+    }
+
+    fn allowlist(&self) -> &[String] {
+        &self.allow
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (idx, raw) in file.raw.iter().enumerate() {
+            if let Some(at) = raw.find('\t') {
+                out.push(violation(
+                    self.name(),
+                    file,
+                    idx,
+                    at + 1,
+                    "tab character; indent with spaces".to_string(),
+                ));
+            }
+            if raw.ends_with(' ') || raw.ends_with('\t') {
+                out.push(violation(
+                    self.name(),
+                    file,
+                    idx,
+                    raw.len(),
+                    "trailing whitespace".to_string(),
+                ));
+            }
+            let nostr = file.nostr.get(idx).map_or("", |l| l.as_str());
+            for marker in ["TODO", "FIXME"] {
+                for col in token_cols(nostr, marker) {
+                    let tail = &nostr[col - 1..];
+                    let has_ref = tail.char_indices().any(|(i, c)| {
+                        c == '#' && tail[i + 1..].starts_with(|d: char| d.is_ascii_digit())
+                    });
+                    if !has_ref {
+                        out.push(violation(
+                            self.name(),
+                            file,
+                            idx,
+                            col,
+                            format!("`{marker}` without an issue reference; write `{marker}(#123): ...`"),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The default registry: every shipped rule with its allowlist.
+pub fn default_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NoPanicInLib::new(vec![])),
+        Box::new(Determinism::new(vec![])),
+        Box::new(NoStdoutInLib::new(vec![])),
+        Box::new(OrderedIteration::new(vec![])),
+        Box::new(Hygiene::new(vec![])),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, src: &str) -> SourceFile {
+        SourceFile::parse(path, src)
+    }
+
+    #[test]
+    fn lib_crate_scoping() {
+        assert!(in_lib_crate("crates/stats/src/summary.rs"));
+        assert!(!in_lib_crate("crates/cli/src/commands.rs"));
+        assert!(!in_lib_crate("crates/stats/src/bin/tool.rs"));
+        assert!(!in_lib_crate("tests/end_to_end.rs"));
+    }
+
+    #[test]
+    fn panic_rule_fires_on_each_token() {
+        let src = "fn f() {\n  a.unwrap();\n  b.expect(\"x\");\n  panic!(\"y\");\n  unreachable!(\"z\");\n}\n";
+        let v = NoPanicInLib::new(vec![]).check(&file("crates/core/src/x.rs", src));
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn panic_rule_skips_non_lib_and_tests() {
+        let src = "fn f() { a.unwrap(); }\n";
+        assert!(NoPanicInLib::new(vec![]).check(&file("crates/cli/src/x.rs", src)).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n fn f() { a.unwrap(); } }\n";
+        assert!(NoPanicInLib::new(vec![])
+            .check(&file("crates/core/src/x.rs", test_src))
+            .is_empty());
+    }
+
+    #[test]
+    fn literal_index_detection() {
+        assert_eq!(NoPanicInLib::literal_index_cols("let a = xs[0];"), vec![11]);
+        assert_eq!(NoPanicInLib::literal_index_cols("f(ys)[12_3]"), vec![6]);
+        assert!(NoPanicInLib::literal_index_cols("let t: [u8; 4] = x;").is_empty());
+        assert!(NoPanicInLib::literal_index_cols("#[cfg(feature = x)]").is_empty());
+        assert!(NoPanicInLib::literal_index_cols("xs[i]").is_empty());
+        assert!(NoPanicInLib::literal_index_cols("xs[1..]").is_empty());
+    }
+
+    #[test]
+    fn determinism_scope_and_tokens() {
+        let src = "fn f() { let t = Instant::now(); let r = thread_rng(); }\n";
+        let v = Determinism::new(vec![]).check(&file("crates/net/src/x.rs", src));
+        assert_eq!(v.len(), 2);
+        assert!(Determinism::new(vec![]).check(&file("crates/telemetry/src/x.rs", src)).is_empty());
+        assert!(Determinism::new(vec![]).check(&file("crates/cli/src/x.rs", src)).is_empty());
+        // bench is NOT exempt: wall-clock use there needs a suppression.
+        assert_eq!(Determinism::new(vec![]).check(&file("crates/bench/src/x.rs", src)).len(), 2);
+    }
+
+    #[test]
+    fn stdout_rule() {
+        let src = "fn f() { println!(\"x\"); dbg!(y); }\n";
+        let v = NoStdoutInLib::new(vec![]).check(&file("crates/logs/src/x.rs", src));
+        assert_eq!(v.len(), 2);
+        assert!(NoStdoutInLib::new(vec![]).check(&file("crates/cli/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn ordered_iteration_scope() {
+        let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) {}\n";
+        let v = OrderedIteration::new(vec![]).check(&file("crates/core/src/tables.rs", src));
+        assert_eq!(v.len(), 2);
+        assert!(OrderedIteration::new(vec![])
+            .check(&file("crates/core/src/sweep.rs", src))
+            .is_empty());
+        assert_eq!(
+            OrderedIteration::new(vec![]).check(&file("crates/cli/src/args.rs", src)).len(),
+            2
+        );
+    }
+
+    #[test]
+    fn hygiene_rule() {
+        let src = "let a = 1; \n\tlet b = 2;\n// TODO: fix this\n// TODO(#12): tracked\n";
+        let v = Hygiene::new(vec![]).check(&file("tests/x.rs", src));
+        let rules: Vec<&str> =
+            v.iter().map(|x| x.message.split(';').next().unwrap_or("")).collect();
+        assert_eq!(v.len(), 3, "{rules:?}");
+        assert!(v[0].message.contains("trailing"));
+        assert!(v[1].message.contains("tab"));
+        assert!(v[2].message.contains("issue reference"));
+    }
+
+    #[test]
+    fn allowlist_exempts_file() {
+        let rule = NoPanicInLib::new(vec!["src/x.rs".to_string()]);
+        let f = file("crates/core/src/x.rs", "fn f() { a.unwrap(); }\n");
+        assert!(rule.allowlisted(&f));
+    }
+
+    #[test]
+    fn tokens_in_strings_and_comments_ignored() {
+        let src = "// call .unwrap() and panic!(now)\nlet s = \".expect( thread_rng \";\n";
+        let f = file("crates/core/src/x.rs", src);
+        assert!(NoPanicInLib::new(vec![]).check(&f).is_empty());
+        assert!(Determinism::new(vec![]).check(&f).is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Walks the workspace, applies every rule, and collects violations.
+//!
+//! The walk covers `crates/`, `src/`, `tests/`, and `examples/`,
+//! skipping `target/`, `vendor/` (third-party shims), `fixtures/`
+//! directories (they contain violations on purpose), and anything
+//! hidden. Paths are sorted so output and counters are deterministic.
+
+use crate::diag::Violation;
+use crate::lexer::SourceFile;
+use crate::rules::Rule;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Scan scope at the workspace root.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures", ".git"];
+
+/// Outcome of a tidy run.
+#[derive(Debug, Default)]
+pub struct TidyReport {
+    /// Every unsuppressed violation, in path/line order.
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of rules applied.
+    pub rules_run: usize,
+}
+
+impl TidyReport {
+    /// True when the tree is clean.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violation count per rule name, sorted by rule.
+    pub fn by_rule(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: std::collections::BTreeMap<&'static str, usize> =
+            std::collections::BTreeMap::new();
+        for v in &self.violations {
+            *counts.entry(v.rule).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+}
+
+/// Collects every scannable `.rs` file under `root`, sorted,
+/// workspace-relative.
+pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for scan in SCAN_ROOTS {
+        let dir = root.join(scan);
+        if dir.is_dir() {
+            walk(&dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs `rules` over every file under `root`. Suppressed violations
+/// are dropped; a suppression without a justification is reported
+/// under the synthetic rule name `lint-suppression`.
+pub fn run(root: &Path, rules: &[Box<dyn Rule>]) -> io::Result<TidyReport> {
+    let files = collect_files(root)?;
+    let mut report = TidyReport { rules_run: rules.len(), ..TidyReport::default() };
+    for path in &files {
+        let rel = path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+        let content = fs::read_to_string(path)?;
+        let file = SourceFile::parse(&rel, &content);
+        report.files_scanned += 1;
+        check_file(&file, rules, &mut report.violations);
+    }
+    Ok(report)
+}
+
+/// Applies every rule to one prepared file (exposed for tests).
+pub fn check_file(file: &SourceFile, rules: &[Box<dyn Rule>], out: &mut Vec<Violation>) {
+    for rule in rules {
+        if rule.allowlisted(file) {
+            continue;
+        }
+        for v in rule.check(file) {
+            if !file.is_suppressed(rule.name(), v.line) {
+                out.push(v);
+            }
+        }
+    }
+    for s in &file.suppressions {
+        if !s.justified {
+            out.push(Violation {
+                rule: "lint-suppression",
+                path: file.rel_path.clone(),
+                line: s.line,
+                col: 0,
+                message: format!(
+                    "suppression of `{}` without a justification; write \
+                     `// gvc-lint: allow({}) — <why this cannot fail>`",
+                    s.rule, s.rule
+                ),
+                snippet: file.raw.get(s.line - 1).map(|l| l.trim().to_string()).unwrap_or_default(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::default_rules;
+
+    #[test]
+    fn suppressed_violation_is_dropped() {
+        let src = "fn f() {\n    // gvc-lint: allow(no-panic-in-lib) — invariant: list is never empty\n    a.unwrap();\n}\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        let mut out = Vec::new();
+        check_file(&f, &default_rules(), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn unjustified_suppression_still_reports() {
+        let src = "fn f() {\n    a.unwrap(); // gvc-lint: allow(no-panic-in-lib)\n}\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        let mut out = Vec::new();
+        check_file(&f, &default_rules(), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "lint-suppression");
+    }
+
+    #[test]
+    fn report_counts_by_rule() {
+        let src = "fn f() { a.unwrap(); let t = Instant::now(); }\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        let mut report = TidyReport::default();
+        check_file(&f, &default_rules(), &mut report.violations);
+        let by = report.by_rule();
+        assert_eq!(by, vec![("determinism", 1), ("no-panic-in-lib", 1)]);
+    }
+}

@@ -1,0 +1,171 @@
+//! End-to-end lint-engine tests over the fixture corpus.
+//!
+//! Each file under `tests/fixtures/` carries known violations (the
+//! runner's workspace walk skips `fixtures/` directories, so they
+//! never pollute a real scan). Tests parse them under synthetic
+//! workspace-relative paths so rule scoping behaves exactly as
+//! in-tree, then assert the precise `(rule, line)` findings.
+
+use gvc_tidy::rules::NoPanicInLib;
+use gvc_tidy::runner::check_file;
+use gvc_tidy::{default_rules, Rule, SourceFile, Violation};
+
+fn check(rel_path: &str, src: &str) -> Vec<Violation> {
+    let file = SourceFile::parse(rel_path, src);
+    let mut out = Vec::new();
+    check_file(&file, &default_rules(), &mut out);
+    out
+}
+
+fn found(vs: &[Violation]) -> Vec<(&'static str, usize)> {
+    vs.iter().map(|v| (v.rule, v.line)).collect()
+}
+
+const PANIC_FIXTURE: &str = include_str!("fixtures/panic_paths.rs");
+const NONDET_FIXTURE: &str = include_str!("fixtures/nondeterminism.rs");
+const STDOUT_FIXTURE: &str = include_str!("fixtures/stdout.rs");
+const UNORDERED_FIXTURE: &str = include_str!("fixtures/unordered_render.rs");
+const HYGIENE_FIXTURE: &str = include_str!("fixtures/hygiene.rs");
+const SUPPRESSION_FIXTURE: &str = include_str!("fixtures/suppressions.rs");
+const MASKED_FIXTURE: &str = include_str!("fixtures/masked_tokens.rs");
+
+#[test]
+fn panic_fixture_exact_findings() {
+    let vs = check("crates/core/src/panic_paths.rs", PANIC_FIXTURE);
+    assert_eq!(
+        found(&vs),
+        vec![
+            ("no-panic-in-lib", 4),  // .unwrap()
+            ("no-panic-in-lib", 5),  // .expect(
+            ("no-panic-in-lib", 7),  // panic!(
+            ("no-panic-in-lib", 10), // unreachable!(
+            ("no-panic-in-lib", 11), // todo!(
+            ("no-panic-in-lib", 12), // unimplemented!(
+            ("no-panic-in-lib", 13), // xs[0]
+        ],
+        "{vs:#?}"
+    );
+    assert!(vs[0].message.contains("unwrap"));
+    assert!(vs[6].message.contains("literal slice index"));
+    assert!(vs.iter().all(|v| v.col > 0 && v.path == "crates/core/src/panic_paths.rs"));
+}
+
+#[test]
+fn panic_fixture_out_of_scope_paths_are_clean() {
+    // Binary crates and `src/bin/` targets own their failure modes.
+    assert!(check("crates/cli/src/panic_paths.rs", PANIC_FIXTURE).is_empty());
+    assert!(check("crates/core/src/bin/panic_paths.rs", PANIC_FIXTURE).is_empty());
+}
+
+#[test]
+fn nondeterminism_fixture_exact_findings() {
+    let vs = check("crates/net/src/nondeterminism.rs", NONDET_FIXTURE);
+    assert_eq!(
+        found(&vs),
+        vec![
+            ("determinism", 4),  // Instant::now
+            ("determinism", 5),  // SystemTime::now
+            ("determinism", 11), // thread_rng
+            ("determinism", 12), // from_entropy
+            ("determinism", 13), // rand::random
+        ],
+        "{vs:#?}"
+    );
+    // The telemetry spine and the CLI may read the real world.
+    assert!(check("crates/telemetry/src/nondeterminism.rs", NONDET_FIXTURE).is_empty());
+    assert!(check("crates/cli/src/nondeterminism.rs", NONDET_FIXTURE).is_empty());
+}
+
+#[test]
+fn stdout_fixture_exact_findings() {
+    let vs = check("crates/logs/src/stdout.rs", STDOUT_FIXTURE);
+    assert_eq!(
+        found(&vs),
+        vec![
+            ("no-stdout-in-lib", 4), // println!
+            ("no-stdout-in-lib", 5), // print!
+            ("no-stdout-in-lib", 6), // eprintln!
+            ("no-stdout-in-lib", 7), // eprint!
+            ("no-stdout-in-lib", 8), // dbg!
+        ],
+        "{vs:#?}"
+    );
+}
+
+#[test]
+fn unordered_fixture_fires_only_in_presentation_files() {
+    let vs = check("crates/core/src/tables.rs", UNORDERED_FIXTURE);
+    assert_eq!(
+        found(&vs),
+        vec![
+            ("ordered-iteration", 3),
+            ("ordered-iteration", 4),
+            ("ordered-iteration", 6), // HashMap in the signature
+            ("ordered-iteration", 6), // HashSet in the signature
+        ],
+        "{vs:#?}"
+    );
+    // The same content is fine in a non-rendering file.
+    assert!(check("crates/core/src/sweep.rs", UNORDERED_FIXTURE).is_empty());
+}
+
+#[test]
+fn hygiene_fixture_exact_findings() {
+    let vs = check("tests/hygiene_fixture.rs", HYGIENE_FIXTURE);
+    assert_eq!(
+        found(&vs),
+        vec![
+            ("hygiene", 4),  // tab indent
+            ("hygiene", 5),  // trailing whitespace
+            ("hygiene", 9),  // task marker without an issue ref
+            ("hygiene", 10), // second marker flavour, same problem
+        ],
+        "{vs:#?}"
+    );
+    assert_eq!(vs[0].col, 1, "tab is the first character");
+    assert!(vs[2].message.contains("issue reference"));
+}
+
+#[test]
+fn suppression_fixture_semantics() {
+    let vs = check("crates/core/src/suppressions.rs", SUPPRESSION_FIXTURE);
+    assert_eq!(
+        found(&vs),
+        vec![
+            // A suppression for the wrong rule leaves the panic finding.
+            ("no-panic-in-lib", 14),
+            // An unjustified suppression silences its line but is
+            // itself reported.
+            ("lint-suppression", 9),
+        ],
+        "{vs:#?}"
+    );
+    assert!(vs[1].message.contains("justification"));
+}
+
+#[test]
+fn masked_fixture_is_clean() {
+    let vs = check("crates/core/src/masked_tokens.rs", MASKED_FIXTURE);
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn allowlist_exempts_whole_fixture() {
+    let rules: Vec<Box<dyn Rule>> =
+        vec![Box::new(NoPanicInLib::new(vec!["panic_paths.rs".to_string()]))];
+    let file = SourceFile::parse("crates/core/src/panic_paths.rs", PANIC_FIXTURE);
+    let mut out = Vec::new();
+    check_file(&file, &rules, &mut out);
+    assert!(out.is_empty(), "{out:#?}");
+}
+
+#[test]
+fn diagnostics_render_with_fixture_locations() {
+    let vs = check("crates/core/src/panic_paths.rs", PANIC_FIXTURE);
+    let human = vs[0].render_human();
+    assert!(human.starts_with("crates/core/src/panic_paths.rs:4:"));
+    assert!(human.contains("[no-panic-in-lib]"));
+    let json = vs[0].render_json();
+    assert!(json.contains("\"rule\":\"no-panic-in-lib\""));
+    assert!(json.contains("\"line\":4"));
+}

@@ -1,0 +1,11 @@
+//! Fixture: hygiene violations — tabs, trailing space, bare markers.
+
+fn spaced() {
+	let tabbed = 1;
+    let trailing = 2;  
+    drop((tabbed, trailing));
+}
+
+// TODO: fix the thing
+// FIXME make it stop
+// TODO(#12): this one is tracked

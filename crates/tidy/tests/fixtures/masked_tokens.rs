@@ -1,0 +1,10 @@
+//! Fixture: forbidden tokens inside comments and literals never fire.
+//! A comment may say .unwrap() or panic!( or Instant::now freely.
+
+pub fn clean() -> String {
+    /* block comment mentioning .expect( and thread_rng */
+    let a = "string with .unwrap() and panic!( and a TODO inside";
+    let b = r#"raw: SystemTime::now and println!( and dbg!( here"#;
+    let c = '"';
+    format!("{a}{b}{c}")
+}

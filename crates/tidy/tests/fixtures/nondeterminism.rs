@@ -1,0 +1,16 @@
+//! Fixture: wall-clock and entropy reads inside simulation code.
+
+pub fn stamp() -> f64 {
+    let t0 = std::time::Instant::now();
+    let wall = std::time::SystemTime::now();
+    drop(wall);
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn draw() -> f64 {
+    let rng = rand::thread_rng();
+    let seeded = SmallRng::from_entropy();
+    let x: f64 = rand::random();
+    drop((rng, seeded));
+    x
+}

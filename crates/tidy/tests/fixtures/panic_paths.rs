@@ -1,0 +1,24 @@
+//! Fixture: every panic-family token in non-test library code.
+
+pub fn helpers(xs: &[u64], b: u64) -> u64 {
+    let a = *xs.first().unwrap();
+    let parsed: u64 = "7".parse().expect("seven");
+    if a > b + parsed {
+        panic!("a exceeded b");
+    }
+    match b {
+        0 => unreachable!("b is nonzero here"),
+        1 => todo!(),
+        2 => unimplemented!(),
+        _ => xs[0],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let xs = [1u64, 2];
+        assert_eq!(*xs.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: terminal output from library code.
+
+pub fn report(n: usize) {
+    println!("saw {n} records");
+    print!("partial");
+    eprintln!("warning: {n}");
+    eprint!("err");
+    dbg!(n);
+}

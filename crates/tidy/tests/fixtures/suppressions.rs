@@ -1,0 +1,15 @@
+//! Fixture: inline suppression behaviour.
+
+pub fn justified(xs: &[u64]) -> u64 {
+    // gvc-lint: allow(no-panic-in-lib) — validated non-empty by the caller contract
+    xs.first().unwrap() + 1
+}
+
+pub fn unjustified(xs: &[u64]) -> u64 {
+    xs.first().unwrap() + 1 // gvc-lint: allow(no-panic-in-lib)
+}
+
+pub fn wrong_rule(xs: &[u64]) -> u64 {
+    // gvc-lint: allow(determinism) — a justification long enough, but the wrong rule
+    xs.first().unwrap() + 1
+}

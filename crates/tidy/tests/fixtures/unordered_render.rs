@@ -1,0 +1,8 @@
+//! Fixture: unordered maps in a table-rendering file.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn render(rows: &HashMap<String, u64>, seen: &HashSet<u64>) -> String {
+    format!("{} rows, {} ids", rows.len(), seen.len())
+}

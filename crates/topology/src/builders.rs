@@ -40,15 +40,8 @@ pub enum Site {
 
 impl Site {
     /// All sites, in a fixed order.
-    pub const ALL: [Site; 7] = [
-        Site::Nersc,
-        Site::Ornl,
-        Site::Anl,
-        Site::Ncar,
-        Site::Nics,
-        Site::Slac,
-        Site::Bnl,
-    ];
+    pub const ALL: [Site; 7] =
+        [Site::Nersc, Site::Ornl, Site::Anl, Site::Ncar, Site::Nics, Site::Slac, Site::Bnl];
 
     /// Lower-case short name (used as node-name prefix).
     pub fn name(self) -> &'static str {
@@ -75,12 +68,17 @@ pub struct StudyTopology {
 impl StudyTopology {
     /// Data-transfer node of `site`.
     pub fn dtn(&self, site: Site) -> NodeId {
-        self.dtns[Site::ALL.iter().position(|&s| s == site).expect("known site")]
+        // `dtns` is built in `Site::ALL` order, which matches the
+        // declaration order of the fieldless enum.
+        self.dtns[site as usize]
     }
 
     /// IP-routed path between two sites' DTNs.
     pub fn path(&self, from: Site, to: Site) -> Path {
+        // study_topology() wires every campus onto the backbone and
+        // `dtns` is private, so all site pairs stay connected.
         crate::dijkstra::shortest_path(&self.graph, self.dtn(from), self.dtn(to))
+            // gvc-lint: allow(no-panic-in-lib) — connected by construction
             .expect("study topology is connected")
     }
 
@@ -107,17 +105,10 @@ impl StudyTopology {
             })
             .collect();
         assert_eq!(esnet.len(), 7, "NERSC-ORNL ESnet portion must cross 7 routers");
-        let monitored: Vec<NodeId> = esnet
-            .iter()
-            .copied()
-            .filter(|&n| self.graph.node(n).name.ends_with("-cr"))
-            .collect();
+        let monitored: Vec<NodeId> =
+            esnet.iter().copied().filter(|&n| self.graph.node(n).name.ends_with("-cr")).collect();
         assert_eq!(monitored.len(), 5);
-        p.links
-            .iter()
-            .copied()
-            .filter(|&l| monitored.contains(&self.graph.link(l).src))
-            .collect()
+        p.links.iter().copied().filter(|&l| monitored.contains(&self.graph.link(l).src)).collect()
     }
 
     /// The campus-internal egress links of `site` in the outbound
@@ -125,30 +116,24 @@ impl StudyTopology {
     /// links §VIII's future work proposes to measure.
     pub fn campus_links_outbound(&self, site: Site) -> Vec<LinkId> {
         let dtn = self.dtn(site);
-        let sw = self
-            .graph
-            .node_by_name(&format!("{}-sw", site.name()))
-            .expect("campus switch exists");
-        let pe = self
-            .graph
-            .node_by_name(&format!("{}-pe", site.name()))
-            .expect("provider edge exists");
-        let find = |src: NodeId, dst: NodeId| -> LinkId {
-            self.graph
-                .out_links(src)
-                .iter()
-                .copied()
-                .find(|&l| self.graph.link(l).dst == dst)
-                .expect("campus link exists")
+        let campus = (
+            self.graph.node_by_name(&format!("{}-sw", site.name())),
+            self.graph.node_by_name(&format!("{}-pe", site.name())),
+        );
+        let (Some(sw), Some(pe)) = campus else {
+            return Vec::new();
         };
-        vec![find(dtn, sw), find(sw, pe)]
+        let find = |src: NodeId, dst: NodeId| -> Option<LinkId> {
+            self.graph.out_links(src).iter().copied().find(|&l| self.graph.link(l).dst == dst)
+        };
+        [find(dtn, sw), find(sw, pe)].into_iter().flatten().collect()
     }
 
     /// The campus-internal ingress links of `site` (WAN → DTN).
     pub fn campus_links_inbound(&self, site: Site) -> Vec<LinkId> {
         self.campus_links_outbound(site)
             .into_iter()
-            .map(|l| self.graph.reverse_of(l).expect("duplex"))
+            .filter_map(|l| self.graph.reverse_of(l))
             .collect()
     }
 }
@@ -174,7 +159,8 @@ pub fn study_topology() -> StudyTopology {
 
     // Provider-edge routers (ESnet equipment inside the campuses) and
     // the DTNs behind them.
-    let mut dtns = Vec::with_capacity(7);
+    // One entry per site, in `Site::ALL` order (what `dtn()` relies on).
+    let mut dtns = [NodeId(0); 7];
     let pe_attach = [
         (Site::Nersc, sunn, 0.001),
         (Site::Ornl, nash, 0.002),
@@ -184,7 +170,7 @@ pub fn study_topology() -> StudyTopology {
         (Site::Slac, sunn, 0.001),
         (Site::Bnl, aofa, 0.002),
     ];
-    for &(site, hub, delay) in &pe_attach {
+    for (slot, &(site, hub, delay)) in dtns.iter_mut().zip(&pe_attach) {
         let pe = g.add_node(&format!("{}-pe", site.name()), NodeKind::Router);
         // Campus-internal switch between the DTN and the provider
         // edge: the paper's §VIII future work is measuring loads on
@@ -194,13 +180,10 @@ pub fn study_topology() -> StudyTopology {
         g.add_duplex_link(pe, hub, TEN_GBPS, delay);
         g.add_duplex_link(sw, pe, TEN_GBPS, 0.00005);
         g.add_duplex_link(dtn, sw, TEN_GBPS, 0.00005);
-        dtns.push(dtn);
+        *slot = dtn;
     }
 
-    StudyTopology {
-        graph: g,
-        dtns: dtns.try_into().expect("seven sites"),
-    }
+    StudyTopology { graph: g, dtns }
 }
 
 #[cfg(test)]

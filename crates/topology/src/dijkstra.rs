@@ -26,18 +26,21 @@ impl PartialOrd for HeapItem {
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap on distance; tie-break on NodeId for determinism.
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .expect("NaN distance")
-            .then_with(|| other.node.cmp(&self.node))
+        // total_cmp keeps the heap order well-defined even if a NaN
+        // delay sneaks into a graph.
+        other.dist.total_cmp(&self.dist).then_with(|| other.node.cmp(&self.node))
     }
 }
 
 /// Dijkstra over link delay, considering only links admitted by
 /// `admit`. Returns the delay-shortest [`Path`], or `None` when `dst`
 /// is unreachable through admitted links.
-pub fn shortest_path_filtered<F>(graph: &Graph, src: NodeId, dst: NodeId, mut admit: F) -> Option<Path>
+pub fn shortest_path_filtered<F>(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    mut admit: F,
+) -> Option<Path>
 where
     F: FnMut(LinkId) -> bool,
 {
@@ -77,7 +80,10 @@ where
     let mut links = Vec::new();
     let mut at = dst;
     while at != src {
-        let lid = prev[at.0 as usize].expect("reached node has predecessor");
+        // A finite distance means the walk reaches src; a missing
+        // predecessor would indicate an inconsistent graph, in which
+        // case the destination is reported unreachable.
+        let lid = prev.get(at.0 as usize).copied().flatten()?;
         links.push(lid);
         at = graph.link(lid).src;
     }
@@ -181,9 +187,8 @@ mod tests {
     fn larger_graph_path_is_optimal() {
         // Grid of 5 nodes in a line plus a shortcut with higher delay.
         let mut g = Graph::new();
-        let nodes: Vec<NodeId> = (0..5)
-            .map(|i| g.add_node(&format!("r{i}"), NodeKind::Router))
-            .collect();
+        let nodes: Vec<NodeId> =
+            (0..5).map(|i| g.add_node(&format!("r{i}"), NodeKind::Router)).collect();
         for w in nodes.windows(2) {
             g.add_duplex_link(w[0], w[1], 10e9, 0.005);
         }

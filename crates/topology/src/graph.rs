@@ -77,15 +77,9 @@ impl Graph {
     /// # Panics
     /// Panics on a duplicate name.
     pub fn add_node(&mut self, name: &str, kind: NodeKind) -> NodeId {
-        assert!(
-            !self.by_name.contains_key(name),
-            "duplicate node name {name:?}"
-        );
+        assert!(!self.by_name.contains_key(name), "duplicate node name {name:?}");
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node {
-            name: name.to_owned(),
-            kind,
-        });
+        self.nodes.push(Node { name: name.to_owned(), kind });
         self.by_name.insert(name.to_owned(), id);
         self.out_links.push(Vec::new());
         id
@@ -96,18 +90,19 @@ impl Graph {
     /// # Panics
     /// Panics on out-of-range endpoints, non-positive capacity, or
     /// negative delay.
-    pub fn add_link(&mut self, src: NodeId, dst: NodeId, capacity_bps: f64, delay_s: f64) -> LinkId {
+    pub fn add_link(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        capacity_bps: f64,
+        delay_s: f64,
+    ) -> LinkId {
         assert!((src.0 as usize) < self.nodes.len(), "bad src node");
         assert!((dst.0 as usize) < self.nodes.len(), "bad dst node");
         assert!(capacity_bps > 0.0, "link capacity must be positive");
         assert!(delay_s >= 0.0, "link delay must be non-negative");
         let id = LinkId(self.links.len() as u32);
-        self.links.push(Link {
-            src,
-            dst,
-            capacity_bps,
-            delay_s,
-        });
+        self.links.push(Link { src, dst, capacity_bps, delay_s });
         self.out_links[src.0 as usize].push(id);
         id
     }
@@ -121,10 +116,7 @@ impl Graph {
         capacity_bps: f64,
         delay_s: f64,
     ) -> (LinkId, LinkId) {
-        (
-            self.add_link(a, b, capacity_bps, delay_s),
-            self.add_link(b, a, capacity_bps, delay_s),
-        )
+        (self.add_link(a, b, capacity_bps, delay_s), self.add_link(b, a, capacity_bps, delay_s))
     }
 
     /// Node count.
@@ -171,18 +163,12 @@ impl Graph {
     /// exists. For duplex links this finds the paired direction.
     pub fn reverse_of(&self, id: LinkId) -> Option<LinkId> {
         let l = self.link(id);
-        self.out_links(l.dst)
-            .iter()
-            .copied()
-            .find(|&cand| self.link(cand).dst == l.src)
+        self.out_links(l.dst).iter().copied().find(|&cand| self.link(cand).dst == l.src)
     }
 
     /// Iterator over `(NodeId, &Node)`.
     pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (NodeId(i as u32), n))
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
     }
 }
 

@@ -50,10 +50,7 @@ impl Path {
     /// Minimum link capacity along the path (bits/second): the
     /// bottleneck line rate.
     pub fn bottleneck_bps(&self, graph: &Graph) -> f64 {
-        self.links
-            .iter()
-            .map(|&l| graph.link(l).capacity_bps)
-            .fold(f64::INFINITY, f64::min)
+        self.links.iter().map(|&l| graph.link(l).capacity_bps).fold(f64::INFINITY, f64::min)
     }
 
     /// Bandwidth-delay product in bytes for this path at its bottleneck
@@ -65,11 +62,7 @@ impl Path {
     /// Interior nodes visited (excluding `src`, including every router
     /// between the endpoints, excluding `dst`).
     pub fn interior_nodes(&self, graph: &Graph) -> Vec<NodeId> {
-        self.links
-            .iter()
-            .map(|&l| graph.link(l).dst)
-            .filter(|&n| n != self.dst)
-            .collect()
+        self.links.iter().map(|&l| graph.link(l).dst).filter(|&n| n != self.dst).collect()
     }
 
     /// Renders the path as `a -> b -> c` using node names.

@@ -35,11 +35,7 @@ pub struct CombinedConfig {
 
 impl Default for CombinedConfig {
     fn default() -> CombinedConfig {
-        CombinedConfig {
-            seed: 4242,
-            sessions_per_path: 40,
-            horizon_days: 7.0,
-        }
+        CombinedConfig { seed: 4242, sessions_per_path: 40, horizon_days: 7.0 }
     }
 }
 
@@ -65,6 +61,7 @@ fn schedule_path_workload(
     label: &str,
 ) {
     let mut rng = component_rng(cfg.seed, label);
+    // gvc-lint: allow(no-panic-in-lib) — literal calibration has mean greater than median
     let sizes = LogNormal::from_median_mean(400e6, 1.5e9).expect("valid calibration");
     for _ in 0..cfg.sessions_per_path {
         let start_s = rng.gen::<f64>() * (cfg.horizon_days * 86_400.0 - 60_000.0);
@@ -142,11 +139,7 @@ mod tests {
     use super::*;
 
     fn small() -> CombinedConfig {
-        CombinedConfig {
-            seed: 3,
-            sessions_per_path: 12,
-            horizon_days: 2.0,
-        }
+        CombinedConfig { seed: 3, sessions_per_path: 12, horizon_days: 2.0 }
     }
 
     #[test]

@@ -82,12 +82,7 @@ pub fn generate(cfg: NerscAnlConfig) -> Dataset {
     let nersc = driver.register_cluster("dtn01.nersc.gov", topo.dtn(Site::Nersc), nersc_caps, 1);
     let anl = driver.register_cluster("gridftp.anl.gov", topo.dtn(Site::Anl), anl_caps, 2);
     // A third site for production traffic terminating at NERSC.
-    let ornl = driver.register_cluster(
-        "dtn.ccs.ornl.gov",
-        topo.dtn(Site::Ornl),
-        anl_caps,
-        2,
-    );
+    let ornl = driver.register_cluster("dtn.ccs.ornl.gov", topo.dtn(Site::Ornl), anl_caps, 2);
 
     let horizon_days = cfg.horizon_days;
     let horizon = SimTime::from_secs_f64(horizon_days * 86_400.0 + 200_000.0);
@@ -102,6 +97,7 @@ pub fn generate(cfg: NerscAnlConfig) -> Dataset {
         let jobs: Vec<TransferJob> = (0..n)
             .map(|_| TransferJob {
                 size_bytes: (LogNormal::from_median_mean(6e9, 20e9)
+                    // gvc-lint: allow(no-panic-in-lib) — literal calibration has mean greater than median
                     .expect("valid calibration")
                     .sample(&mut rng) as u64)
                     .clamp(100e6 as u64, 60e9 as u64),
@@ -238,7 +234,12 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let cfg = NerscAnlConfig { seed: 6, scale: 0.1, production_sessions_per_day: 5.0, horizon_days: 6.0 };
+        let cfg = NerscAnlConfig {
+            seed: 6,
+            scale: 0.1,
+            production_sessions_per_day: 5.0,
+            horizon_days: 6.0,
+        };
         let a = generate(cfg);
         let b = generate(cfg);
         assert_eq!(a, b);

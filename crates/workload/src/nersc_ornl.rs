@@ -36,11 +36,7 @@ pub struct NerscOrnlConfig {
 
 impl Default for NerscOrnlConfig {
     fn default() -> NerscOrnlConfig {
-        NerscOrnlConfig {
-            seed: 2010,
-            n_transfers: 145,
-            background: 1.0,
-        }
+        NerscOrnlConfig { seed: 2010, n_transfers: 145, background: 1.0 }
     }
 }
 
@@ -69,12 +65,7 @@ pub fn generate(cfg: NerscOrnlConfig) -> NerscOrnlOutput {
     let campus_nersc = topo.campus_links_outbound(Site::Nersc);
     let campus_ornl = topo.campus_links_inbound(Site::Ornl);
     let mut sim = NetworkSim::new(topo.graph.clone(), EPOCH_SEP_2010_US);
-    for &l in fwd_links
-        .iter()
-        .chain(&rev_links)
-        .chain(&campus_nersc)
-        .chain(&campus_ornl)
-    {
+    for &l in fwd_links.iter().chain(&rev_links).chain(&campus_nersc).chain(&campus_ornl) {
         sim.monitor_link(l);
     }
     let mut driver = Driver::new(sim, cfg.seed);
@@ -137,11 +128,7 @@ pub fn generate(cfg: NerscOrnlConfig) -> NerscOrnlOutput {
                     block_size_bytes: 1 << 20,
                     src_kind: EndpointKind::Disk,
                     dst_kind: EndpointKind::Disk,
-                    logged_as: if store {
-                        TransferType::Store
-                    } else {
-                        TransferType::Retr
-                    },
+                    logged_as: if store { TransferType::Store } else { TransferType::Retr },
                 };
                 // STOR at NERSC = data flows ORNL -> NERSC.
                 if store {
@@ -158,10 +145,7 @@ pub fn generate(cfg: NerscOrnlConfig) -> NerscOrnlOutput {
     let out = driver.run(horizon);
     let snmp = out.sim.snmp();
     let collect = |links: &[LinkId]| -> Vec<SnmpSeries> {
-        links
-            .iter()
-            .map(|l| snmp.series(*l).expect("monitored").clone())
-            .collect()
+        links.iter().filter_map(|l| snmp.series(*l).cloned()).collect()
     };
     NerscOrnlOutput {
         snmp_fwd: collect(&fwd_links),
@@ -179,11 +163,7 @@ mod tests {
     use gvc_core::snmp_corr::{router_correlation, CorrelationKind};
 
     fn small() -> NerscOrnlOutput {
-        generate(NerscOrnlConfig {
-            seed: 4,
-            n_transfers: 30,
-            background: 1.0,
-        })
+        generate(NerscOrnlConfig { seed: 4, n_transfers: 30, background: 1.0 })
     }
 
     #[test]
@@ -242,13 +222,8 @@ mod tests {
         let out = small();
         // The NERSC outbound campus links carry every RETR byte plus
         // nothing else (background traffic runs router-to-router).
-        let retr_bytes: u64 = out
-            .log
-            .filter_type(TransferType::Retr)
-            .records()
-            .iter()
-            .map(|r| r.size_bytes)
-            .sum();
+        let retr_bytes: u64 =
+            out.log.filter_type(TransferType::Retr).records().iter().map(|r| r.size_bytes).sum();
         for s in &out.campus_nersc_out {
             let counted = s.total_bytes() as f64;
             assert!(
@@ -263,11 +238,7 @@ mod tests {
 
     #[test]
     fn throughput_varies_despite_fixed_path() {
-        let out = generate(NerscOrnlConfig {
-            seed: 9,
-            n_transfers: 60,
-            background: 1.0,
-        });
+        let out = generate(NerscOrnlConfig { seed: 9, n_transfers: 60, background: 1.0 });
         let s = gvc_stats::Summary::of(&out.log.throughputs_mbps()).unwrap();
         assert!(s.iqr() > 100.0, "IQR {} too small", s.iqr());
         assert!(s.max < 10_000.0);

@@ -45,6 +45,7 @@ impl Default for SlacBnlConfig {
 /// tens of MB, a long tail to ~4 GB.
 fn sample_file_size(rng: &mut rand::rngs::SmallRng) -> u64 {
     (LogNormal::from_median_mean(30e6, 180e6)
+        // gvc-lint: allow(no-panic-in-lib) — literal calibration has mean greater than median
         .expect("valid calibration")
         .sample(rng) as u64)
         .clamp(100_000, 4_200_000_000)
@@ -109,8 +110,8 @@ pub fn generate(cfg: SlacBnlConfig) -> Dataset {
             })
             .collect();
         let concurrency = if n > 100 { 6 } else { 1 };
-        let spec = SessionSpec::sequential(jobs, rng.gen::<f64>() * 5.0)
-            .with_concurrency(concurrency);
+        let spec =
+            SessionSpec::sequential(jobs, rng.gen::<f64>() * 5.0).with_concurrency(concurrency);
         driver.schedule_session(SimTime::from_secs_f64(start_s), slac, bnl, spec);
     }
 
@@ -137,9 +138,7 @@ pub fn generate(cfg: SlacBnlConfig) -> Dataset {
         SessionSpec::sequential(burst_jobs, 0.0).with_concurrency(2),
     );
 
-    driver
-        .run(SimTime::from_secs_f64(horizon_s + 250_000.0))
-        .log
+    driver.run(SimTime::from_secs_f64(horizon_s + 250_000.0)).log
 }
 
 #[cfg(test)]
@@ -174,10 +173,7 @@ mod tests {
         let one = StreamAnalysis::regime_median(&a.one_stream, 0.0, 100e6);
         let eight = StreamAnalysis::regime_median(&a.eight_streams, 0.0, 100e6);
         let (one, eight) = (one.unwrap(), eight.unwrap());
-        assert!(
-            eight > 1.3 * one,
-            "8-stream {eight} not clearly above 1-stream {one}"
-        );
+        assert!(eight > 1.3 * one, "8-stream {eight} not clearly above 1-stream {one}");
     }
 
     #[test]

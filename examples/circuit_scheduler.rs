@@ -38,10 +38,7 @@ fn main() {
         match idc.create_reservation(r) {
             Ok(id) => {
                 let res = idc.reservation(id).expect("admitted");
-                println!(
-                    "ADMIT {label:<32} path: {}",
-                    res.path.describe(&topo.graph)
-                );
+                println!("ADMIT {label:<32} path: {}", res.path.describe(&topo.graph));
                 admitted.push(id);
             }
             Err(BlockReason::NoFeasiblePath) => {
@@ -66,7 +63,7 @@ fn main() {
     // against hardware signalling.
     if let Some(&id) = admitted.first() {
         let asked_at = hour(9);
-        let ready = idc.provision(id, asked_at);
+        let ready = idc.provision(id, asked_at).expect("admitted reservation provisions");
         println!(
             "\nbatched IDC: asked {:.0}s -> usable at {:.0}s (setup delay {:.0}s)",
             asked_at.as_secs_f64(),

@@ -16,10 +16,7 @@ use gridftp_vc::workload::ablations::setup_delay_sweep;
 use gridftp_vc::workload::ncar_nics::{self, NcarNicsConfig};
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.2);
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.2);
 
     println!("generating NCAR-NICS-style dataset (scale {scale}) ...");
     let ds = ncar_nics::generate(NcarNicsConfig { seed: 2009, scale });

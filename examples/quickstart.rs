@@ -28,23 +28,17 @@ fn main() {
     let idc = Idc::new(topo.graph.clone(), SetupDelayModel::esnet_deployed());
     let mut driver = Driver::new(sim, 7).with_idc(idc);
 
-    let slac = driver.register_cluster("dtn.slac.stanford.edu", topo.dtn(Site::Slac), ServerCaps::default(), 2);
+    let slac = driver.register_cluster(
+        "dtn.slac.stanford.edu",
+        topo.dtn(Site::Slac),
+        ServerCaps::default(),
+        2,
+    );
     let bnl = driver.register_cluster("dtn.bnl.gov", topo.dtn(Site::Bnl), ServerCaps::default(), 2);
 
     // 3. A best-effort session: four 8 GB files, back to back.
-    let jobs = vec![
-        TransferJob {
-            size_bytes: 8 << 30,
-            ..TransferJob::default()
-        };
-        4
-    ];
-    driver.schedule_session(
-        SimTime::ZERO,
-        slac,
-        bnl,
-        SessionSpec::sequential(jobs.clone(), 2.0),
-    );
+    let jobs = vec![TransferJob { size_bytes: 8 << 30, ..TransferJob::default() }; 4];
+    driver.schedule_session(SimTime::ZERO, slac, bnl, SessionSpec::sequential(jobs.clone(), 2.0));
 
     // 4. The same session an hour later, protected by a 4 Gbps
     //    dynamic circuit for its whole lifetime.

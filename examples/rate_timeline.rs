@@ -47,18 +47,14 @@ fn main() {
     // ASCII timeline: sample the piecewise-constant rate each second.
     println!("\ntimeline (each column = 1 s, height = Gbps):");
     let end = watched.end.as_secs_f64().ceil() as u64;
-    let samples: Vec<f64> = (0..end)
-        .map(|s| trace.rate_at(SimTime::from_secs(s)) / 1e9)
-        .collect();
-    let max = samples.iter().cloned().fold(1.0, f64::max);
+    let samples: Vec<f64> = (0..end).map(|s| trace.rate_at(SimTime::from_secs(s)) / 1e9).collect();
+    let max = samples.iter().copied().fold(1.0, f64::max);
     let rows = 10usize;
     for row in (1..=rows).rev() {
         let threshold = max * row as f64 / rows as f64;
-        let line: String = samples
-            .iter()
-            .map(|&v| if v >= threshold - 1e-9 { '#' } else { ' ' })
-            .collect();
-        println!("{:>5.1} |{line}", threshold);
+        let line: String =
+            samples.iter().map(|&v| if v >= threshold - 1e-9 { '#' } else { ' ' }).collect();
+        println!("{threshold:>5.1} |{line}");
     }
     println!("      +{}", "-".repeat(samples.len()));
 }

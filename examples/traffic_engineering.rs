@@ -46,12 +46,8 @@ fn hntes_demo() {
     // Day-sliced replay: learn from each day, apply to the next.
     let day_us = 86_400_000_000i64;
     let first = flows.iter().map(|f| f.start_unix_us).min().unwrap_or(0);
-    let n_days = flows
-        .iter()
-        .map(|f| ((f.start_unix_us - first) / day_us) as usize)
-        .max()
-        .unwrap_or(0)
-        + 1;
+    let n_days =
+        flows.iter().map(|f| ((f.start_unix_us - first) / day_us) as usize).max().unwrap_or(0) + 1;
     let mut days = vec![Vec::new(); n_days];
     for f in flows {
         days[((f.start_unix_us - first) / day_us) as usize].push(f);
@@ -99,10 +95,7 @@ fn interdomain_demo() {
         Domain {
             name: "backbone".into(),
             idc: Idc::new(g2, SetupDelayModel::esnet_deployed()),
-            gateways: HashMap::from([
-                ("peer-a".to_string(), n2[0]),
-                ("peer-b".to_string(), n2[2]),
-            ]),
+            gateways: HashMap::from([("peer-a".to_string(), n2[0]), ("peer-b".to_string(), n2[2])]),
             endpoints: HashMap::new(),
         },
         Domain {

@@ -17,13 +17,7 @@ fn run_session(n: usize, vc: Option<VcRequestSpec>) -> gridftp_vc::gridftp::driv
     }
     let a = driver.register_cluster("a.example", topo.dtn(Site::Nersc), ServerCaps::default(), 2);
     let b = driver.register_cluster("b.example", topo.dtn(Site::Ornl), ServerCaps::default(), 2);
-    let jobs = vec![
-        TransferJob {
-            size_bytes: 2 << 30,
-            ..TransferJob::default()
-        };
-        n
-    ];
+    let jobs = vec![TransferJob { size_bytes: 2 << 30, ..TransferJob::default() }; n];
     let mut spec = SessionSpec::sequential(jobs, 3.0);
     if let Some(v) = vc {
         spec = spec.with_vc(v);
@@ -72,11 +66,7 @@ fn log_round_trips_through_text_serialization() {
 
 #[test]
 fn vc_session_defers_start_and_is_admitted() {
-    let vc = VcRequestSpec {
-        rate_bps: 3e9,
-        max_duration_s: 3600.0,
-        wait_for_circuit: true,
-    };
+    let vc = VcRequestSpec { rate_bps: 3e9, max_duration_s: 3600.0, wait_for_circuit: true };
     let out = run_session(3, Some(vc));
     assert_eq!(out.log.len(), 3);
     let stats = out.idc_stats.expect("idc attached");
@@ -122,13 +112,7 @@ fn snmp_counters_match_transferred_bytes() {
         a,
         b,
         SessionSpec::sequential(
-            vec![
-                TransferJob {
-                    size_bytes: 1 << 30,
-                    ..TransferJob::default()
-                };
-                3
-            ],
+            vec![TransferJob { size_bytes: 1 << 30, ..TransferJob::default() }; 3],
             1.0,
         ),
     );

@@ -37,11 +37,7 @@ fn finding_ii_alpha_flows_reach_multi_gbps() {
     let ds = slac_bnl::generate(slac_bnl::SlacBnlConfig { seed: 2, scale: 0.004 });
     let pts = gridftp_vc::core::scatter::throughput_vs_size(&ds);
     let peak = gridftp_vc::core::scatter::peak(&pts).expect("non-empty");
-    assert!(
-        peak.throughput_mbps > 1_500.0,
-        "peak only {:.0} Mbps",
-        peak.throughput_mbps
-    );
+    assert!(peak.throughput_mbps > 1_500.0, "peak only {:.0} Mbps", peak.throughput_mbps);
 }
 
 /// Finding (iii): 8 streams beat 1 stream for small files; for large
@@ -52,10 +48,7 @@ fn finding_iii_streams_matter_only_for_small_files() {
     let a = stream_analysis_full(&ds);
     let small_1 = StreamAnalysis::regime_median(&a.one_stream, 0.0, 100e6).expect("data");
     let small_8 = StreamAnalysis::regime_median(&a.eight_streams, 0.0, 100e6).expect("data");
-    assert!(
-        small_8 > 1.3 * small_1,
-        "small files: 8-stream {small_8:.0} vs 1-stream {small_1:.0}"
-    );
+    assert!(small_8 > 1.3 * small_1, "small files: 8-stream {small_8:.0} vs 1-stream {small_1:.0}");
     let large_1 = StreamAnalysis::regime_median(&a.one_stream, 1e9, 4.3e9);
     let large_8 = StreamAnalysis::regime_median(&a.eight_streams, 1e9, 4.3e9);
     if let (Some(l1), Some(l8)) = (large_1, large_8) {
@@ -71,11 +64,7 @@ fn finding_iii_streams_matter_only_for_small_files() {
 /// dominate), and do not track other-flow bytes.
 #[test]
 fn finding_iv_science_flows_dominate_backbone_counters() {
-    let out = nersc_ornl::generate(NerscOrnlConfig {
-        seed: 4,
-        n_transfers: 40,
-        background: 1.0,
-    });
+    let out = nersc_ornl::generate(NerscOrnlConfig { seed: 4, n_transfers: 40, background: 1.0 });
     for i in 0..out.snmp_fwd.len() {
         let total = router_correlation_directional(
             &out.log,
@@ -116,11 +105,7 @@ fn finding_v_server_resources_drive_variance() {
     let rows = endpoint_type_table(&tests);
     assert_eq!(rows.len(), 4);
     let median = |c: EndpointCategory| {
-        rows.iter()
-            .find(|r| r.category == c)
-            .expect("category present")
-            .throughput_mbps
-            .median
+        rows.iter().find(|r| r.category == c).expect("category present").throughput_mbps.median
     };
     assert!(median(EndpointCategory::MemDisk) < median(EndpointCategory::MemMem));
     assert!(median(EndpointCategory::DiskDisk) < median(EndpointCategory::DiskMem));

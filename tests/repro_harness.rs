@@ -27,10 +27,7 @@ fn table3_session_counts_decrease_with_g() {
         .lines()
         .filter(|l| l.starts_with("NCAR-NICS"))
         .map(|l| {
-            l.split_whitespace()
-                .nth(2)
-                .and_then(|v| v.parse().ok())
-                .expect("session count column")
+            l.split_whitespace().nth(2).and_then(|v| v.parse().ok()).expect("session count column")
         })
         .collect();
     assert_eq!(sessions.len(), 3);

@@ -7,9 +7,9 @@ use gvc_core::sessions::group_sessions;
 use gvc_core::sweep::SessionStore;
 use gvc_core::vc_suitability::{vc_suitability, VcSuitability};
 use gvc_logs::Dataset;
+use gvc_workload::ncar_nics::{self, NcarNicsConfig};
 use gvc_workload::nersc_anl::{self, NerscAnlConfig};
 use gvc_workload::nersc_ornl::{self, NerscOrnlConfig};
-use gvc_workload::ncar_nics::{self, NcarNicsConfig};
 use gvc_workload::slac_bnl::{self, SlacBnlConfig};
 
 const GAPS_S: [f64; 5] = [0.0, 30.0, 60.0, 120.0, 600.0];
@@ -81,10 +81,6 @@ fn nersc_anl_grid_matches_legacy() {
 
 #[test]
 fn nersc_ornl_grid_matches_legacy() {
-    let out = nersc_ornl::generate(NerscOrnlConfig {
-        seed: 14,
-        n_transfers: 60,
-        background: 1.0,
-    });
+    let out = nersc_ornl::generate(NerscOrnlConfig { seed: 14, n_transfers: 60, background: 1.0 });
     assert_engine_matches_legacy("nersc-ornl", &out.log);
 }

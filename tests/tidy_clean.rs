@@ -1,0 +1,28 @@
+//! Meta-test: the workspace passes its own static-analysis suite.
+//!
+//! This keeps `cargo test` equivalent to the CI tidy gate — a
+//! violation introduced anywhere in the tree fails the test with the
+//! same `file:line:col` diagnostics `gvc-tidy` prints.
+
+use gvc_tidy::{default_rules, run};
+use std::path::Path;
+
+#[test]
+fn workspace_is_tidy_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = run(root, &default_rules()).expect("workspace scan");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously small scan ({} files) — did the walk roots move?",
+        report.files_scanned
+    );
+    assert_eq!(report.rules_run, default_rules().len());
+    let rendered: Vec<String> =
+        report.violations.iter().map(gvc_tidy::Violation::render_human).collect();
+    assert!(
+        report.clean(),
+        "gvc-tidy found {} violation(s):\n{}",
+        report.violations.len(),
+        rendered.join("\n")
+    );
+}

@@ -129,11 +129,7 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            _parent: self,
-            name: name.into(),
-            throughput: None,
-        }
+        BenchmarkGroup { _parent: self, name: name.into(), throughput: None }
     }
 }
 

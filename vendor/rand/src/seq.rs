@@ -46,10 +46,7 @@ impl<T> SliceRandom for [T] {
             idx.swap(i, j);
         }
         idx.truncate(amount);
-        idx.into_iter()
-            .map(|i| &self[i])
-            .collect::<Vec<&T>>()
-            .into_iter()
+        idx.into_iter().map(|i| &self[i]).collect::<Vec<&T>>().into_iter()
     }
 
     fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
