@@ -37,7 +37,7 @@ pub mod tables;
 pub mod time_of_day;
 pub mod vc_suitability;
 
-pub use report::{feasibility_report, FeasibilityReport};
+pub use report::{feasibility_report, FeasibilityReport, ResilienceSummary};
 pub use sessions::{group_sessions, Session, SessionGrouping};
 pub use sweep::{sweep_dataset, SessionRange, SessionStore, SessionView, SweepResult};
 pub use vc_suitability::{vc_suitability, VcSuitability};

@@ -41,9 +41,73 @@ pub struct FeasibilityReport {
     /// suitability analysis extrapolates with), surfaced here so a
     /// report never hides data-quality problems.
     pub degenerate_records: usize,
+    /// Fault/recovery outcomes from a simulated run, when the report
+    /// accompanies one (see [`FeasibilityReport::with_resilience`]).
+    pub resilience: Option<ResilienceSummary>,
+}
+
+/// Fault/recovery outcomes folded into the feasibility picture.
+///
+/// The suitability analysis asks whether a session is long enough to
+/// amortize *one* circuit setup. Under failures a session pays setup
+/// signalling once per establishment attempt, and only
+/// `session_success_rate` of requesting sessions get a circuit at all
+/// — both corrections come from these counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceSummary {
+    /// Sessions that requested a circuit.
+    pub vc_requested: u64,
+    /// Sessions whose circuit was eventually established.
+    pub vc_established: u64,
+    /// Faults injected during the run (all kinds).
+    pub faults_injected: u64,
+    /// Establishment attempts retried.
+    pub retries: u64,
+    /// Sessions that fell back to the routed IP path.
+    pub fallbacks: u64,
+    /// Mean first-attempt-to-outcome latency over sessions that needed
+    /// recovery, seconds.
+    pub mean_recovery_latency_s: f64,
+}
+
+impl ResilienceSummary {
+    /// Fraction of circuit-requesting sessions that got one (1.0 when
+    /// none asked).
+    pub fn session_success_rate(&self) -> f64 {
+        if self.vc_requested == 0 {
+            1.0
+        } else {
+            self.vc_established as f64 / self.vc_requested as f64
+        }
+    }
+
+    /// Mean establishment attempts per circuit-requesting session
+    /// (1.0 with no retries).
+    pub fn attempts_per_session(&self) -> f64 {
+        if self.vc_requested == 0 {
+            1.0
+        } else {
+            1.0 + self.retries as f64 / self.vc_requested as f64
+        }
+    }
+
+    /// How much the setup cost a session must amortize grows under
+    /// failures: each retry pays the signalling again, so the
+    /// suitability bar ("session >= factor x setup") effectively
+    /// rises by this multiple.
+    pub fn setup_amortization_factor(&self) -> f64 {
+        self.attempts_per_session()
+    }
 }
 
 impl FeasibilityReport {
+    /// Attaches fault/recovery outcomes from a simulated run,
+    /// returning `self`.
+    pub fn with_resilience(mut self, resilience: ResilienceSummary) -> FeasibilityReport {
+        self.resilience = Some(resilience);
+        self
+    }
+
     /// The Table IV cell for a given g and setup delay (seconds).
     pub fn cell(&self, gap_s: f64, setup_delay_s: f64) -> Option<&VcSuitability> {
         self.suitability.iter().find(|c| c.gap_s == gap_s && c.setup_delay_s == setup_delay_s)
@@ -80,6 +144,7 @@ pub fn feasibility_report(ds: &Dataset) -> FeasibilityReport {
         gap_rows: sweep.gap_rows,
         suitability: sweep.cells,
         degenerate_records: sweep.degenerate_records,
+        resilience: None,
     }
 }
 
@@ -177,6 +242,30 @@ mod tests {
             let fast = r.cell(g, 0.05).unwrap().pct_sessions();
             assert!(fast >= slow);
         }
+    }
+
+    #[test]
+    fn resilience_summary_attaches_and_derives_rates() {
+        let r = feasibility_report(&dataset());
+        assert!(r.resilience.is_none());
+        let rs = ResilienceSummary {
+            vc_requested: 4,
+            vc_established: 3,
+            faults_injected: 6,
+            retries: 6,
+            fallbacks: 1,
+            mean_recovery_latency_s: 42.0,
+        };
+        let r = r.with_resilience(rs);
+        let got = r.resilience.unwrap();
+        assert!((got.session_success_rate() - 0.75).abs() < 1e-12);
+        // 6 retries over 4 sessions: 2.5 attempts each on average, so
+        // the amortization bar rises 2.5x.
+        assert!((got.setup_amortization_factor() - 2.5).abs() < 1e-12);
+        // No circuit requests => vacuous success, unchanged bar.
+        let idle = ResilienceSummary { vc_requested: 0, vc_established: 0, ..rs };
+        assert!((idle.session_success_rate() - 1.0).abs() < 1e-12);
+        assert!((idle.attempts_per_session() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Fault-injection and recovery telemetry, following the workspace
+//! conventions in `docs/observability.md`: every injected fault and
+//! every recovery decision is counted in the registry and traced as a
+//! `fault.*` / `recovery.*` event.
+
+use crate::plan::FaultKind;
+use gvc_telemetry::{Counter, Histogram, Registry, Tracer};
+use std::sync::Arc;
+
+/// Fault/recovery metrics, shared with a [`Registry`]. One instance
+/// per run; attach wherever the injector and recovery policy act.
+#[derive(Clone)]
+pub struct FaultTelemetry {
+    /// `fault_injected_total{kind=...}`, one counter per fault kind.
+    injected: [Arc<Counter>; 5],
+    /// `recovery_retries_total`: establishment attempts retried.
+    pub retries: Arc<Counter>,
+    /// `fallback_ip_total`: sessions that gave up on a circuit and
+    /// ran over the routed IP path.
+    pub fallback_ip: Arc<Counter>,
+    /// `recovery_latency_seconds`: first attempt to final outcome
+    /// (success or fallback), per session.
+    pub recovery_latency: Arc<Histogram>,
+    /// Trace handle for `fault.*` / `recovery.*` events.
+    pub tracer: Tracer,
+}
+
+const KINDS: [FaultKind; 5] = [
+    FaultKind::SignallingFailure,
+    FaultKind::SetupTimeout,
+    FaultKind::Preemption,
+    FaultKind::LinkFlap,
+    FaultKind::ServerRestart,
+];
+
+impl FaultTelemetry {
+    /// Registers the fault metrics in `registry`, tracing into
+    /// `tracer`.
+    pub fn register(registry: &Registry, tracer: Tracer) -> FaultTelemetry {
+        let counter =
+            |kind: FaultKind| registry.counter("fault_injected_total", &[("kind", kind.as_str())]);
+        FaultTelemetry {
+            injected: KINDS.map(counter),
+            retries: registry.counter("recovery_retries_total", &[]),
+            fallback_ip: registry.counter("fallback_ip_total", &[]),
+            recovery_latency: registry.histogram(
+                "recovery_latency_seconds",
+                &[],
+                Histogram::timing,
+            ),
+            tracer,
+        }
+    }
+
+    /// A disconnected instance (private registry, tracing off) for
+    /// callers that run without telemetry.
+    pub fn disabled() -> FaultTelemetry {
+        FaultTelemetry::register(&Registry::new(), Tracer::disabled())
+    }
+
+    /// Counts one injected fault of `kind`.
+    pub fn count_injected(&self, kind: FaultKind) {
+        for (i, k) in KINDS.iter().enumerate() {
+            if *k == kind {
+                self.injected[i].inc();
+            }
+        }
+    }
+
+    /// Current count for one fault kind (test/report convenience).
+    pub fn injected_count(&self, kind: FaultKind) -> u64 {
+        KINDS.iter().position(|k| *k == kind).map_or(0, |i| self.injected[i].get())
+    }
+
+    /// Total injected faults across all kinds.
+    pub fn injected_total(&self) -> u64 {
+        self.injected.iter().map(|c| c.get()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_route_by_kind() {
+        let registry = Registry::new();
+        let t = FaultTelemetry::register(&registry, Tracer::disabled());
+        t.count_injected(FaultKind::SignallingFailure);
+        t.count_injected(FaultKind::SignallingFailure);
+        t.count_injected(FaultKind::Preemption);
+        assert_eq!(t.injected_count(FaultKind::SignallingFailure), 2);
+        assert_eq!(t.injected_count(FaultKind::Preemption), 1);
+        assert_eq!(t.injected_count(FaultKind::LinkFlap), 0);
+        assert_eq!(t.injected_total(), 3);
+        let text = registry.render();
+        assert!(text.contains("fault_injected_total{kind=\"signalling_failure\"} 2"));
+        assert!(text.contains("fault_injected_total{kind=\"preemption\"} 1"));
+    }
+
+    #[test]
+    fn disabled_instance_is_inert_but_usable() {
+        let t = FaultTelemetry::disabled();
+        t.count_injected(FaultKind::ServerRestart);
+        t.retries.inc();
+        t.fallback_ip.inc();
+        t.recovery_latency.record(1.5);
+        assert_eq!(t.injected_total(), 1);
+        assert!(!t.tracer.enabled());
+    }
+}

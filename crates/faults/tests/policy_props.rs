@@ -1,0 +1,131 @@
+//! Property tests for [`RecoveryPolicy`]: the invariants the driver's
+//! retry loop leans on — monotone bounded backoff, a hard attempt
+//! budget, and fallback exactly when retries exhaust.
+
+use gvc_faults::{FaultInjector, FaultPlan, RecoveryAction, RecoveryPolicy};
+use proptest::prelude::*;
+
+fn policy(
+    max_retries: u32,
+    base: f64,
+    factor: f64,
+    cap: f64,
+    jitter: f64,
+    fallback: bool,
+) -> RecoveryPolicy {
+    RecoveryPolicy {
+        max_retries,
+        base_backoff_s: base,
+        backoff_factor: factor,
+        max_backoff_s: cap,
+        jitter_frac: jitter,
+        setup_deadline_s: 300.0,
+        fallback_to_ip: fallback,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Backoff is monotone non-decreasing in the retry index and
+    /// never exceeds the cap, for any valid policy and seed.
+    #[test]
+    fn backoff_monotone_and_bounded(
+        seed in 0u64..1_000_000,
+        max_retries in 0u32..12,
+        base in 0.1f64..30.0,
+        factor in 1.0f64..4.0,
+        cap in 1.0f64..600.0,
+        jitter in 0.0f64..0.99,
+    ) {
+        let p = policy(max_retries, base, factor, cap, jitter, true)
+            .validate()
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let mut prev = 0.0f64;
+        for retry in 1..=p.attempt_budget() {
+            let d = p.backoff_s(seed, retry);
+            prop_assert!(d >= prev, "retry {}: {} < {}", retry, d, prev);
+            prop_assert!(
+                d <= p.max_backoff_s + 1e-9,
+                "retry {}: {} exceeds cap {}", retry, d, p.max_backoff_s
+            );
+            prop_assert!(d.is_finite());
+            prev = d;
+        }
+    }
+
+    /// Driving `decide` as the session loop does makes exactly
+    /// `max_retries + 1` attempts, then falls back iff the policy
+    /// allows it — never more, never fewer.
+    #[test]
+    fn attempts_bounded_and_fallback_iff_exhausted(
+        seed in 0u64..1_000_000,
+        max_retries in 0u32..16,
+        fallback in proptest::bool::ANY,
+    ) {
+        let p = policy(max_retries, 1.0, 2.0, 60.0, 0.25, fallback)
+            .validate()
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        // Worst case: every attempt fails.
+        let mut attempts = 0u32;
+        let terminal = loop {
+            attempts += 1;
+            match p.decide(seed, attempts) {
+                RecoveryAction::Retry { .. } => {
+                    prop_assert!(
+                        attempts < p.attempt_budget(),
+                        "retry granted past the budget at attempt {}", attempts
+                    );
+                }
+                other => break other,
+            }
+        };
+        prop_assert_eq!(attempts, p.attempt_budget());
+        if fallback {
+            prop_assert_eq!(terminal, RecoveryAction::FallbackToIp);
+        } else {
+            prop_assert_eq!(terminal, RecoveryAction::GiveUp);
+        }
+    }
+
+    /// The decide/backoff pair is a pure function of (policy, seed):
+    /// re-evaluating never changes an answer.
+    #[test]
+    fn decisions_are_deterministic(
+        seed in 0u64..1_000_000,
+        max_retries in 0u32..8,
+        jitter in 0.0f64..0.99,
+    ) {
+        let p = policy(max_retries, 2.0, 2.0, 120.0, jitter, true)
+            .validate()
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        for attempt in 1..=(p.attempt_budget() + 2) {
+            prop_assert_eq!(p.decide(seed, attempt), p.decide(seed, attempt));
+        }
+    }
+
+    /// An injector replayed from the same plan produces the same
+    /// provision-fault sequence (the harness's byte-identical-trace
+    /// guarantee starts here).
+    #[test]
+    fn injector_replay_matches(
+        seed in 0u64..1_000_000,
+        fail_first in 0u32..5,
+        p_fail in 0.0f64..1.0,
+        p_timeout in 0.0f64..1.0,
+    ) {
+        let plan = FaultPlan {
+            seed,
+            fail_first_provisions: fail_first,
+            provision_failure_p: p_fail,
+            setup_timeout_p: p_timeout,
+            ..FaultPlan::default()
+        };
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        for _ in 0..48 {
+            prop_assert_eq!(a.provision_fault(), b.provision_fault());
+        }
+        prop_assert_eq!(a.injected_total(), b.injected_total());
+    }
+}

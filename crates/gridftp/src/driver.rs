@@ -11,15 +11,18 @@ use crate::server::{ServerCaps, ServerCluster};
 use crate::session::SessionSpec;
 use crate::transfer::{prepare_transfer, FailureModel, PreparedTransfer, ServerNoise, TransferJob};
 use gvc_engine::{EventQueue, QueueTelemetry, SimSpan, SimTime};
+use gvc_faults::{
+    FaultInjector, FaultKind, FaultPlan, FaultTelemetry, RecoveryAction, RecoveryPolicy,
+};
 use gvc_logs::{Dataset, TransferRecord, TransferType};
 use gvc_net::tcp::TcpModel;
-use gvc_net::{FlowCompletion, FlowSpec, NetTelemetry, NetworkSim};
+use gvc_net::{FlowCompletion, FlowId, FlowSpec, NetTelemetry, NetworkSim};
 use gvc_oscars::{Idc, IdcTelemetry, ReservationId, ReservationRequest};
 use gvc_stats::rng::component_rng;
 use gvc_telemetry::{Counter, Histogram, Stopwatch, Telemetry, TraceEvent, Tracer};
-use gvc_topology::{NodeId, Path};
+use gvc_topology::{LinkId, NodeId, Path};
 use rand::rngs::SmallRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Driver/transfer-lifecycle telemetry, registered from a
@@ -40,7 +43,7 @@ pub struct DriverTelemetry {
     pub throughput_mbps: Arc<Histogram>,
     /// `sim_event_handle_seconds{class=...}`: wall time spent handling
     /// each script-event class, indexed by [`Event`] discriminant.
-    event_seconds: [Arc<Histogram>; 4],
+    event_seconds: [Arc<Histogram>; 7],
     /// Trace handle for `transfer.*` and `kernel.*` events.
     pub tracer: Tracer,
 }
@@ -69,6 +72,9 @@ impl DriverTelemetry {
                 class_hist("launch_next"),
                 class_hist("inject_background"),
                 class_hist("resize_cluster"),
+                class_hist("retry_vc"),
+                class_hist("preempt_vc"),
+                class_hist("link_flap"),
             ],
             tracer: ctx.tracer.clone(),
         }
@@ -87,6 +93,14 @@ enum Event {
     LaunchNext(usize),
     InjectBackground(Box<FlowSpec>),
     ResizeCluster(ClusterId, u32),
+    /// Re-attempt circuit establishment for a session (recovery).
+    RetryVc(usize),
+    /// Tear down a session's circuit mid-reservation (injected fault).
+    PreemptVc(usize),
+    /// Apply scheduled link flap `i` from the fault plan.
+    LinkFlap(usize),
+    /// Restore the capacity taken by link flap `i`.
+    LinkRestore(usize),
 }
 
 impl Event {
@@ -98,6 +112,9 @@ impl Event {
             Event::LaunchNext(_) => (1, "launch_next"),
             Event::InjectBackground(_) => (2, "inject_background"),
             Event::ResizeCluster(_, _) => (3, "resize_cluster"),
+            Event::RetryVc(_) => (4, "retry_vc"),
+            Event::PreemptVc(_) => (5, "preempt_vc"),
+            Event::LinkFlap(_) | Event::LinkRestore(_) => (6, "link_flap"),
         }
     }
 }
@@ -110,11 +127,19 @@ struct SessionState {
     in_flight: u32,
     vc: Option<(ReservationId, SimTime, f64)>,
     done: bool,
+    /// Circuit-establishment attempts made so far (recovery path).
+    vc_attempts: u32,
+    /// When the first establishment attempt was made.
+    vc_started: Option<SimTime>,
+    /// The session stopped pursuing a circuit (fallback, give-up, or
+    /// preemption); retries must not resurrect it.
+    vc_given_up: bool,
 }
 
 struct InFlight {
     session: usize,
     job: TransferJob,
+    flow: FlowId,
     overhead_s: f64,
     lossy: bool,
     failed: bool,
@@ -128,13 +153,23 @@ pub struct Driver {
     failures: FailureModel,
     /// Control-channel overhead added to each logged transfer, s.
     pub control_overhead_s: f64,
+    seed: u64,
     rng: SmallRng,
     pending: EventQueue<Event>,
     clusters: Vec<ServerCluster>,
     sessions: Vec<SessionState>,
-    in_flight: HashMap<u64, InFlight>,
+    in_flight: BTreeMap<u64, InFlight>,
     next_tag: u64,
     idc: Option<Idc>,
+    faults: Option<FaultInjector>,
+    recovery: Option<RecoveryPolicy>,
+    ftel: FaultTelemetry,
+    vc_requested: u64,
+    vc_established: u64,
+    recovery_lat_sum_s: f64,
+    recovery_lat_n: u64,
+    /// Original capacity of each currently-flapped link, by flap index.
+    flap_orig: BTreeMap<usize, (LinkId, f64)>,
     log: Vec<TransferRecord>,
     tstat: Vec<TransferStat>,
     telemetry: Option<DriverTelemetry>,
@@ -152,13 +187,22 @@ impl Driver {
             noise: ServerNoise::default(),
             failures: FailureModel::default(),
             control_overhead_s: 0.2,
+            seed,
             rng: component_rng(seed, "gridftp-driver"),
             pending: EventQueue::new(),
             clusters: Vec::new(),
             sessions: Vec::new(),
-            in_flight: HashMap::new(),
+            in_flight: BTreeMap::new(),
             next_tag: 1,
             idc: None,
+            faults: None,
+            recovery: None,
+            ftel: FaultTelemetry::disabled(),
+            vc_requested: 0,
+            vc_established: 0,
+            recovery_lat_sum_s: 0.0,
+            recovery_lat_n: 0,
+            flap_orig: BTreeMap::new(),
             log: Vec::new(),
             tstat: Vec::new(),
             telemetry: None,
@@ -176,7 +220,26 @@ impl Driver {
             idc.set_telemetry(IdcTelemetry::register(&ctx.registry, ctx.tracer.clone()));
         }
         self.telemetry = Some(DriverTelemetry::register(ctx));
+        self.ftel = FaultTelemetry::register(&ctx.registry, ctx.tracer.clone());
         self.telemetry_ctx = Some(ctx.clone());
+        self
+    }
+
+    /// Attaches a fault plan, returning `self`. Sessions requesting
+    /// circuits then run the recovery chain (default
+    /// [`RecoveryPolicy`] unless [`Driver::with_recovery`] set one).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Driver {
+        self.faults = Some(FaultInjector::new(plan));
+        if self.recovery.is_none() {
+            self.recovery = Some(RecoveryPolicy::default());
+        }
+        self
+    }
+
+    /// Sets the circuit-recovery policy, returning `self`. Enables the
+    /// retry/backoff/fallback chain even without a fault plan.
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Driver {
+        self.recovery = Some(policy);
         self
     }
 
@@ -253,6 +316,9 @@ impl Driver {
             in_flight: 0,
             vc: None,
             done: false,
+            vc_attempts: 0,
+            vc_started: None,
+            vc_given_up: false,
         });
         self.pending.schedule(at, Event::StartSession(idx));
     }
@@ -319,6 +385,10 @@ impl Driver {
                 let c = &mut self.clusters[id.0];
                 c.resize(&mut self.sim, n);
             }
+            Event::RetryVc(idx) => self.retry_vc(idx),
+            Event::PreemptVc(idx) => self.preempt_vc(idx),
+            Event::LinkFlap(i) => self.apply_link_flap(i),
+            Event::LinkRestore(i) => self.restore_link(i),
         }
     }
 
@@ -343,28 +413,266 @@ impl Driver {
                     .field("vc", vc_spec.is_some())
             });
         }
-        if let (Some(vc), Some(idc)) = (vc_spec, self.idc.as_mut()) {
-            let req = ReservationRequest {
-                src: self.clusters[src.0].node,
-                dst: self.clusters[dst.0].node,
-                rate_bps: vc.rate_bps,
-                start: now,
-                end: now + SimSpan::from_secs_f64(vc.max_duration_s),
-            };
-            if let Ok(id) = idc.create_reservation(req) {
-                // Provisioning a freshly admitted reservation cannot
-                // fail; if it somehow does, the session simply runs
-                // IP-routed.
-                if let Ok(ready) = idc.provision(id, now) {
-                    self.sessions[idx].vc = Some((id, ready, vc.rate_bps));
-                    if vc.wait_for_circuit {
-                        self.pending.schedule(ready, Event::LaunchNext(idx));
-                        return;
+        if vc_spec.is_some() && self.idc.is_some() {
+            self.vc_requested += 1;
+            if self.recovery.is_some() {
+                // Recovery chain: bounded retries with backoff, then
+                // fallback to the routed IP path.
+                self.sessions[idx].vc_started = Some(now);
+                if self.try_establish_vc(idx) {
+                    return;
+                }
+            } else if let (Some(vc), Some(idc)) = (vc_spec, self.idc.as_mut()) {
+                // Legacy single-shot path, kept bit-for-bit: no faults
+                // or recovery configured.
+                let req = ReservationRequest {
+                    src: self.clusters[src.0].node,
+                    dst: self.clusters[dst.0].node,
+                    rate_bps: vc.rate_bps,
+                    start: now,
+                    end: now + SimSpan::from_secs_f64(vc.max_duration_s),
+                };
+                if let Ok(id) = idc.create_reservation(req) {
+                    // Provisioning a freshly admitted reservation
+                    // cannot fail; if it somehow does, the session
+                    // simply runs IP-routed.
+                    if let Ok(ready) = idc.provision(id, now) {
+                        self.sessions[idx].vc = Some((id, ready, vc.rate_bps));
+                        self.vc_established += 1;
+                        if vc.wait_for_circuit {
+                            self.pending.schedule(ready, Event::LaunchNext(idx));
+                            return;
+                        }
                     }
                 }
             }
         }
         self.launch_ready_jobs(idx);
+    }
+
+    /// One circuit-establishment attempt under the recovery chain.
+    /// Returns `true` when job launch is deferred (waiting on the
+    /// circuit, either now provisioned or still being retried).
+    fn try_establish_vc(&mut self, idx: usize) -> bool {
+        let now = self.sim.now();
+        let (src, dst, vc) = {
+            let s = &self.sessions[idx];
+            (s.src, s.dst, s.spec.vc)
+        };
+        let (Some(vc), Some(policy)) = (vc, self.recovery) else {
+            return false;
+        };
+        if self.idc.is_none() {
+            return false;
+        }
+        self.sessions[idx].vc_attempts += 1;
+        let attempt = self.sessions[idx].vc_attempts;
+        let injected = self.faults.as_mut().and_then(FaultInjector::provision_fault);
+        let req = ReservationRequest {
+            src: self.clusters[src.0].node,
+            dst: self.clusters[dst.0].node,
+            rate_bps: vc.rate_bps,
+            start: now,
+            end: now + SimSpan::from_secs_f64(vc.max_duration_s),
+        };
+        // `reason` labels the failed attempt in the trace; injected
+        // faults also tear down anything the IDC admitted so a failed
+        // attempt never leaks a reservation.
+        let mut established: Option<(ReservationId, SimTime)> = None;
+        let mut reason: &'static str = "";
+        if let Some(idc) = self.idc.as_mut() {
+            match idc.create_reservation(req) {
+                Ok(id) => {
+                    if injected.is_some() {
+                        let _ = idc.teardown(id, now);
+                    } else {
+                        match idc.provision(id, now) {
+                            Ok(ready) if (ready - now).as_secs_f64() > policy.setup_deadline_s => {
+                                let _ = idc.teardown(id, now);
+                                reason = "setup_deadline";
+                            }
+                            Ok(ready) => established = Some((id, ready)),
+                            Err(_) => reason = "provision_error",
+                        }
+                    }
+                }
+                Err(_) => {
+                    if injected.is_none() {
+                        reason = "blocked";
+                    }
+                }
+            }
+        }
+        if let Some(kind) = injected {
+            self.ftel.count_injected(kind);
+            reason = kind.as_str();
+            self.ftel.tracer.emit_with(|| {
+                TraceEvent::new(now.micros() as i64, "fault.injected")
+                    .field("kind", kind.as_str())
+                    .field("session", idx)
+                    .field("attempt", attempt)
+            });
+        }
+
+        if let Some((id, ready)) = established {
+            self.sessions[idx].vc = Some((id, ready, vc.rate_bps));
+            self.vc_established += 1;
+            if attempt > 1 {
+                let waited_s =
+                    self.sessions[idx].vc_started.map_or(0.0, |t0| (now - t0).as_secs_f64());
+                self.record_recovery_latency(waited_s);
+                self.ftel.tracer.emit_with(|| {
+                    TraceEvent::new(now.micros() as i64, "recovery.established")
+                        .field("session", idx)
+                        .field("attempts", attempt)
+                        .field("waited_s", waited_s)
+                });
+            }
+            if let Some(after_s) = self.faults.as_ref().and_then(FaultInjector::preempt_after_s) {
+                self.pending
+                    .schedule(ready + SimSpan::from_secs_f64(after_s), Event::PreemptVc(idx));
+            }
+            if vc.wait_for_circuit {
+                self.pending.schedule(ready, Event::LaunchNext(idx));
+                return true;
+            }
+            return false;
+        }
+
+        // The attempt failed; ask the policy what happens next.
+        let seed = self.faults.as_ref().map_or(self.seed, |f| f.plan().seed);
+        let waited_s = self.sessions[idx].vc_started.map_or(0.0, |t0| (now - t0).as_secs_f64());
+        match policy.decide(seed, attempt) {
+            RecoveryAction::Retry { delay_s_micros } => {
+                self.ftel.retries.inc();
+                let delay_s = delay_s_micros as f64 / 1e6;
+                self.ftel.tracer.emit_with(|| {
+                    TraceEvent::new(now.micros() as i64, "recovery.retry")
+                        .field("session", idx)
+                        .field("attempt", attempt)
+                        .field("reason", reason)
+                        .field("delay_s", delay_s)
+                });
+                self.pending.schedule(now + SimSpan(delay_s_micros as i64), Event::RetryVc(idx));
+                // Blocking sessions keep waiting through retries;
+                // best-effort ones start IP-routed immediately.
+                vc.wait_for_circuit
+            }
+            RecoveryAction::FallbackToIp => {
+                self.ftel.fallback_ip.inc();
+                self.record_recovery_latency(waited_s);
+                self.sessions[idx].vc_given_up = true;
+                self.ftel.tracer.emit_with(|| {
+                    TraceEvent::new(now.micros() as i64, "recovery.fallback")
+                        .field("session", idx)
+                        .field("attempts", attempt)
+                        .field("reason", reason)
+                });
+                false
+            }
+            RecoveryAction::GiveUp => {
+                self.record_recovery_latency(waited_s);
+                self.sessions[idx].vc_given_up = true;
+                self.ftel.tracer.emit_with(|| {
+                    TraceEvent::new(now.micros() as i64, "recovery.giveup")
+                        .field("session", idx)
+                        .field("attempts", attempt)
+                        .field("reason", reason)
+                });
+                // Transfers still run (the paper's workloads move with
+                // or without a circuit); only the circuit is abandoned.
+                false
+            }
+        }
+    }
+
+    fn record_recovery_latency(&mut self, waited_s: f64) {
+        self.ftel.recovery_latency.record(waited_s);
+        self.recovery_lat_sum_s += waited_s;
+        self.recovery_lat_n += 1;
+    }
+
+    fn retry_vc(&mut self, idx: usize) {
+        let s = &self.sessions[idx];
+        if s.done || s.vc_given_up || s.vc.is_some() {
+            return;
+        }
+        if !self.try_establish_vc(idx) {
+            self.launch_ready_jobs(idx);
+        }
+    }
+
+    /// Injected mid-reservation teardown: the provider preempts the
+    /// circuit. In-flight transfers lose their guarantee and finish
+    /// best-effort; the session does not re-request.
+    fn preempt_vc(&mut self, idx: usize) {
+        let now = self.sim.now();
+        let Some((id, _, _)) = self.sessions[idx].vc else {
+            return;
+        };
+        if self.sessions[idx].done {
+            return;
+        }
+        if let Some(idc) = self.idc.as_mut() {
+            let _ = idc.teardown(id, now);
+        }
+        self.sessions[idx].vc = None;
+        self.sessions[idx].vc_given_up = true;
+        let flows: Vec<FlowId> =
+            self.in_flight.values().filter(|f| f.session == idx).map(|f| f.flow).collect();
+        for fid in flows {
+            self.sim.set_flow_guarantee(fid, 0.0);
+        }
+        if let Some(f) = self.faults.as_mut() {
+            f.note_preemption();
+        }
+        self.ftel.count_injected(FaultKind::Preemption);
+        self.ftel.tracer.emit_with(|| {
+            TraceEvent::new(now.micros() as i64, "fault.injected")
+                .field("kind", FaultKind::Preemption.as_str())
+                .field("session", idx)
+        });
+    }
+
+    fn apply_link_flap(&mut self, i: usize) {
+        let Some(flap) = self.faults.as_ref().and_then(|f| f.link_flaps().get(i).cloned()) else {
+            return;
+        };
+        let Some((src, dst)) = flap.link.split_once("->") else {
+            return;
+        };
+        let Some(lid) = self.sim.link_by_names(src, dst) else {
+            return;
+        };
+        let orig = self.sim.graph().link(lid).capacity_bps;
+        if !self.sim.set_link_capacity(lid, orig * flap.residual_frac) {
+            return;
+        }
+        self.flap_orig.insert(i, (lid, orig));
+        if let Some(f) = self.faults.as_mut() {
+            f.note_link_flap();
+        }
+        self.ftel.count_injected(FaultKind::LinkFlap);
+        let t_us = self.sim.now().micros() as i64;
+        self.ftel.tracer.emit_with(|| {
+            TraceEvent::new(t_us, "fault.injected")
+                .field("kind", FaultKind::LinkFlap.as_str())
+                .field("link", flap.link.as_str())
+                .field("residual_frac", flap.residual_frac)
+        });
+    }
+
+    fn restore_link(&mut self, i: usize) {
+        let Some((lid, orig)) = self.flap_orig.remove(&i) else {
+            return;
+        };
+        self.sim.set_link_capacity(lid, orig);
+        let t_us = self.sim.now().micros() as i64;
+        self.ftel.tracer.emit_with(|| {
+            TraceEvent::new(t_us, "fault.cleared")
+                .field("kind", FaultKind::LinkFlap.as_str())
+                .field("flap", i)
+        });
     }
 
     /// Launches jobs until the session's concurrency target is met.
@@ -379,7 +687,8 @@ impl Driver {
                 }
             };
             let Some(job) = job else { break };
-            let launched = self.launch_job(idx, job);
+            let job_index = self.sessions[idx].next_job;
+            let launched = self.launch_job(idx, job_index, job);
             let s = &mut self.sessions[idx];
             s.next_job += 1;
             if launched {
@@ -390,12 +699,15 @@ impl Driver {
 
     /// Returns whether a flow was actually started; jobs between
     /// disconnected clusters are dropped.
-    fn launch_job(&mut self, idx: usize, job: TransferJob) -> bool {
+    fn launch_job(&mut self, idx: usize, job_index: usize, job: TransferJob) -> bool {
         let (src, dst) = (self.sessions[idx].src, self.sessions[idx].dst);
         let Some(path) = self.path_between(src, dst) else {
             return false;
         };
-        let prepared: PreparedTransfer = prepare_transfer(
+        // Failure draws come from a stream keyed by (session, job) so
+        // one session's shape never perturbs another's outcomes.
+        let mut fail_rng = component_rng(self.seed, &format!("gridftp-fail/{idx}/{job_index}"));
+        let mut prepared: PreparedTransfer = prepare_transfer(
             self.sim.graph(),
             &path,
             &self.clusters[src.0],
@@ -406,7 +718,23 @@ impl Driver {
             self.failures,
             self.control_overhead_s,
             &mut self.rng,
+            &mut fail_rng,
         );
+        // Injected server restart: forced failure penalty on top of
+        // whatever the probabilistic model drew.
+        let forced = self.faults.as_mut().is_some_and(|f| f.server_restart(idx, job_index as u32));
+        if forced {
+            prepared.overhead_s += self.failures.sample_forced_penalty_s(&mut fail_rng);
+            prepared.failed = true;
+            self.ftel.count_injected(FaultKind::ServerRestart);
+            let t_us = self.sim.now().micros() as i64;
+            self.ftel.tracer.emit_with(|| {
+                TraceEvent::new(t_us, "fault.injected")
+                    .field("kind", FaultKind::ServerRestart.as_str())
+                    .field("session", idx)
+                    .field("job", job_index)
+            });
+        }
         let tag = self.next_tag;
         self.next_tag += 1;
         let mut spec = prepared.spec.with_tag(tag);
@@ -416,7 +744,7 @@ impl Driver {
                 spec.min_rate_bps = rate / f64::from(self.sessions[idx].spec.concurrency);
             }
         }
-        self.sim.add_flow(spec);
+        let flow = self.sim.add_flow(spec);
         if let Some(t) = &self.telemetry {
             t.transfers_started.inc();
             let (bytes, streams, stripes) =
@@ -435,6 +763,7 @@ impl Driver {
             InFlight {
                 session: idx,
                 job: prepared.job,
+                flow,
                 overhead_s: prepared.overhead_s,
                 lossy: prepared.lossy,
                 failed: prepared.failed,
@@ -460,6 +789,7 @@ impl Driver {
         };
         self.tstat.push(TransferStat {
             start_unix_us: self.sim.to_unix_us(c.start),
+            session: idx,
             num_streams: info.job.streams,
             lossy: info.lossy,
             failed: info.failed,
@@ -533,6 +863,23 @@ impl Driver {
     /// `limit` bounds the simulation clock as a safety net against
     /// stalled flows.
     pub fn run(mut self, limit: SimTime) -> DriverOutput {
+        // Scheduled link flaps from the fault plan become calendar
+        // events before anything else runs.
+        let flap_windows: Vec<(usize, f64, f64)> = self
+            .faults
+            .as_ref()
+            .map(|f| {
+                f.link_flaps()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, flap)| (i, flap.at_s, flap.duration_s))
+                    .collect()
+            })
+            .unwrap_or_default();
+        for (i, at_s, duration_s) in flap_windows {
+            self.pending.schedule(SimTime::from_secs_f64(at_s), Event::LinkFlap(i));
+            self.pending.schedule(SimTime::from_secs_f64(at_s + duration_s), Event::LinkRestore(i));
+        }
         loop {
             let t_event = self.pending.peek_time();
             let t_comp = self.sim.peek_completion();
@@ -568,15 +915,32 @@ impl Driver {
             }
         }
         let idc_stats = self.idc.as_ref().map(gvc_oscars::Idc::stats);
+        let open_reservations = self.idc.as_ref().map(Idc::open_reservations);
+        let resilience = self.recovery.map(|_| ResilienceReport {
+            vc_requested: self.vc_requested,
+            vc_established: self.vc_established,
+            faults_injected: self.faults.as_ref().map_or(0, FaultInjector::injected_total),
+            retries: self.ftel.retries.get(),
+            fallbacks: self.ftel.fallback_ip.get(),
+            preemptions: self.ftel.injected_count(FaultKind::Preemption),
+            mean_recovery_latency_s: if self.recovery_lat_n > 0 {
+                self.recovery_lat_sum_s / self.recovery_lat_n as f64
+            } else {
+                0.0
+            },
+        });
         if let Some(t) = &self.telemetry {
             t.tracer.flush();
         }
+        self.ftel.tracer.flush();
         self.tstat.sort_by_key(|t| t.start_unix_us);
         DriverOutput {
             log: Dataset::from_records(self.log),
             sim: self.sim,
             idc_stats,
             tstat: TstatReport { transfers: self.tstat },
+            resilience,
+            open_reservations,
         }
     }
 }
@@ -589,6 +953,8 @@ impl Driver {
 pub struct TransferStat {
     /// Start time, unix µs (aligns with the log's start order).
     pub start_unix_us: i64,
+    /// Index of the session that ran this transfer.
+    pub session: usize,
     /// Parallel streams used.
     pub num_streams: u32,
     /// Did a TCP loss event hit this transfer?
@@ -623,6 +989,39 @@ impl TstatReport {
     }
 }
 
+/// Fault/recovery outcome summary for one run, produced whenever a
+/// recovery policy was configured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceReport {
+    /// Sessions that requested a circuit.
+    pub vc_requested: u64,
+    /// Sessions whose circuit was eventually established.
+    pub vc_established: u64,
+    /// Faults the injector actually delivered (all kinds).
+    pub faults_injected: u64,
+    /// Establishment attempts retried.
+    pub retries: u64,
+    /// Sessions that fell back to the routed IP path.
+    pub fallbacks: u64,
+    /// Circuits preempted mid-reservation.
+    pub preemptions: u64,
+    /// Mean first-attempt-to-outcome latency over sessions that needed
+    /// recovery, seconds.
+    pub mean_recovery_latency_s: f64,
+}
+
+impl ResilienceReport {
+    /// Fraction of circuit-requesting sessions that got one (1.0 when
+    /// none asked — nothing failed).
+    pub fn session_success_rate(&self) -> f64 {
+        if self.vc_requested == 0 {
+            1.0
+        } else {
+            self.vc_established as f64 / self.vc_requested as f64
+        }
+    }
+}
+
 /// Results of a driver run.
 pub struct DriverOutput {
     /// The GridFTP usage log.
@@ -633,6 +1032,11 @@ pub struct DriverOutput {
     pub idc_stats: Option<gvc_oscars::IdcStats>,
     /// Per-transfer loss/failure statistics (tstat-style).
     pub tstat: TstatReport,
+    /// Fault/recovery summary (when a recovery policy was active).
+    pub resilience: Option<ResilienceReport>,
+    /// Reservations still open at the IDC after the run — must be 0
+    /// when every session completed or fell back (no leaks).
+    pub open_reservations: Option<usize>,
 }
 
 #[cfg(test)]
@@ -704,7 +1108,11 @@ mod tests {
     #[test]
     fn concurrency_reduces_per_transfer_throughput() {
         // Same total work; concurrent transfers share the node cap.
+        // Quiet noise keeps the per-transfer caps above the fair
+        // share, so contention is what separates the two runs.
+        let quiet = ServerNoise { mean: 1.0, sd: 0.0 };
         let (mut d1, a1, b1) = base_driver(4);
+        d1 = d1.with_noise(quiet);
         d1.schedule_session(
             SimTime::ZERO,
             a1,
@@ -713,6 +1121,7 @@ mod tests {
         );
         let seq = d1.run(SimTime::from_secs(1_000_000));
         let (mut d2, a2, b2) = base_driver(4);
+        d2 = d2.with_noise(quiet);
         d2.schedule_session(
             SimTime::ZERO,
             a2,
@@ -999,6 +1408,217 @@ mod tests {
                 prop_assert!(w[0].start_unix_us <= w[1].start_unix_us);
             }
         }
+    }
+
+    fn vc_driver(seed: u64) -> (Driver, ClusterId, ClusterId) {
+        let t = study_topology();
+        let (slac, bnl) = (t.dtn(Site::Slac), t.dtn(Site::Bnl));
+        let idc = Idc::new(t.graph.clone(), SetupDelayModel::one_minute());
+        let sim = NetworkSim::new(t.graph, 0);
+        let mut d = Driver::new(sim, seed).with_idc(idc);
+        let a = d.register_cluster("slac", slac, ServerCaps::default(), 1);
+        let b = d.register_cluster("bnl", bnl, ServerCaps::default(), 1);
+        (d, a, b)
+    }
+
+    fn vc_spec() -> crate::session::VcRequestSpec {
+        crate::session::VcRequestSpec {
+            rate_bps: 1e9,
+            max_duration_s: 3600.0,
+            wait_for_circuit: true,
+        }
+    }
+
+    #[test]
+    fn recovery_retries_after_injected_failures() {
+        use gvc_faults::FaultPlan;
+        let (mut d, a, b) = vc_driver(7);
+        d = d.with_faults(FaultPlan { fail_first_provisions: 2, ..FaultPlan::default() });
+        d.schedule_session(
+            SimTime::ZERO,
+            a,
+            b,
+            SessionSpec::sequential(vec![job(256)], 0.0).with_vc(vc_spec()),
+        );
+        let out = d.run(SimTime::from_secs(100_000));
+        assert_eq!(out.log.len(), 1);
+        let r = out.resilience.unwrap();
+        assert_eq!(r.vc_requested, 1);
+        assert_eq!(r.vc_established, 1);
+        assert_eq!(r.retries, 2);
+        assert_eq!(r.faults_injected, 2);
+        assert_eq!(r.fallbacks, 0);
+        assert!((r.session_success_rate() - 1.0).abs() < 1e-12);
+        assert!(r.mean_recovery_latency_s > 0.0);
+        assert_eq!(out.open_reservations, Some(0));
+        // Two backoffs plus the 1-minute setup push the first start
+        // past a clean single-shot provision.
+        assert!(out.log.records()[0].start_unix_us >= 60_000_000);
+    }
+
+    #[test]
+    fn recovery_exhaustion_falls_back_to_ip() {
+        use gvc_faults::FaultPlan;
+        let (mut d, a, b) = vc_driver(7);
+        d = d.with_faults(FaultPlan { fail_first_provisions: 100, ..FaultPlan::default() });
+        d.schedule_session(
+            SimTime::ZERO,
+            a,
+            b,
+            SessionSpec::sequential(vec![job(256)], 0.0).with_vc(vc_spec()),
+        );
+        let out = d.run(SimTime::from_secs(100_000));
+        // The transfer still runs — IP-routed.
+        assert_eq!(out.log.len(), 1);
+        let r = out.resilience.unwrap();
+        assert_eq!(r.vc_established, 0);
+        assert_eq!(r.retries, 3); // default budget: 1 + 3 retries
+        assert_eq!(r.fallbacks, 1);
+        assert_eq!(r.session_success_rate(), 0.0);
+        assert_eq!(out.open_reservations, Some(0), "no leaked reservations");
+    }
+
+    #[test]
+    fn preemption_releases_reservation_and_session_finishes() {
+        use gvc_faults::FaultPlan;
+        let (mut d, a, b) = vc_driver(8);
+        d = d.with_faults(FaultPlan { preempt_after_s: Some(5.0), ..FaultPlan::default() });
+        // Big enough to still be in flight 5 s after circuit readiness.
+        d.schedule_session(
+            SimTime::ZERO,
+            a,
+            b,
+            SessionSpec::sequential(vec![job(4096)], 0.0).with_vc(vc_spec()),
+        );
+        let out = d.run(SimTime::from_secs(1_000_000));
+        assert_eq!(out.log.len(), 1);
+        let r = out.resilience.unwrap();
+        assert_eq!(r.vc_established, 1);
+        assert_eq!(r.preemptions, 1);
+        assert_eq!(r.faults_injected, 1);
+        assert_eq!(out.open_reservations, Some(0), "preempted circuit must be released");
+    }
+
+    #[test]
+    fn forced_server_restarts_mark_transfers_failed() {
+        use gvc_faults::FaultPlan;
+        let (mut d, a, b) = base_driver(30);
+        d = d
+            .with_faults(FaultPlan { server_restart_p: 1.0, ..FaultPlan::default() })
+            .with_failures(crate::transfer::FailureModel {
+                probability: 0.0,
+                min_recovery_s: 10.0,
+                max_recovery_s: 10.0,
+                marker_interval_s: 0.0,
+            });
+        d.schedule_session(SimTime::ZERO, a, b, SessionSpec::sequential(vec![job(64); 4], 0.0));
+        let out = d.run(SimTime::from_secs(1_000_000));
+        assert_eq!(out.tstat.transfers.len(), 4);
+        assert_eq!(out.tstat.failure_fraction(), 1.0);
+        assert_eq!(out.resilience.unwrap().faults_injected, 4);
+    }
+
+    #[test]
+    fn link_flap_lengthens_transfers_in_its_window() {
+        use gvc_faults::{FaultPlan, LinkFlapSpec};
+        let run = |flap: bool| {
+            let t = study_topology();
+            let path = t.path(Site::Nersc, Site::Ornl);
+            let l = t.graph.link(path.links[1]);
+            let link_name = format!(
+                "{}->{}",
+                t.graph.nodes()[l.src.0 as usize].name,
+                t.graph.nodes()[l.dst.0 as usize].name
+            );
+            let (nersc, ornl) = (t.dtn(Site::Nersc), t.dtn(Site::Ornl));
+            let sim = NetworkSim::new(t.graph, 0);
+            let mut d = Driver::new(sim, 12);
+            if flap {
+                d = d.with_faults(FaultPlan {
+                    link_flaps: vec![LinkFlapSpec {
+                        link: link_name,
+                        at_s: 1.0,
+                        duration_s: 30.0,
+                        residual_frac: 0.05,
+                    }],
+                    ..FaultPlan::default()
+                });
+            }
+            let a = d.register_cluster("nersc", nersc, ServerCaps::default(), 1);
+            let b = d.register_cluster("ornl", ornl, ServerCaps::default(), 1);
+            d.schedule_transfer(SimTime::ZERO, a, b, job(2048));
+            let out = d.run(SimTime::from_secs(100_000));
+            assert_eq!(out.log.len(), 1);
+            out.log.records()[0].duration_s()
+        };
+        let clean = run(false);
+        let flapped = run(true);
+        assert!(flapped > clean + 10.0, "flapped {flapped} vs clean {clean}");
+    }
+
+    #[test]
+    fn failure_outcomes_isolated_across_sessions() {
+        // The pre-fix defect: failure draws came from the run-wide
+        // sequential stream, so growing session 0 shifted session 1's
+        // outcomes. Keyed per-(session, job) streams decouple them.
+        let run = |s0_jobs: usize| {
+            let (mut d, a, b) = base_driver(31);
+            d = d.with_failures(crate::transfer::FailureModel {
+                probability: 0.4,
+                ..crate::transfer::FailureModel::default()
+            });
+            d.schedule_session(
+                SimTime::ZERO,
+                a,
+                b,
+                SessionSpec::sequential(vec![job(32); s0_jobs], 0.0),
+            );
+            d.schedule_session(
+                SimTime::from_secs(5_000),
+                a,
+                b,
+                SessionSpec::sequential(vec![job(32); 6], 0.0),
+            );
+            let out = d.run(SimTime::from_secs(10_000_000));
+            out.tstat
+                .transfers
+                .iter()
+                .filter(|t| t.session == 1)
+                .map(|t| t.failed)
+                .collect::<Vec<bool>>()
+        };
+        let short = run(2);
+        let long = run(8);
+        assert_eq!(short.len(), 6);
+        assert_eq!(short, long, "session 1's failures must not depend on session 0's shape");
+        // The pattern is non-degenerate at p = 0.4 over six draws.
+        assert!(short.iter().any(|&f| f));
+        assert!(short.iter().any(|&f| !f));
+    }
+
+    #[test]
+    fn inert_faults_leave_legacy_behavior_untouched() {
+        use gvc_faults::FaultPlan;
+        let run = |with_inert: bool| {
+            let (mut d, a, b) = base_driver(9);
+            if with_inert {
+                d = d.with_faults(FaultPlan::default());
+            }
+            d.schedule_session(
+                SimTime::ZERO,
+                a,
+                b,
+                SessionSpec::sequential(vec![job(100); 5], 1.0).with_concurrency(2),
+            );
+            d.run(SimTime::from_secs(1_000_000)).log
+        };
+        assert_eq!(run(false), run(true));
+        // And a plain run reports no resilience data at all.
+        let (mut d, a, b) = base_driver(9);
+        d.schedule_transfer(SimTime::ZERO, a, b, job(16));
+        let out = d.run(SimTime::from_secs(1_000_000));
+        assert!(out.resilience.is_none());
+        assert!(out.open_reservations.is_none());
     }
 
     #[test]

@@ -24,7 +24,9 @@ pub mod server;
 pub mod session;
 pub mod transfer;
 
-pub use driver::{Driver, DriverOutput, DriverTelemetry, TransferStat, TstatReport};
+pub use driver::{
+    Driver, DriverOutput, DriverTelemetry, ResilienceReport, TransferStat, TstatReport,
+};
 pub use server::{ServerCaps, ServerCluster};
 pub use session::{SessionSpec, VcRequestSpec};
 pub use transfer::{FailureModel, ServerNoise, TransferJob};

@@ -109,6 +109,12 @@ impl FailureModel {
         if rng.gen::<f64>() >= self.probability {
             return 0.0;
         }
+        self.sample_forced_penalty_s(rng)
+    }
+
+    /// Samples the cost of a failure known to have happened (e.g. an
+    /// injected server restart), skipping the probability gate.
+    pub fn sample_forced_penalty_s(&self, rng: &mut SmallRng) -> f64 {
         let recovery = self.min_recovery_s
             + rng.gen::<f64>() * (self.max_recovery_s - self.min_recovery_s).max(0.0);
         // Progress since the last marker is re-sent: uniformly up to
@@ -143,6 +149,12 @@ pub struct PreparedTransfer {
 /// and the path line rate — scaled by a per-transfer server-noise
 /// factor, and by the loss penalty if this transfer is one of the rare
 /// ones to see a loss event.
+///
+/// The failure draw comes from `fail_rng`, a stream keyed per
+/// transfer rather than shared across the run: whether *this*
+/// transfer fails must not depend on how many draws other sessions
+/// consumed first, or turning one session's shape changes another's
+/// failure outcomes.
 #[allow(clippy::too_many_arguments)]
 pub fn prepare_transfer(
     graph: &Graph,
@@ -155,6 +167,7 @@ pub fn prepare_transfer(
     failures: FailureModel,
     control_overhead_s: f64,
     rng: &mut SmallRng,
+    fail_rng: &mut SmallRng,
 ) -> PreparedTransfer {
     let rtt = path.rtt_s(graph).max(1e-4);
     let window_cap = tcp.window_cap_bps(job.streams, job.tcp_buffer_bytes as f64, rtt);
@@ -169,7 +182,7 @@ pub fn prepare_transfer(
         cap *= tcp.loss_penalty_factor(job.streams);
     }
     let cap = cap.max(1e3); // never fully stall
-    let failure_penalty = failures.sample_penalty_s(rng);
+    let failure_penalty = failures.sample_penalty_s(fail_rng);
 
     let mut resources = vec![src.aggregate_resource(), dst.aggregate_resource()];
     if job.src_kind == EndpointKind::Disk {
@@ -253,6 +266,7 @@ mod tests {
             no_failures(),
             0.0,
             &mut rng,
+            &mut component_rng(1, "fail"),
         );
         let rtt = f.path.rtt_s(f.sim.graph());
         let expected = (4u64 << 20) as f64 * 8.0 / rtt;
@@ -280,6 +294,7 @@ mod tests {
             no_failures(),
             0.0,
             &mut rng,
+            &mut component_rng(1, "fail"),
         );
         // 8 x 4 MiB over ~70 ms RTT far exceeds the 2.4 Gbps node cap.
         assert!((p.steady_cap_bps - 2.4e9).abs() < 1e3, "{}", p.steady_cap_bps);
@@ -307,6 +322,7 @@ mod tests {
             no_failures(),
             0.0,
             &mut rng1,
+            &mut component_rng(1, "fail"),
         );
         let disk = prepare_transfer(
             f.sim.graph(),
@@ -319,6 +335,7 @@ mod tests {
             no_failures(),
             0.0,
             &mut rng2,
+            &mut component_rng(1, "fail"),
         );
         assert!(disk.steady_cap_bps < mem.steady_cap_bps);
         assert_eq!(disk.spec.resources.len(), 3); // agg x2 + disk write
@@ -353,6 +370,7 @@ mod tests {
             no_failures(),
             0.0,
             &mut rng1,
+            &mut component_rng(1, "fail"),
         );
         let three = prepare_transfer(
             sim.graph(),
@@ -365,6 +383,7 @@ mod tests {
             no_failures(),
             0.0,
             &mut rng2,
+            &mut component_rng(1, "fail"),
         );
         assert!(three.steady_cap_bps > 2.0 * one.steady_cap_bps);
     }
@@ -391,6 +410,7 @@ mod tests {
             no_failures(),
             0.5,
             &mut rng,
+            &mut component_rng(1, "fail"),
         );
         assert!(p.overhead_s > 0.5, "control overhead present");
     }
@@ -418,6 +438,7 @@ mod tests {
             no_failures(),
             0.0,
             &mut rng1,
+            &mut component_rng(1, "fail"),
         );
         let failed = prepare_transfer(
             f.sim.graph(),
@@ -430,6 +451,7 @@ mod tests {
             always,
             0.0,
             &mut rng2,
+            &mut component_rng(1, "fail"),
         );
         assert!(failed.failed);
         assert!(!ok.failed);
@@ -451,6 +473,23 @@ mod tests {
         }
         let never = FailureModel { probability: 0.0, ..m };
         assert_eq!(never.sample_penalty_s(&mut rng), 0.0);
+    }
+
+    #[test]
+    fn forced_penalty_skips_the_probability_gate() {
+        // Probability zero, yet the forced variant (injected server
+        // restart) still charges recovery + re-send time.
+        let m = FailureModel {
+            probability: 0.0,
+            min_recovery_s: 4.0,
+            max_recovery_s: 10.0,
+            marker_interval_s: 5.0,
+        };
+        let mut rng = component_rng(4, "t");
+        for _ in 0..100 {
+            let p = m.sample_forced_penalty_s(&mut rng);
+            assert!((4.0..=15.0).contains(&p), "{p}");
+        }
     }
 
     #[test]

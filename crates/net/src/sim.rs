@@ -189,6 +189,32 @@ impl NetworkSim {
         self.rates_dirty = true;
     }
 
+    /// Overrides a link's capacity mid-run (fault injection: link
+    /// flaps and restoration). Zero models a hard outage — flows on
+    /// the link stall until capacity returns. Returns `false` on an
+    /// unknown link or invalid capacity, leaving rates untouched.
+    pub fn set_link_capacity(&mut self, link: LinkId, capacity_bps: f64) -> bool {
+        let ok = self.graph.set_link_capacity(link, capacity_bps);
+        if ok {
+            self.rates_dirty = true;
+            if let Some(t) = &self.telemetry {
+                t.tracer.emit_with(|| {
+                    TraceEvent::new(self.now.micros() as i64, "net.link_capacity")
+                        .field("link", u64::from(link.0))
+                        .field("capacity_bps", capacity_bps)
+                });
+            }
+        }
+        ok
+    }
+
+    /// Looks up a directed link by its endpoint names (`src`, `dst`).
+    pub fn link_by_names(&self, src: &str, dst: &str) -> Option<LinkId> {
+        let s = self.graph.node_by_name(src)?;
+        let d = self.graph.node_by_name(dst)?;
+        self.graph.out_links(s).iter().copied().find(|&l| self.graph.link(l).dst == d)
+    }
+
     /// Starts SNMP monitoring of `link` (30-second bins, labelled by
     /// endpoint names).
     pub fn monitor_link(&mut self, link: LinkId) {
@@ -662,6 +688,57 @@ mod tests {
         let kinds: std::collections::HashSet<&str> = ring.events().iter().map(|e| e.kind).collect();
         assert!(kinds.contains("net.fairshare"));
         assert!(kinds.contains("net.snmp_deposit"));
+    }
+
+    #[test]
+    fn link_flap_slows_then_restores() {
+        let (mut sim, l) = sim_one_link();
+        // 2e9 bytes at 8 Gbps would take 2 s. Flap the link to 10 %
+        // capacity over [1, 3): 1e9 done by t=1, then 0.8 Gbps for
+        // 2 s moves 0.2e9, then 8 Gbps again for the last 0.8e9
+        // (0.8 s) -> done at t=3.8.
+        let id = sim.add_flow(FlowSpec::best_effort(vec![l], 2e9));
+        sim.run_until(SimTime::from_secs(1));
+        assert!(sim.set_link_capacity(l, 0.8e9));
+        assert!((sim.flow_rate(id).unwrap() - 0.8e9).abs() < 1e3);
+        sim.run_until(SimTime::from_secs(3));
+        assert!(sim.set_link_capacity(l, 8e9));
+        let done = sim.run_until(SimTime::from_secs(10));
+        assert_eq!(done.len(), 1);
+        assert!((done[0].end.as_secs_f64() - 3.8).abs() < 1e-5, "{:?}", done[0]);
+    }
+
+    #[test]
+    fn zero_capacity_stalls_flow() {
+        let (mut sim, l) = sim_one_link();
+        let id = sim.add_flow(FlowSpec::best_effort(vec![l], 1e9));
+        assert!(sim.set_link_capacity(l, 0.0));
+        assert_eq!(sim.flow_rate(id), Some(0.0));
+        let done = sim.run_until(SimTime::from_secs(5));
+        assert!(done.is_empty());
+        // Restore and the flow completes.
+        assert!(sim.set_link_capacity(l, 8e9));
+        let done = sim.run_until(SimTime::from_secs(10));
+        assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn set_link_capacity_rejects_bad_input() {
+        let (mut sim, _) = sim_one_link();
+        assert!(!sim.set_link_capacity(LinkId(99), 1e9));
+        let (mut sim, l) = sim_one_link();
+        assert!(!sim.set_link_capacity(l, -1.0));
+        assert!(!sim.set_link_capacity(l, f64::NAN));
+        assert_eq!(sim.graph().link(l).capacity_bps, 8e9);
+    }
+
+    #[test]
+    fn link_by_names_resolves_directions() {
+        let (sim, l) = sim_one_link();
+        assert_eq!(sim.link_by_names("a", "b"), Some(l));
+        assert!(sim.link_by_names("b", "a").is_some());
+        assert_ne!(sim.link_by_names("b", "a"), Some(l));
+        assert_eq!(sim.link_by_names("a", "zzz"), None);
     }
 
     #[test]

@@ -339,6 +339,14 @@ impl Idc {
         self.reservations.get(&id)
     }
 
+    /// Admitted reservations not yet released (Scheduled,
+    /// Provisioning, or Active). The resilience harness asserts this
+    /// reaches zero after every fault plan: anything else is a leaked
+    /// reservation still holding calendar capacity.
+    pub fn open_reservations(&self) -> usize {
+        self.reservations.values().filter(|r| r.state != ReservationState::Released).count()
+    }
+
     /// Spare reservable bandwidth between two endpoints over a window
     /// (what a client could still get).
     pub fn probe_available_bps(&self, req: ReservationRequest) -> f64 {
@@ -538,5 +546,77 @@ mod tests {
         idc.teardown(id, SimTime::from_secs(5)).unwrap();
         idc.teardown(id, SimTime::from_secs(6)).unwrap();
         assert_eq!(idc.reservation(id).unwrap().state, ReservationState::Released);
+    }
+
+    #[test]
+    fn double_teardown_does_not_double_release_capacity() {
+        // Regression: the second (idempotent) teardown must not touch
+        // the calendar again — releasing twice would free capacity a
+        // concurrent reservation legitimately holds.
+        let (mut idc, mut req) = idc();
+        req.rate_bps = 6e9;
+        let a = idc.create_reservation(req).unwrap();
+        let b = idc.create_reservation(ReservationRequest { rate_bps: 4e9, ..req }).unwrap();
+        idc.teardown(a, SimTime::from_secs(5)).unwrap();
+        idc.teardown(a, SimTime::from_secs(6)).unwrap();
+        // b still holds 4 G: a 7 G request over the same window must
+        // not fit (10 G links), which it would if a's release ran
+        // twice against b's commitment.
+        let mut probe = req;
+        probe.rate_bps = 7e9;
+        probe.start = SimTime::from_secs(10);
+        assert_eq!(idc.create_reservation(probe), Err(BlockReason::NoFeasiblePath));
+        assert_eq!(idc.reservation(b).unwrap().state, ReservationState::Scheduled);
+    }
+
+    #[test]
+    fn signalling_unknown_reservation_errors() {
+        let (mut idc, req) = idc();
+        let _ = idc.create_reservation(req).unwrap();
+        let ghost = ReservationId(999);
+        assert_eq!(idc.teardown(ghost, SimTime::ZERO), Err(IdcError::UnknownReservation(ghost)));
+        assert_eq!(idc.provision(ghost, SimTime::ZERO), Err(IdcError::UnknownReservation(ghost)));
+    }
+
+    #[test]
+    fn provision_after_teardown_is_invalid_state() {
+        // Regression for the recovery path: a retry loop must never be
+        // able to resurrect a reservation it already tore down.
+        let (mut idc, req) = idc();
+        let id = idc.create_reservation(req).unwrap();
+        idc.teardown(id, SimTime::from_secs(1)).unwrap();
+        assert_eq!(
+            idc.provision(id, SimTime::from_secs(2)),
+            Err(IdcError::InvalidState(id, ReservationState::Released))
+        );
+    }
+
+    #[test]
+    fn double_provision_is_invalid_state() {
+        let (mut idc, req) = idc();
+        let id = idc.create_reservation(req).unwrap();
+        idc.provision(id, SimTime::ZERO).unwrap();
+        assert_eq!(
+            idc.provision(id, SimTime::from_secs(1)),
+            Err(IdcError::InvalidState(id, ReservationState::Active))
+        );
+    }
+
+    #[test]
+    fn open_reservations_tracks_lifecycle() {
+        let (mut idc, req) = idc();
+        assert_eq!(idc.open_reservations(), 0);
+        let a = idc.create_reservation(req).unwrap();
+        let b = idc.create_reservation(req).unwrap();
+        assert_eq!(idc.open_reservations(), 2);
+        idc.provision(a, SimTime::ZERO).unwrap();
+        assert_eq!(idc.open_reservations(), 2);
+        idc.teardown(a, SimTime::from_secs(5)).unwrap();
+        assert_eq!(idc.open_reservations(), 1);
+        idc.teardown(b, SimTime::from_secs(5)).unwrap();
+        assert_eq!(idc.open_reservations(), 0);
+        // Idempotent teardown does not underflow the count.
+        idc.teardown(b, SimTime::from_secs(6)).unwrap();
+        assert_eq!(idc.open_reservations(), 0);
     }
 }

@@ -19,7 +19,9 @@
 
 use crate::idc::{BlockReason, Idc};
 use crate::reservation::{ReservationId, ReservationRequest};
-use gvc_engine::SimTime;
+use gvc_engine::{SimSpan, SimTime};
+use gvc_faults::{FaultInjector, FaultKind, FaultTelemetry, RecoveryAction, RecoveryPolicy};
+use gvc_telemetry::TraceEvent;
 use gvc_topology::NodeId;
 use std::collections::HashMap;
 
@@ -204,6 +206,154 @@ impl InterDomainController {
             let _ = self.domains[*d].idc.teardown(*id, now);
         }
     }
+
+    /// Total reservations still open across every domain (leak check
+    /// for the resilience harness).
+    pub fn open_reservations(&self) -> usize {
+        self.domains.iter().map(|d| d.idc.open_reservations()).sum()
+    }
+
+    /// [`Self::create_circuit`] under a recovery policy: injected
+    /// signalling failures and setup timeouts (plus genuine admission
+    /// blocks) are retried with the policy's backoff, and exhausting
+    /// the budget falls back to the routed IP path when the policy
+    /// allows. Every failed attempt tears its partial circuit down —
+    /// no attempt ever leaks a reservation.
+    ///
+    /// Waiting is virtual: the returned outcome's `finished_at` is
+    /// `now` plus all backoff delays spent, which callers fold into
+    /// their own clocks.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_circuit_with_recovery(
+        &mut self,
+        src_label: &str,
+        dst_label: &str,
+        rate_bps: f64,
+        start: SimTime,
+        end: SimTime,
+        now: SimTime,
+        policy: &RecoveryPolicy,
+        injector: &mut FaultInjector,
+        telemetry: &FaultTelemetry,
+    ) -> RecoveryOutcome {
+        let seed = injector.plan().seed;
+        let mut at = now;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let fault = injector.provision_fault();
+            let result = self.create_circuit(src_label, dst_label, rate_bps, start, end, at);
+            let failure = match (fault, result) {
+                (None, Ok(circuit)) => {
+                    let late = (circuit.ready_at - at).as_secs_f64() > policy.setup_deadline_s;
+                    if late {
+                        // A genuine (non-injected) setup timeout: the
+                        // chain answered too slowly to be useful.
+                        self.teardown(&circuit, at);
+                        AttemptFailure::Fault(FaultKind::SetupTimeout)
+                    } else {
+                        telemetry.recovery_latency.record((at - now).as_secs_f64());
+                        telemetry.tracer.emit_with(|| {
+                            TraceEvent::new(at.micros() as i64, "recovery.established")
+                                .field("attempts", u64::from(attempts))
+                                .field("waited_s", (at - now).as_secs_f64())
+                        });
+                        return RecoveryOutcome {
+                            result: CircuitResult::Established(circuit),
+                            attempts,
+                            finished_at: at,
+                        };
+                    }
+                }
+                (Some(kind), result) => {
+                    // Injected fault. If admission succeeded underneath
+                    // the failed signalling exchange, release it — the
+                    // provider side admitted state the client never
+                    // learned about.
+                    if let Ok(circuit) = result {
+                        self.teardown(&circuit, at);
+                    }
+                    telemetry.count_injected(kind);
+                    telemetry.tracer.emit_with(|| {
+                        TraceEvent::new(at.micros() as i64, "fault.injected")
+                            .field("kind", kind.as_str())
+                            .field("attempt", u64::from(attempts))
+                    });
+                    AttemptFailure::Fault(kind)
+                }
+                (None, Err(block)) => AttemptFailure::Blocked(block),
+            };
+
+            match policy.decide(seed, attempts) {
+                RecoveryAction::Retry { delay_s_micros } => {
+                    telemetry.retries.inc();
+                    telemetry.tracer.emit_with(|| {
+                        TraceEvent::new(at.micros() as i64, "recovery.retry")
+                            .field("attempt", u64::from(attempts))
+                            .field("delay_s", delay_s_micros as f64 / 1e6)
+                    });
+                    at += SimSpan(delay_s_micros as i64);
+                }
+                RecoveryAction::FallbackToIp => {
+                    telemetry.fallback_ip.inc();
+                    telemetry.recovery_latency.record((at - now).as_secs_f64());
+                    telemetry.tracer.emit_with(|| {
+                        TraceEvent::new(at.micros() as i64, "recovery.fallback")
+                            .field("attempts", u64::from(attempts))
+                    });
+                    return RecoveryOutcome {
+                        result: CircuitResult::FellBack(failure),
+                        attempts,
+                        finished_at: at,
+                    };
+                }
+                RecoveryAction::GiveUp => {
+                    telemetry.recovery_latency.record((at - now).as_secs_f64());
+                    telemetry.tracer.emit_with(|| {
+                        TraceEvent::new(at.micros() as i64, "recovery.giveup")
+                            .field("attempts", u64::from(attempts))
+                    });
+                    return RecoveryOutcome {
+                        result: CircuitResult::Abandoned(failure),
+                        attempts,
+                        finished_at: at,
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Why one establishment attempt failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttemptFailure {
+    /// An injected fault (or a genuine setup timeout).
+    Fault(FaultKind),
+    /// The admission chain itself blocked the request.
+    Blocked(InterDomainBlock),
+}
+
+/// Terminal result of a recovered establishment sequence.
+#[derive(Debug, Clone)]
+pub enum CircuitResult {
+    /// The circuit came up.
+    Established(InterDomainCircuit),
+    /// Retries exhausted; the transfer should run over routed IP.
+    FellBack(AttemptFailure),
+    /// Retries exhausted and the policy forbids fallback.
+    Abandoned(AttemptFailure),
+}
+
+/// What [`InterDomainController::create_circuit_with_recovery`]
+/// reports back.
+#[derive(Debug, Clone)]
+pub struct RecoveryOutcome {
+    /// Established, fell back, or abandoned.
+    pub result: CircuitResult,
+    /// Establishment attempts made (≤ the policy's budget).
+    pub attempts: u32,
+    /// `now` plus all backoff waits spent.
+    pub finished_at: SimTime,
 }
 
 #[cfg(test)]
@@ -338,6 +488,102 @@ mod tests {
             end: t(3600),
         });
         assert!(ok.is_ok(), "esnet calendar not rolled back: {ok:?}");
+    }
+
+    #[test]
+    fn rollback_releases_each_admitted_segment() {
+        // Regression for the rollback promise above: when a later
+        // segment blocks, every earlier segment's reservation must
+        // actually reach Released — not just free calendar capacity
+        // as a side effect.
+        use crate::reservation::ReservationState;
+        let mut c = controller(10e9);
+        let gw = c.domains[1].gateways["gw-x"];
+        let ep = c.domains[1].endpoints["ep-b"];
+        let fill =
+            ReservationRequest { src: gw, dst: ep, rate_bps: 10e9, start: t(0), end: t(3600) };
+        c.domains[1].idc.create_reservation(fill).expect("fill");
+
+        assert!(c.create_circuit("ep-a", "ep-b", 4e9, t(0), t(3600), t(0)).is_err());
+        // esnet admitted one segment (reservation id 0) before
+        // internet2 blocked; it must be Released, and no domain may
+        // hold an open reservation besides the deliberate fill.
+        let esnet_seg = c.domains[0].idc.reservation(ReservationId(0)).expect("was admitted");
+        assert_eq!(esnet_seg.state, ReservationState::Released);
+        assert_eq!(c.open_reservations(), 1, "only the fill may stay open");
+    }
+
+    #[test]
+    fn recovery_retries_then_establishes() {
+        use gvc_faults::{FaultInjector, FaultPlan, FaultTelemetry, RecoveryPolicy};
+        let mut c = controller(10e9);
+        // First two attempts die on injected signalling failures; the
+        // third succeeds within the default budget of 4 attempts.
+        let plan = FaultPlan { fail_first_provisions: 2, ..FaultPlan::default() };
+        let mut inj = FaultInjector::new(plan);
+        let tel = FaultTelemetry::disabled();
+        let out = c.create_circuit_with_recovery(
+            "ep-a",
+            "ep-b",
+            4e9,
+            t(0),
+            t(3600),
+            t(0),
+            &RecoveryPolicy::default(),
+            &mut inj,
+            &tel,
+        );
+        assert_eq!(out.attempts, 3);
+        assert!(matches!(out.result, CircuitResult::Established(_)));
+        assert!(out.finished_at > t(0), "backoff waits must advance the clock");
+        assert_eq!(tel.retries.get(), 2);
+        assert_eq!(tel.fallback_ip.get(), 0);
+        // The two failed attempts left nothing behind.
+        let CircuitResult::Established(circuit) = &out.result else { unreachable!() };
+        assert_eq!(c.open_reservations(), circuit.segments.len());
+    }
+
+    #[test]
+    fn recovery_exhaustion_falls_back_without_leaks() {
+        use gvc_faults::{FaultInjector, FaultPlan, FaultTelemetry, RecoveryPolicy};
+        let mut c = controller(10e9);
+        let plan = FaultPlan { fail_first_provisions: 100, ..FaultPlan::default() };
+        let mut inj = FaultInjector::new(plan);
+        let tel = FaultTelemetry::disabled();
+        let policy = RecoveryPolicy { max_retries: 2, ..RecoveryPolicy::default() };
+        let out = c.create_circuit_with_recovery(
+            "ep-a",
+            "ep-b",
+            4e9,
+            t(0),
+            t(3600),
+            t(0),
+            &policy,
+            &mut inj,
+            &tel,
+        );
+        assert_eq!(out.attempts, 3);
+        assert!(matches!(out.result, CircuitResult::FellBack(_)));
+        assert_eq!(tel.fallback_ip.get(), 1);
+        assert_eq!(c.open_reservations(), 0, "failed attempts leaked reservations");
+
+        // Same plan with fallback disabled: abandoned instead.
+        let mut inj2 =
+            FaultInjector::new(FaultPlan { fail_first_provisions: 100, ..FaultPlan::default() });
+        let strict = RecoveryPolicy { fallback_to_ip: false, ..policy };
+        let out2 = c.create_circuit_with_recovery(
+            "ep-a",
+            "ep-b",
+            4e9,
+            t(0),
+            t(3600),
+            t(0),
+            &strict,
+            &mut inj2,
+            &tel,
+        );
+        assert!(matches!(out2.result, CircuitResult::Abandoned(_)));
+        assert_eq!(c.open_reservations(), 0);
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub mod setup;
 
 pub use calendar::{LinkCalendar, NetworkCalendar};
 pub use idc::{BlockReason, Idc, IdcError, IdcStats, IdcTelemetry};
-pub use interdomain::{Domain, InterDomainBlock, InterDomainCircuit, InterDomainController};
+pub use interdomain::{
+    AttemptFailure, CircuitResult, Domain, InterDomainBlock, InterDomainCircuit,
+    InterDomainController, RecoveryOutcome,
+};
 pub use reservation::{Reservation, ReservationId, ReservationRequest, ReservationState};
 pub use setup::SetupDelayModel;

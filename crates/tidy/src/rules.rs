@@ -26,6 +26,7 @@ pub const LIB_CRATES: &[&str] = &[
     "workload",
     "topology",
     "hntes",
+    "faults",
 ];
 
 /// Crates allowed to read wall clocks and unseeded entropy: the

@@ -159,6 +159,23 @@ impl Graph {
         &self.out_links[node.0 as usize]
     }
 
+    /// Overrides the capacity of one link (fault injection: link
+    /// flaps and restoration). Unlike [`Graph::add_link`], a zero
+    /// capacity is allowed here — it models a hard outage.
+    ///
+    /// Returns `false` (leaving the graph untouched) on an unknown
+    /// link id or an invalid capacity.
+    pub fn set_link_capacity(&mut self, id: LinkId, capacity_bps: f64) -> bool {
+        let valid = capacity_bps.is_finite() && capacity_bps >= 0.0;
+        match self.links.get_mut(id.0 as usize) {
+            Some(link) if valid => {
+                link.capacity_bps = capacity_bps;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// The reverse link of `id` (same endpoints swapped), if one
     /// exists. For duplex links this finds the paired direction.
     pub fn reverse_of(&self, id: LinkId) -> Option<LinkId> {
@@ -229,6 +246,22 @@ mod tests {
         let b = g.add_node("b", NodeKind::Host);
         let l = g.add_link(a, b, 1e9, 0.0);
         assert_eq!(g.reverse_of(l), None);
+    }
+
+    #[test]
+    fn set_link_capacity_overrides_and_validates() {
+        let mut g = Graph::new();
+        let a = g.add_node("a", NodeKind::Host);
+        let b = g.add_node("b", NodeKind::Host);
+        let l = g.add_link(a, b, 1e10, 0.01);
+        assert!(g.set_link_capacity(l, 1e9));
+        assert_eq!(g.link(l).capacity_bps, 1e9);
+        // Zero allowed (outage), negatives and NaN rejected.
+        assert!(g.set_link_capacity(l, 0.0));
+        assert!(!g.set_link_capacity(l, -1.0));
+        assert!(!g.set_link_capacity(l, f64::NAN));
+        assert!(!g.set_link_capacity(LinkId(7), 1e9));
+        assert_eq!(g.link(l).capacity_bps, 0.0);
     }
 
     #[test]

@@ -48,15 +48,19 @@
 //! | [`logs`] | `gvc-logs` | usage-log records, datasets, serialization |
 //! | [`core`] | `gvc-core` | the paper's analyses (sessions, Table IV, Eq. 1/2, …) |
 //! | [`workload`] | `gvc-workload` | calibrated scenario generators and ablations |
+//! | [`faults`] | `gvc-faults` | fault plans, injection, retry/backoff recovery policy |
+//! | [`telemetry`] | `gvc-telemetry` | metrics registry, JSONL tracing, run manifests |
 
 pub use gvc_core as core;
 pub use gvc_engine as engine;
+pub use gvc_faults as faults;
 pub use gvc_gridftp as gridftp;
 pub use gvc_hntes as hntes;
 pub use gvc_logs as logs;
 pub use gvc_net as net;
 pub use gvc_oscars as oscars;
 pub use gvc_stats as stats;
+pub use gvc_telemetry as telemetry;
 pub use gvc_topology as topology;
 pub use gvc_workload as workload;
 
@@ -64,6 +68,7 @@ pub use gvc_workload as workload;
 pub mod prelude {
     pub use gvc_core::{feasibility_report, group_sessions, vc_suitability, FeasibilityReport};
     pub use gvc_engine::{SimSpan, SimTime};
+    pub use gvc_faults::{FaultPlan, RecoveryPolicy};
     pub use gvc_gridftp::{Driver, ServerCaps, SessionSpec, TransferJob};
     pub use gvc_logs::{Dataset, EndpointKind, TransferRecord, TransferType};
     pub use gvc_net::{FlowSpec, NetworkSim, TcpModel};
@@ -82,5 +87,9 @@ mod tests {
         assert!(t.graph.node_count() > 10);
         let s = crate::stats::Summary::of(&[1.0, 2.0]).unwrap();
         assert_eq!(s.n, 2);
+        let p = crate::faults::FaultPlan::parse("seed=9,fail-first=1").unwrap();
+        assert_eq!(p.seed, 9);
+        assert!(crate::prelude::RecoveryPolicy::default().validate().is_ok());
+        assert!(!crate::telemetry::Telemetry::default().tracer.enabled());
     }
 }
