@@ -12,6 +12,7 @@ fn usage() {
     eprintln!("\nglobal flags (any command):");
     eprintln!("  {:<64} write structured JSONL trace events", "--trace <path>");
     eprintln!("  {:<64} print the metric exposition after the command", "--metrics");
+    eprintln!("  {:<64} write the metric exposition to a file", "--metrics-out <path>");
 }
 
 fn main() {

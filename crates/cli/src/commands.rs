@@ -22,7 +22,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 /// `(name, usage, description)` for every subcommand.
-pub const COMMANDS: [(&str, &str, &str); 7] = [
+pub const COMMANDS: [(&str, &str, &str); 8] = [
     ("summary", "gvc summary <log>", "descriptive statistics of a usage log"),
     ("sessions", "gvc sessions <log> [--gap 60]", "group transfers into sessions"),
     (
@@ -50,6 +50,11 @@ pub const COMMANDS: [(&str, &str, &str); 7] = [
         "gvc simulate <out> [--seed 42] [--jobs 6] [--horizon 100000] [--faults <spec>]",
         "run the GridFTP-over-VC simulation and write its usage log",
     ),
+    (
+        "trace",
+        "gvc trace <profile|sessions|check> <trace.jsonl> [--folded <out>] [--max-setup-share 0.95]",
+        "offline span analysis of a --trace JSONL file",
+    ),
 ];
 
 /// Canonical argv reconstruction: positionals in order then sorted
@@ -74,7 +79,7 @@ fn telemetry_from_flags(a: &ParsedArgs) -> Result<(Telemetry, bool), CliError> {
             JsonlSink::create(path).map_err(|e| CliError(format!("cannot create {path}: {e}")))?;
         return Ok((Telemetry::with_sink(Arc::new(sink)), true));
     }
-    if a.bool_flag("metrics") {
+    if a.bool_flag("metrics") || a.flags.contains_key("metrics-out") {
         return Ok((Telemetry::metrics_only(), true));
     }
     Ok((Telemetry::default(), false))
@@ -405,13 +410,146 @@ fn cmd_simulate<W: Write>(
     Ok(())
 }
 
+fn load_trace(path: &str) -> Result<gvc_telemetry::TraceModel, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
+    gvc_telemetry::TraceModel::from_text(&text).map_err(|e| CliError(format!("{path}: {e}")))
+}
+
+fn cmd_trace_profile<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
+    let model = load_trace(a.positional(2, "trace.jsonl")?)?;
+    let p = gvc_telemetry::profile(&model);
+    if p.rows.is_empty() {
+        writeln!(w, "no spans in trace ({} records)", model.records.len())?;
+        return Ok(());
+    }
+    writeln!(w, "{:<24} {:>8} {:>14} {:>14}", "phase", "count", "total s", "self s")?;
+    for row in &p.rows {
+        writeln!(
+            w,
+            "{:<24} {:>8} {:>14.3} {:>14.3}",
+            row.name,
+            row.count,
+            row.total_us as f64 / 1e6,
+            row.self_us as f64 / 1e6
+        )?;
+    }
+    if let Some(main) = &p.main {
+        writeln!(
+            w,
+            "\nreconciliation: {:.6} s attributed across phases == {:.6} s simulated in {}",
+            main.attributed_us as f64 / 1e6,
+            (main.end_us - main.start_us) as f64 / 1e6,
+            main.name
+        )?;
+    }
+    if let Some(path) = a.flags.get("folded") {
+        let f = File::create(path).map_err(|e| CliError(format!("cannot create {path}: {e}")))?;
+        let mut fw = BufWriter::new(f);
+        for (stack, weight) in &p.folded {
+            writeln!(fw, "{stack} {weight}")?;
+        }
+        fw.flush()?;
+        writeln!(w, "wrote {} folded stacks to {path}", p.folded.len())?;
+    }
+    Ok(())
+}
+
+/// One character per timeline cell for the session Gantt rows.
+fn phase_char(phase: gvc_telemetry::SessionPhase) -> char {
+    match phase {
+        gvc_telemetry::SessionPhase::Setup => '=',
+        gvc_telemetry::SessionPhase::Transfer => '#',
+        gvc_telemetry::SessionPhase::Wait => '.',
+        gvc_telemetry::SessionPhase::Other => ' ',
+    }
+}
+
+fn cmd_trace_sessions<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
+    let model = load_trace(a.positional(2, "trace.jsonl")?)?;
+    let rows = gvc_telemetry::sessions(&model);
+    if rows.is_empty() {
+        writeln!(w, "no session spans in trace ({} spans)", model.spans.len())?;
+        return Ok(());
+    }
+    writeln!(w, "{} sessions   (timeline: '=' setup  '#' transfer  '.' wait)", rows.len())?;
+    const WIDTH: i64 = 40;
+    for r in &rows {
+        let dur = r.end_us - r.start_us;
+        let share = |us: i64| if dur > 0 { 100.0 * us as f64 / dur as f64 } else { 0.0 };
+        let mut bar = String::new();
+        for cell in 0..WIDTH {
+            // Midpoint sampling over an ordered, contiguous partition.
+            let t = r.start_us + (dur * (2 * cell + 1)) / (2 * WIDTH).max(1);
+            let phase = r
+                .segments
+                .iter()
+                .find(|&&(s, e, _)| t >= s && t < e)
+                .map_or(gvc_telemetry::SessionPhase::Other, |&(_, _, p)| p);
+            bar.push(phase_char(phase));
+        }
+        writeln!(
+            w,
+            "session {:>3}  [{}]  {:>9.1}s total  setup {:>5.1}%  transfer {:>5.1}%  \
+             {} transfers, {} attempts{}",
+            r.session.map_or_else(|| "?".to_owned(), |s| s.to_string()),
+            bar,
+            dur as f64 / 1e6,
+            share(r.setup_us),
+            share(r.transfer_us),
+            r.transfers,
+            r.attempts,
+            if r.fallback { ", fell back to IP" } else { "" }
+        )?;
+    }
+    Ok(())
+}
+
+fn cmd_trace_check<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
+    let path = a.positional(2, "trace.jsonl")?.to_owned();
+    let max_setup_share: f64 = a.flag_or("max-setup-share", 0.95)?;
+    if !(0.0..=1.0).contains(&max_setup_share) {
+        return Err(CliError("--max-setup-share must be in [0, 1]".into()));
+    }
+    let model = load_trace(&path)?;
+    let report = gvc_telemetry::check(&model, &gvc_telemetry::CheckConfig { max_setup_share });
+    writeln!(
+        w,
+        "checked {} spans, {} circuit reservations, {} sessions",
+        report.spans, report.circuits, report.sessions
+    )?;
+    if report.clean() {
+        writeln!(w, "ok")?;
+        return Ok(());
+    }
+    for v in &report.violations {
+        writeln!(w, "violation: {v}")?;
+    }
+    Err(CliError(format!("{}: {} trace check violation(s)", path, report.violations.len())))
+}
+
+/// `gvc trace <profile|sessions|check> <trace.jsonl>`: offline span
+/// analysis over a `--trace` JSONL file.
+fn cmd_trace<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
+    match a.positional(1, "profile|sessions|check")? {
+        "profile" => cmd_trace_profile(a, w),
+        "sessions" => cmd_trace_sessions(a, w),
+        "check" => cmd_trace_check(a, w),
+        other => Err(CliError(format!(
+            "unknown trace subcommand {other:?} (want profile|sessions|check)"
+        ))),
+    }
+}
+
 /// Dispatches one parsed command line to its implementation.
 ///
-/// The global `--trace <path>` and `--metrics` flags work with every
-/// subcommand: `--trace` streams JSONL events (starting with a
-/// `run.manifest` record) to the given path, and `--metrics` appends
-/// the Prometheus-style exposition to the output once the command
-/// finishes. Without either flag the telemetry context is inert.
+/// The global `--trace <path>`, `--metrics`, and `--metrics-out
+/// <path>` flags work with every subcommand: `--trace` streams JSONL
+/// events (starting with a `run.manifest` record) to the given path,
+/// `--metrics` appends the Prometheus-style exposition to the output
+/// once the command finishes, and `--metrics-out` writes that same
+/// exposition to a file instead. Without these flags the telemetry
+/// context is inert.
 pub fn run_command<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
     let command = a.positional(0, "command")?;
     let (telemetry, _instrumented) = telemetry_from_flags(a)?;
@@ -433,12 +571,17 @@ pub fn run_command<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> 
         "generate" => cmd_generate(a, w),
         "anonymize" => cmd_anonymize(a, w),
         "simulate" => cmd_simulate(a, w, &telemetry),
+        "trace" => cmd_trace(a, w),
         other => Err(CliError(format!(
             "unknown command {other:?}; available: {}",
             COMMANDS.map(|(n, _, _)| n).join(", ")
         ))),
     }?;
     telemetry.tracer.flush();
+    if let Some(path) = a.flags.get("metrics-out") {
+        std::fs::write(path, telemetry.registry.render())
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+    }
     if a.bool_flag("metrics") {
         write!(w, "{}", telemetry.registry.render())?;
     }
@@ -686,8 +829,172 @@ mod tests {
             body1.contains("\"kind\":\"recovery.established\""),
             "trace missing recovery.established"
         );
+        // Span events carry only simulation time, so they are part of
+        // the byte-identical body.
+        assert!(body1.contains("\"kind\":\"span.start\""), "trace missing span.start");
+        assert!(body1.contains("\"kind\":\"span.end\""), "trace missing span.end");
+        assert!(body1.contains("\"name\":\"session.vc_setup\""), "trace missing vc_setup span");
         let (_, body2) = sim_run("b");
         assert_eq!(body1, body2, "same seed must give a byte-identical trace");
+    }
+
+    /// Runs the simulation with tracing on and returns the trace path
+    /// (caller removes it).
+    fn simulate_with_trace(tag: &str, faults: Option<&str>) -> String {
+        let out_path = tmpfile(&format!("trace-src-{tag}.log"));
+        let trace_path = tmpfile(&format!("trace-src-{tag}.jsonl"));
+        let mut argv =
+            vec!["simulate", &out_path, "--seed", "7", "--jobs", "3", "--trace", &trace_path];
+        if let Some(spec) = faults {
+            argv.push("--faults");
+            argv.push(spec);
+        }
+        run(&argv).unwrap();
+        std::fs::remove_file(&out_path).ok();
+        trace_path
+    }
+
+    #[test]
+    fn trace_profile_reconciles_with_simulated_time() {
+        let trace_path = simulate_with_trace("profile", None);
+        let folded_path = tmpfile("profile.folded");
+        let out = run(&["trace", "profile", &trace_path, "--folded", &folded_path]).unwrap();
+        // The per-phase table names the driver phases.
+        for phase in ["session.vc_setup", "session.transfer", "kernel.queue_wait", "driver.run"] {
+            assert!(out.contains(phase), "profile missing {phase}:\n{out}");
+        }
+        // The footer's attributed sum equals the total simulated time.
+        let footer = out.lines().find(|l| l.starts_with("reconciliation:")).expect("footer");
+        let secs: Vec<f64> =
+            footer.split_whitespace().filter_map(|t| t.parse::<f64>().ok()).collect();
+        assert_eq!(secs.len(), 2, "{footer}");
+        assert!((secs[0] - secs[1]).abs() < 1e-9, "{footer}");
+        assert!(secs[1] > 60.0, "a VC run simulates past the setup minute: {footer}");
+        // Folded stacks are root;..;leaf lines with integer weights.
+        let folded = std::fs::read_to_string(&folded_path).unwrap();
+        assert!(!folded.is_empty());
+        for line in folded.lines() {
+            let (stack, weight) = line.rsplit_once(' ').expect("stack weight");
+            assert!(weight.parse::<i64>().expect("weight") > 0, "{line}");
+            assert!(!stack.is_empty());
+        }
+        assert!(
+            folded.lines().any(|l| l.starts_with("driver.run;")),
+            "no driver.run-rooted stack:\n{folded}"
+        );
+        std::fs::remove_file(&trace_path).ok();
+        std::fs::remove_file(&folded_path).ok();
+    }
+
+    #[test]
+    fn trace_sessions_prints_timeline_rows() {
+        let trace_path = simulate_with_trace("sessions", None);
+        let out = run(&["trace", "sessions", &trace_path]).unwrap();
+        assert!(out.contains("sessions"), "{out}");
+        assert!(out.contains("session   0"), "{out}");
+        assert!(out.contains("setup"), "{out}");
+        // The VC session's bar shows both setup and transfer cells.
+        let row = out.lines().find(|l| l.contains("session   0")).unwrap();
+        assert!(row.contains('='), "no setup cells: {row}");
+        assert!(row.contains('#'), "no transfer cells: {row}");
+        std::fs::remove_file(&trace_path).ok();
+    }
+
+    #[test]
+    fn trace_check_passes_clean_and_fails_truncated() {
+        let trace_path = simulate_with_trace("check", Some("seed=1,fail-first=1"));
+        let out = run(&["trace", "check", &trace_path]).unwrap();
+        assert!(out.contains("ok"), "{out}");
+        assert!(out.contains("circuit reservations"), "{out}");
+
+        // Deliberately truncate: drop the span.end of the driver.run
+        // root span, leaving it unterminated.
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let root_id = text
+            .lines()
+            .find(|l| {
+                l.contains("\"kind\":\"span.start\"") && l.contains("\"name\":\"driver.run\"")
+            })
+            .and_then(|l| l.split("\"span\":").nth(1))
+            .and_then(|t| t.split(',').next())
+            .expect("driver.run span id")
+            .to_owned();
+        // The root's span.end carries no extra fields, so the id is
+        // terminated by the closing brace (no prefix-id false match).
+        let needle = format!("\"kind\":\"span.end\",\"span\":{root_id}}}");
+        assert!(text.contains(&needle), "no matching span.end for driver.run");
+        let truncated: String =
+            text.lines().filter(|l| !l.contains(&needle)).map(|l| format!("{l}\n")).collect();
+        let bad_path = tmpfile("check-truncated.jsonl");
+        std::fs::write(&bad_path, truncated).unwrap();
+        let err = run(&["trace", "check", &bad_path]).unwrap_err();
+        assert!(err.0.contains("violation"), "{}", err.0);
+        std::fs::remove_file(&trace_path).ok();
+        std::fs::remove_file(&bad_path).ok();
+    }
+
+    #[test]
+    fn trace_check_bounds_setup_share() {
+        let trace_path = simulate_with_trace("share", None);
+        // The bulk session amortizes its one-minute setup, but not to
+        // under 1% — an absurdly tight bound must trip.
+        let err = run(&["trace", "check", &trace_path, "--max-setup-share", "0.01"]).unwrap_err();
+        assert!(err.0.contains("violation"), "{}", err.0);
+        let err = run(&["trace", "check", &trace_path, "--max-setup-share", "2"]).unwrap_err();
+        assert!(err.0.contains("must be in"), "{}", err.0);
+        std::fs::remove_file(&trace_path).ok();
+    }
+
+    #[test]
+    fn trace_rejects_unknown_subcommand_and_missing_file() {
+        let err = run(&["trace", "explode", "x.jsonl"]).unwrap_err();
+        assert!(err.0.contains("unknown trace subcommand"), "{}", err.0);
+        let err = run(&["trace", "profile", "/nonexistent/t.jsonl"]).unwrap_err();
+        assert!(err.0.contains("cannot open"), "{}", err.0);
+    }
+
+    #[test]
+    fn metrics_out_writes_exposition_to_file_not_stdout() {
+        let out_path = tmpfile("mout.log");
+        let metrics_path = tmpfile("mout.prom");
+        let msg = run(&[
+            "simulate",
+            &out_path,
+            "--seed",
+            "7",
+            "--jobs",
+            "2",
+            "--metrics-out",
+            &metrics_path,
+        ])
+        .unwrap();
+        assert!(!msg.contains("sim_events_dispatched_total"), "exposition leaked to stdout: {msg}");
+        let text = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(text.contains("# TYPE sim_events_dispatched_total counter"), "{text}");
+        assert!(text.contains("idc_admitted_total 1"), "{text}");
+        // Both flags together: file and stdout.
+        let out2 = tmpfile("mout2.log");
+        let metrics2 = tmpfile("mout2.prom");
+        let msg2 = run(&[
+            "simulate",
+            &out2,
+            "--seed",
+            "7",
+            "--jobs",
+            "2",
+            "--metrics",
+            "--metrics-out",
+            &metrics2,
+        ])
+        .unwrap();
+        assert!(msg2.contains("sim_events_dispatched_total"), "{msg2}");
+        // Wall-clock histograms differ between runs, but the file gets
+        // the same exposition the stdout copy shows.
+        let text2 = std::fs::read_to_string(&metrics2).unwrap();
+        assert!(msg2.contains(&text2), "stdout and file expositions diverge");
+        for p in [&out_path, &metrics_path, &out2, &metrics2] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]

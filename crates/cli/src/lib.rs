@@ -15,12 +15,16 @@
 //! gvc anonymize <log> <out> [--policy drop|pseudonym]
 //! gvc simulate <out> [--seed 42] [--jobs 6] [--horizon 100000]
 //!                                        run the instrumented simulation
+//! gvc trace <profile|sessions|check> <trace.jsonl>
+//!                                        offline span analysis of a trace
 //! ```
 //!
 //! Every command also accepts the global observability flags
 //! `--trace <path>` (stream structured JSONL events, starting with a
-//! `run.manifest` record) and `--metrics` (append the Prometheus-style
-//! metric exposition to the output). See `docs/observability.md`.
+//! `run.manifest` record), `--metrics` (append the Prometheus-style
+//! metric exposition to the output), and `--metrics-out <path>` (write
+//! that exposition to a file). See `docs/observability.md` for the
+//! event schema and `docs/trace-analysis.md` for the span toolchain.
 
 pub mod args;
 pub mod commands;

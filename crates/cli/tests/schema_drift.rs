@@ -1,0 +1,121 @@
+//! Schema-drift meta-test: the trace schema documented in
+//! `docs/observability.md` must stay in lockstep with what the code
+//! actually emits.
+//!
+//! Two instrumented `gvc simulate --faults` runs (one retry-heavy,
+//! one forced onto the IP fallback path) together exercise every span
+//! name in the driver path. The test then asserts:
+//!
+//! * every emitted event `kind` appears in the documented kind table;
+//! * the emitted span-name set equals the documented
+//!   "Span names (`gvc simulate`)" table exactly — a new or renamed
+//!   span without a docs row fails, and so does a documented span the
+//!   simulation no longer produces;
+//! * the interdomain-API span table matches the names pinned by the
+//!   `gvc-oscars` recovery-chain test.
+
+use gvc_cli::{parse_flags, run_command};
+use std::collections::BTreeSet;
+
+fn tmpfile(name: &str) -> String {
+    let dir = std::env::temp_dir().join("gvc-schema-drift");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let p = dir.join(format!("{}-{name}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p.to_string_lossy().into_owned()
+}
+
+/// Run `gvc simulate` in-process and return the (kinds, span names)
+/// observed in its trace file.
+fn simulate(tag: &str, faults: &str) -> (BTreeSet<String>, BTreeSet<String>) {
+    let log = tmpfile(&format!("{tag}.log"));
+    let trace = tmpfile(&format!("{tag}.jsonl"));
+    let argv =
+        ["simulate", &log, "--seed", "7", "--jobs", "3", "--faults", faults, "--trace", &trace];
+    let parsed =
+        parse_flags(argv.iter().map(std::string::ToString::to_string)).expect("parse argv");
+    let mut out = Vec::new();
+    run_command(&parsed, &mut out).expect("simulate");
+
+    let text = std::fs::read_to_string(&trace).expect("read trace");
+    let records = gvc_telemetry::parse_trace(&text).expect("well-formed trace");
+    let mut kinds = BTreeSet::new();
+    let mut spans = BTreeSet::new();
+    for r in &records {
+        kinds.insert(r.kind.clone());
+        if r.kind == "span.start" {
+            spans.insert(r.text("name").expect("span.start has a name").to_string());
+        }
+    }
+    std::fs::remove_file(&log).ok();
+    std::fs::remove_file(&trace).ok();
+    (kinds, spans)
+}
+
+/// First-column backticked names of the markdown table rows in the
+/// section whose heading contains `heading`, up to the next heading.
+fn documented(doc: &str, heading: &str, dotted_only: bool) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut in_section = false;
+    for line in doc.lines() {
+        if line.starts_with('#') {
+            in_section = line.contains(heading);
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("| `") {
+            if let Some(name) = rest.split('`').next() {
+                if !dotted_only || name.contains('.') {
+                    out.insert(name.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn emitted_trace_schema_matches_the_documentation() {
+    let doc_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/observability.md");
+    let doc = std::fs::read_to_string(doc_path).expect("docs/observability.md");
+
+    let kinds_doc = documented(&doc, "Trace event schema", true);
+    let spans_doc = documented(&doc, "Span names (`gvc simulate`)", true);
+    let api_doc = documented(&doc, "Span names (interdomain API)", true);
+    assert!(kinds_doc.len() >= 20, "kind table parsed: {kinds_doc:?}");
+    assert!(!spans_doc.is_empty(), "simulate span table parsed");
+
+    // fail-first=1 exercises retry + established (vc.attempt, vc.backoff,
+    // circuit.lifetime, idc.setup); fail-first=100 forces the fallback
+    // path (session.fallback). Union covers every driver span name.
+    let (k1, s1) = simulate("retry", "seed=1,fail-first=1");
+    let (k2, s2) = simulate("fallback", "seed=1,fail-first=100");
+    let kinds: BTreeSet<String> = k1.union(&k2).cloned().collect();
+    let spans: BTreeSet<String> = s1.union(&s2).cloned().collect();
+
+    for k in &kinds {
+        assert!(
+            kinds_doc.contains(k),
+            "kind {k:?} is emitted but missing from the docs/observability.md kind table"
+        );
+    }
+    assert!(kinds.contains("span.start") && kinds.contains("span.end"));
+
+    assert_eq!(
+        spans, spans_doc,
+        "span names emitted by `gvc simulate --faults` must match the \
+         \"Span names (`gvc simulate`)\" table in docs/observability.md"
+    );
+
+    let api_expected: BTreeSet<String> = ["idc.interdomain", "idc.attempt", "idc.backoff"]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+    assert_eq!(
+        api_doc, api_expected,
+        "interdomain span table must list the names emitted by \
+         gvc_oscars::create_circuit_with_recovery"
+    );
+}

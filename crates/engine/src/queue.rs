@@ -8,7 +8,7 @@
 //! gaps), and their relative order must not depend on heap internals.
 
 use crate::time::{SimSpan, SimTime};
-use gvc_telemetry::{Counter, Gauge, Registry};
+use gvc_telemetry::{Counter, Gauge, Registry, SpanId, Tracer};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -24,16 +24,29 @@ pub struct QueueTelemetry {
     pub dispatched: Arc<Counter>,
     /// `sim_event_queue_depth_hwm`: high-water mark of pending events.
     pub depth_hwm: Arc<Gauge>,
+    /// Span handle for `kernel.queue_wait` spans (schedule → pop).
+    /// Disabled by default; see [`QueueTelemetry::with_tracer`].
+    pub tracer: Tracer,
 }
 
 impl QueueTelemetry {
-    /// Registers the kernel metrics in `registry`.
+    /// Registers the kernel metrics in `registry` (spans disabled).
     pub fn register(registry: &Registry) -> QueueTelemetry {
         QueueTelemetry {
             scheduled: registry.counter("sim_events_scheduled_total", &[]),
             dispatched: registry.counter("sim_events_dispatched_total", &[]),
             depth_hwm: registry.gauge("sim_event_queue_depth_hwm", &[]),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches the run's tracer so every calendar entry opens a
+    /// `kernel.queue_wait` span at schedule time and closes it when
+    /// it pops — the time an event sat on the calendar.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> QueueTelemetry {
+        self.tracer = tracer;
+        self
     }
 }
 
@@ -41,6 +54,7 @@ struct Entry<E> {
     at: SimTime,
     seq: u64,
     event: E,
+    span: SpanId,
 }
 
 impl<E> PartialEq for Entry<E> {
@@ -117,7 +131,13 @@ impl<E> EventQueue<E> {
             at = at,
             now = self.now
         );
-        self.heap.push(Entry { at, seq: self.seq, event });
+        let span = match &self.telemetry {
+            Some(t) => {
+                t.tracer.span_enter(SpanId::NONE, self.now.micros() as i64, "kernel.queue_wait")
+            }
+            None => SpanId::NONE,
+        };
+        self.heap.push(Entry { at, seq: self.seq, event, span });
         self.seq += 1;
         if let Some(t) = &self.telemetry {
             t.scheduled.inc();
@@ -139,6 +159,7 @@ impl<E> EventQueue<E> {
             self.now = e.at;
             if let Some(t) = &self.telemetry {
                 t.dispatched.inc();
+                t.tracer.span_exit(e.span, e.at.micros() as i64);
             }
             (e.at, e.event)
         })
@@ -253,6 +274,28 @@ mod tests {
         assert_eq!(reg.counter("sim_events_scheduled_total", &[]).get(), 4);
         assert_eq!(reg.counter("sim_events_dispatched_total", &[]).get(), 1);
         assert_eq!(reg.gauge("sim_event_queue_depth_hwm", &[]).get(), 3);
+    }
+
+    #[test]
+    fn queue_wait_spans_pair_schedule_with_pop() {
+        use gvc_telemetry::RingSink;
+        let reg = Registry::new();
+        let ring = Arc::new(RingSink::new(16));
+        let mut q = EventQueue::new();
+        q.set_telemetry(QueueTelemetry::register(&reg).with_tracer(Tracer::to_sink(ring.clone())));
+        q.schedule(SimTime::from_secs(2), "a");
+        q.schedule(SimTime::from_secs(1), "b");
+        q.pop();
+        q.pop();
+        let evs = ring.events();
+        let kinds: Vec<&str> = evs.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["span.start", "span.start", "span.end", "span.end"]);
+        // "b" pops first (t=1s) but was scheduled second (span 2).
+        assert!(evs[2].to_json().contains("\"span\":2"), "{}", evs[2].to_json());
+        assert_eq!(evs[2].t_us, 1_000_000);
+        assert!(evs[3].to_json().contains("\"span\":1"));
+        assert_eq!(evs[3].t_us, 2_000_000);
+        assert!(evs[0].to_json().contains("\"name\":\"kernel.queue_wait\""));
     }
 
     proptest! {

@@ -37,6 +37,14 @@ impl FaultTelemetry {
     /// Registers the fault metrics in `registry`, tracing into
     /// `tracer`.
     pub fn register(registry: &Registry, tracer: Tracer) -> FaultTelemetry {
+        registry.describe("fault_injected_total", "Injected faults, by kind");
+        registry.describe("recovery_retries_total", "Circuit establishment attempts retried");
+        registry
+            .describe("fallback_ip_total", "Sessions that gave up on a circuit and ran over IP");
+        registry.describe(
+            "recovery_latency_seconds",
+            "First establishment attempt to final outcome, per session",
+        );
         let counter =
             |kind: FaultKind| registry.counter("fault_injected_total", &[("kind", kind.as_str())]);
         FaultTelemetry {

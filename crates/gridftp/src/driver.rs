@@ -19,7 +19,7 @@ use gvc_net::tcp::TcpModel;
 use gvc_net::{FlowCompletion, FlowId, FlowSpec, NetTelemetry, NetworkSim};
 use gvc_oscars::{Idc, IdcTelemetry, ReservationId, ReservationRequest};
 use gvc_stats::rng::component_rng;
-use gvc_telemetry::{Counter, Histogram, Stopwatch, Telemetry, TraceEvent, Tracer};
+use gvc_telemetry::{Counter, Histogram, SpanId, Stopwatch, Telemetry, TraceEvent, Tracer};
 use gvc_topology::{LinkId, NodeId, Path};
 use rand::rngs::SmallRng;
 use std::collections::BTreeMap;
@@ -134,6 +134,12 @@ struct SessionState {
     /// The session stopped pursuing a circuit (fallback, give-up, or
     /// preemption); retries must not resurrect it.
     vc_given_up: bool,
+    /// `session.run` span, open for the session's whole lifetime.
+    span: SpanId,
+    /// `session.queue_wait` span, open until the first job launches.
+    wait_span: SpanId,
+    /// `session.vc_setup` span, open while a circuit is being pursued.
+    vc_span: SpanId,
 }
 
 struct InFlight {
@@ -143,6 +149,8 @@ struct InFlight {
     overhead_s: f64,
     lossy: bool,
     failed: bool,
+    /// `session.transfer` span, closed when the flow completes.
+    span: SpanId,
 }
 
 /// The session/transfer driver over a fluid network simulation.
@@ -176,6 +184,10 @@ pub struct Driver {
     /// Kept so `with_idc` after `with_telemetry` still instruments the
     /// controller.
     telemetry_ctx: Option<Telemetry>,
+    /// Span handle; disabled (zero-cost) unless telemetry is attached.
+    tracer: Tracer,
+    /// The `driver.run` root span, opened by [`Driver::run`].
+    run_span: SpanId,
 }
 
 impl Driver {
@@ -207,6 +219,8 @@ impl Driver {
             tstat: Vec::new(),
             telemetry: None,
             telemetry_ctx: None,
+            tracer: Tracer::disabled(),
+            run_span: SpanId::NONE,
         }
     }
 
@@ -214,7 +228,8 @@ impl Driver {
     /// the fluid simulator, the IDC (if present), and the driver's own
     /// transfer lifecycle. Order-independent with [`Driver::with_idc`].
     pub fn with_telemetry(mut self, ctx: &Telemetry) -> Driver {
-        self.pending.set_telemetry(QueueTelemetry::register(&ctx.registry));
+        self.pending
+            .set_telemetry(QueueTelemetry::register(&ctx.registry).with_tracer(ctx.tracer.clone()));
         self.sim.set_telemetry(NetTelemetry::register(&ctx.registry, ctx.tracer.clone()));
         if let Some(idc) = self.idc.as_mut() {
             idc.set_telemetry(IdcTelemetry::register(&ctx.registry, ctx.tracer.clone()));
@@ -222,6 +237,7 @@ impl Driver {
         self.telemetry = Some(DriverTelemetry::register(ctx));
         self.ftel = FaultTelemetry::register(&ctx.registry, ctx.tracer.clone());
         self.telemetry_ctx = Some(ctx.clone());
+        self.tracer = ctx.tracer.clone();
         self
     }
 
@@ -319,6 +335,9 @@ impl Driver {
             vc_attempts: 0,
             vc_started: None,
             vc_given_up: false,
+            span: SpanId::NONE,
+            wait_span: SpanId::NONE,
+            vc_span: SpanId::NONE,
         });
         self.pending.schedule(at, Event::StartSession(idx));
     }
@@ -413,6 +432,13 @@ impl Driver {
                     .field("vc", vc_spec.is_some())
             });
         }
+        let session_span =
+            self.tracer.span_enter_with(self.run_span, now.micros() as i64, "session.run", |ev| {
+                ev.field("session", idx).field("vc", vc_spec.is_some())
+            });
+        self.sessions[idx].span = session_span;
+        self.sessions[idx].wait_span =
+            self.tracer.span_enter(session_span, now.micros() as i64, "session.queue_wait");
         if vc_spec.is_some() && self.idc.is_some() {
             self.vc_requested += 1;
             if self.recovery.is_some() {
@@ -425,6 +451,12 @@ impl Driver {
             } else if let (Some(vc), Some(idc)) = (vc_spec, self.idc.as_mut()) {
                 // Legacy single-shot path, kept bit-for-bit: no faults
                 // or recovery configured.
+                let vc_span = self.tracer.span_enter_with(
+                    session_span,
+                    now.micros() as i64,
+                    "session.vc_setup",
+                    |ev| ev.field("session", idx),
+                );
                 let req = ReservationRequest {
                     src: self.clusters[src.0].node,
                     dst: self.clusters[dst.0].node,
@@ -432,19 +464,29 @@ impl Driver {
                     start: now,
                     end: now + SimSpan::from_secs_f64(vc.max_duration_s),
                 };
+                let mut outcome = "blocked";
                 if let Ok(id) = idc.create_reservation(req) {
                     // Provisioning a freshly admitted reservation
                     // cannot fail; if it somehow does, the session
                     // simply runs IP-routed.
+                    outcome = "provision_error";
                     if let Ok(ready) = idc.provision(id, now) {
                         self.sessions[idx].vc = Some((id, ready, vc.rate_bps));
                         self.vc_established += 1;
+                        self.tracer.span_exit_with(vc_span, ready.micros() as i64, |ev| {
+                            ev.field("outcome", "established")
+                        });
                         if vc.wait_for_circuit {
                             self.pending.schedule(ready, Event::LaunchNext(idx));
                             return;
                         }
+                        self.launch_ready_jobs(idx);
+                        return;
                     }
                 }
+                self.tracer.span_exit_with(vc_span, now.micros() as i64, |ev| {
+                    ev.field("outcome", outcome)
+                });
             }
         }
         self.launch_ready_jobs(idx);
@@ -467,6 +509,19 @@ impl Driver {
         }
         self.sessions[idx].vc_attempts += 1;
         let attempt = self.sessions[idx].vc_attempts;
+        if self.sessions[idx].vc_span.is_none() {
+            self.sessions[idx].vc_span = self.tracer.span_enter_with(
+                self.sessions[idx].span,
+                now.micros() as i64,
+                "session.vc_setup",
+                |ev| ev.field("session", idx),
+            );
+        }
+        let vc_span = self.sessions[idx].vc_span;
+        let attempt_span =
+            self.tracer.span_enter_with(vc_span, now.micros() as i64, "vc.attempt", |ev| {
+                ev.field("session", idx).field("attempt", attempt)
+            });
         let injected = self.faults.as_mut().and_then(FaultInjector::provision_fault);
         let req = ReservationRequest {
             src: self.clusters[src.0].node,
@@ -508,13 +563,20 @@ impl Driver {
             reason = kind.as_str();
             self.ftel.tracer.emit_with(|| {
                 TraceEvent::new(now.micros() as i64, "fault.injected")
-                    .field("kind", kind.as_str())
+                    .field("fault", kind.as_str())
                     .field("session", idx)
                     .field("attempt", attempt)
             });
         }
 
         if let Some((id, ready)) = established {
+            self.tracer.span_exit_with(attempt_span, now.micros() as i64, |ev| {
+                ev.field("outcome", "established")
+            });
+            self.tracer.span_exit_with(vc_span, ready.micros() as i64, |ev| {
+                ev.field("outcome", "established")
+            });
+            self.sessions[idx].vc_span = SpanId::NONE;
             self.sessions[idx].vc = Some((id, ready, vc.rate_bps));
             self.vc_established += 1;
             if attempt > 1 {
@@ -553,6 +615,17 @@ impl Driver {
                         .field("reason", reason)
                         .field("delay_s", delay_s)
                 });
+                self.tracer.span_exit_with(attempt_span, now.micros() as i64, |ev| {
+                    ev.field("outcome", "retry").field("reason", reason)
+                });
+                // The backoff window's end is decided now, so the span
+                // closes immediately with a future timestamp.
+                let backoff =
+                    self.tracer.span_enter_with(vc_span, now.micros() as i64, "vc.backoff", |ev| {
+                        ev.field("session", idx).field("attempt", attempt)
+                    });
+                self.tracer
+                    .span_exit(backoff, (now + SimSpan(delay_s_micros as i64)).micros() as i64);
                 self.pending.schedule(now + SimSpan(delay_s_micros as i64), Event::RetryVc(idx));
                 // Blocking sessions keep waiting through retries;
                 // best-effort ones start IP-routed immediately.
@@ -562,6 +635,20 @@ impl Driver {
                 self.ftel.fallback_ip.inc();
                 self.record_recovery_latency(waited_s);
                 self.sessions[idx].vc_given_up = true;
+                self.tracer.span_exit_with(attempt_span, now.micros() as i64, |ev| {
+                    ev.field("outcome", "fallback_ip").field("reason", reason)
+                });
+                self.tracer.span_exit_with(vc_span, now.micros() as i64, |ev| {
+                    ev.field("outcome", "fallback_ip")
+                });
+                self.sessions[idx].vc_span = SpanId::NONE;
+                let marker = self.tracer.span_enter_with(
+                    self.sessions[idx].span,
+                    now.micros() as i64,
+                    "session.fallback",
+                    |ev| ev.field("session", idx).field("reason", reason),
+                );
+                self.tracer.span_exit(marker, now.micros() as i64);
                 self.ftel.tracer.emit_with(|| {
                     TraceEvent::new(now.micros() as i64, "recovery.fallback")
                         .field("session", idx)
@@ -573,6 +660,13 @@ impl Driver {
             RecoveryAction::GiveUp => {
                 self.record_recovery_latency(waited_s);
                 self.sessions[idx].vc_given_up = true;
+                self.tracer.span_exit_with(attempt_span, now.micros() as i64, |ev| {
+                    ev.field("outcome", "giveup").field("reason", reason)
+                });
+                self.tracer.span_exit_with(vc_span, now.micros() as i64, |ev| {
+                    ev.field("outcome", "giveup")
+                });
+                self.sessions[idx].vc_span = SpanId::NONE;
                 self.ftel.tracer.emit_with(|| {
                     TraceEvent::new(now.micros() as i64, "recovery.giveup")
                         .field("session", idx)
@@ -629,7 +723,7 @@ impl Driver {
         self.ftel.count_injected(FaultKind::Preemption);
         self.ftel.tracer.emit_with(|| {
             TraceEvent::new(now.micros() as i64, "fault.injected")
-                .field("kind", FaultKind::Preemption.as_str())
+                .field("fault", FaultKind::Preemption.as_str())
                 .field("session", idx)
         });
     }
@@ -656,7 +750,7 @@ impl Driver {
         let t_us = self.sim.now().micros() as i64;
         self.ftel.tracer.emit_with(|| {
             TraceEvent::new(t_us, "fault.injected")
-                .field("kind", FaultKind::LinkFlap.as_str())
+                .field("fault", FaultKind::LinkFlap.as_str())
                 .field("link", flap.link.as_str())
                 .field("residual_frac", flap.residual_frac)
         });
@@ -670,7 +764,7 @@ impl Driver {
         let t_us = self.sim.now().micros() as i64;
         self.ftel.tracer.emit_with(|| {
             TraceEvent::new(t_us, "fault.cleared")
-                .field("kind", FaultKind::LinkFlap.as_str())
+                .field("fault", FaultKind::LinkFlap.as_str())
                 .field("flap", i)
         });
     }
@@ -730,7 +824,7 @@ impl Driver {
             let t_us = self.sim.now().micros() as i64;
             self.ftel.tracer.emit_with(|| {
                 TraceEvent::new(t_us, "fault.injected")
-                    .field("kind", FaultKind::ServerRestart.as_str())
+                    .field("fault", FaultKind::ServerRestart.as_str())
                     .field("session", idx)
                     .field("job", job_index)
             });
@@ -758,6 +852,16 @@ impl Driver {
                     .field("stripes", stripes)
             });
         }
+        let t_us = self.sim.now().micros() as i64;
+        if !self.sessions[idx].wait_span.is_none() {
+            self.tracer.span_exit(self.sessions[idx].wait_span, t_us);
+            self.sessions[idx].wait_span = SpanId::NONE;
+        }
+        let bytes = prepared.job.size_bytes;
+        let span =
+            self.tracer.span_enter_with(self.sessions[idx].span, t_us, "session.transfer", |ev| {
+                ev.field("tag", tag).field("session", idx).field("bytes", bytes)
+            });
         self.in_flight.insert(
             tag,
             InFlight {
@@ -767,6 +871,7 @@ impl Driver {
                 overhead_s: prepared.overhead_s,
                 lossy: prepared.lossy,
                 failed: prepared.failed,
+                span,
             },
         );
         true
@@ -832,6 +937,7 @@ impl Driver {
                     .field("failed", failed)
             });
         }
+        self.tracer.span_exit(info.span, c.end.micros() as i64);
 
         // Session bookkeeping: free a slot and continue after the gap.
         let s = &mut self.sessions[idx];
@@ -842,11 +948,13 @@ impl Driver {
             self.pending.schedule(self.sim.now() + gap, Event::LaunchNext(idx));
         } else if s.in_flight == 0 && !s.done {
             s.done = true;
+            let session_span = s.span;
             if let (Some((id, _, _)), Some(idc)) = (s.vc, self.idc.as_mut()) {
                 // The session owns this reservation, so it is known to
                 // the IDC; teardown is also idempotent.
                 let _ = idc.teardown(id, self.sim.now());
             }
+            self.tracer.span_exit(session_span, self.sim.now().micros() as i64);
             if let Some(t) = &self.telemetry {
                 t.sessions_completed.inc();
                 t.tracer.emit_with(|| {
@@ -863,6 +971,8 @@ impl Driver {
     /// `limit` bounds the simulation clock as a safety net against
     /// stalled flows.
     pub fn run(mut self, limit: SimTime) -> DriverOutput {
+        self.run_span =
+            self.tracer.span_enter(SpanId::NONE, self.sim.now().micros() as i64, "driver.run");
         // Scheduled link flaps from the fault plan become calendar
         // events before anything else runs.
         let flap_windows: Vec<(usize, f64, f64)> = self
@@ -914,6 +1024,7 @@ impl Driver {
                 }
             }
         }
+        self.tracer.span_exit(self.run_span, self.sim.now().micros() as i64);
         let idc_stats = self.idc.as_ref().map(gvc_oscars::Idc::stats);
         let open_reservations = self.idc.as_ref().map(Idc::open_reservations);
         let resilience = self.recovery.map(|_| ResilienceReport {
@@ -1253,6 +1364,8 @@ mod tests {
             "transfer.complete",
             "transfer.session_complete",
             "net.fairshare",
+            "span.start",
+            "span.end",
         ] {
             assert!(kinds.contains(expected), "missing {expected}: {kinds:?}");
         }
@@ -1269,6 +1382,125 @@ mod tests {
         ] {
             assert!(text.contains(needle), "exposition missing {needle}");
         }
+    }
+
+    #[test]
+    fn session_spans_nest_and_survive_the_offline_checks() {
+        use gvc_telemetry::RingSink;
+        let t = study_topology();
+        let (slac, bnl) = (t.dtn(Site::Slac), t.dtn(Site::Bnl));
+        let idc = Idc::new(t.graph.clone(), SetupDelayModel::one_minute());
+        let sim = NetworkSim::new(t.graph, 0);
+        let ring = Arc::new(RingSink::new(16384));
+        let ctx = Telemetry::with_sink(ring.clone());
+        let mut d = Driver::new(sim, 7)
+            .with_idc(idc)
+            .with_recovery(RecoveryPolicy::default())
+            .with_telemetry(&ctx);
+        let a = d.register_cluster("slac", slac, ServerCaps::default(), 1);
+        let b = d.register_cluster("bnl", bnl, ServerCaps::default(), 1);
+        let spec = SessionSpec::sequential(vec![job(512), job(256)], 1.0).with_vc(
+            crate::session::VcRequestSpec {
+                rate_bps: 1e9,
+                max_duration_s: 3600.0,
+                wait_for_circuit: true,
+            },
+        );
+        d.schedule_session(SimTime::ZERO, a, b, spec);
+        let out = d.run(SimTime::from_secs(100_000));
+        assert_eq!(out.log.len(), 2);
+
+        // Round-trip the span stream through the offline toolchain.
+        let text: String = ring
+            .events()
+            .iter()
+            .map(gvc_telemetry::TraceEvent::to_json)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let model = gvc_telemetry::TraceModel::from_text(&text).expect("trace parses");
+        let report = gvc_telemetry::check(&model, &gvc_telemetry::CheckConfig::default());
+        assert!(report.clean(), "violations: {:?}", report.violations);
+
+        let names: std::collections::HashSet<&str> =
+            model.spans.iter().map(|s| s.name.as_str()).collect();
+        for expected in [
+            "driver.run",
+            "session.run",
+            "session.queue_wait",
+            "session.vc_setup",
+            "vc.attempt",
+            "session.transfer",
+            "kernel.queue_wait",
+            "circuit.lifetime",
+            "idc.setup",
+        ] {
+            assert!(names.contains(expected), "missing span {expected}: {names:?}");
+        }
+
+        // The one-minute setup delay shows up as the session's setup
+        // phase: the first transfer cannot start before the circuit.
+        let rows = gvc_telemetry::sessions(&model);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].setup_us >= 60_000_000, "setup_us={}", rows[0].setup_us);
+        assert_eq!(rows[0].transfers, 2);
+        assert_eq!(rows[0].attempts, 1);
+        assert!(!rows[0].fallback);
+
+        // And the profile's main tree reconciles exactly.
+        let profile = gvc_telemetry::profile(&model);
+        let main = profile.main.expect("driver.run tree");
+        assert_eq!(main.name, "driver.run");
+        assert_eq!(main.attributed_us, main.end_us - main.start_us);
+    }
+
+    #[test]
+    fn fallback_sessions_mark_the_fallback_span() {
+        use gvc_faults::FaultPlan;
+        use gvc_telemetry::RingSink;
+        let t = study_topology();
+        let (slac, bnl) = (t.dtn(Site::Slac), t.dtn(Site::Bnl));
+        let idc = Idc::new(t.graph.clone(), SetupDelayModel::one_minute());
+        let sim = NetworkSim::new(t.graph, 0);
+        let ring = Arc::new(RingSink::new(16384));
+        let ctx = Telemetry::with_sink(ring.clone());
+        let mut d = Driver::new(sim, 11)
+            .with_idc(idc)
+            .with_faults(FaultPlan { fail_first_provisions: 100, ..FaultPlan::default() })
+            .with_telemetry(&ctx);
+        let a = d.register_cluster("slac", slac, ServerCaps::default(), 1);
+        let b = d.register_cluster("bnl", bnl, ServerCaps::default(), 1);
+        d.schedule_session(
+            SimTime::ZERO,
+            a,
+            b,
+            SessionSpec::sequential(vec![job(64)], 0.0).with_vc(crate::session::VcRequestSpec {
+                rate_bps: 1e9,
+                max_duration_s: 3600.0,
+                wait_for_circuit: true,
+            }),
+        );
+        let out = d.run(SimTime::from_secs(100_000));
+        assert_eq!(out.log.len(), 1);
+        assert_eq!(out.resilience.unwrap().fallbacks, 1);
+        let text: String = ring
+            .events()
+            .iter()
+            .map(gvc_telemetry::TraceEvent::to_json)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let model = gvc_telemetry::TraceModel::from_text(&text).expect("trace parses");
+        // Retry-dominated session: structural checks must pass, but the
+        // default setup-share bound would (rightly) flag it — loosen it.
+        let report =
+            gvc_telemetry::check(&model, &gvc_telemetry::CheckConfig { max_setup_share: 1.0 });
+        assert!(report.clean(), "violations: {:?}", report.violations);
+        let names: Vec<&str> = model.spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"vc.backoff"), "{names:?}");
+        assert!(names.contains(&"session.fallback"), "{names:?}");
+        let rows = gvc_telemetry::sessions(&model);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].fallback);
+        assert!(rows[0].attempts > 1);
     }
 
     #[test]

@@ -11,9 +11,9 @@ use crate::calendar::NetworkCalendar;
 use crate::reservation::{Reservation, ReservationId, ReservationRequest, ReservationState};
 use crate::setup::SetupDelayModel;
 use gvc_engine::SimTime;
-use gvc_telemetry::{Counter, Gauge, Histogram, Registry, TraceEvent, Tracer};
+use gvc_telemetry::{Counter, Gauge, Histogram, Registry, SpanId, TraceEvent, Tracer};
 use gvc_topology::{constrained_shortest_path, Graph};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// IDC admission/provisioning telemetry, shared with a [`Registry`].
@@ -43,6 +43,15 @@ pub struct IdcTelemetry {
 impl IdcTelemetry {
     /// Registers the IDC metrics in `registry`, tracing into `tracer`.
     pub fn register(registry: &Registry, tracer: Tracer) -> IdcTelemetry {
+        registry.describe("idc_requests_total", "createReservation calls received");
+        registry.describe("idc_admitted_total", "Reservation requests admitted by CSPF");
+        registry.describe("idc_blocked_total", "Reservation requests blocked, by reason");
+        registry.describe("idc_reservations_active", "Provisioned reservations not yet torn down");
+        registry.describe("idc_setup_delay_seconds", "Provision-to-usable circuit setup delay");
+        registry.describe(
+            "idc_path_utilization",
+            "Post-commit peak utilization of the admitted path's bottleneck link",
+        );
         IdcTelemetry {
             requests: registry.counter("idc_requests_total", &[]),
             admitted: registry.counter("idc_admitted_total", &[]),
@@ -147,6 +156,9 @@ pub struct Idc {
     next_id: u64,
     stats: IdcStats,
     telemetry: Option<IdcTelemetry>,
+    /// Open `circuit.lifetime` spans by reservation id, closed at
+    /// teardown. Empty unless a trace sink is attached.
+    circuit_spans: BTreeMap<u64, SpanId>,
 }
 
 impl Idc {
@@ -162,6 +174,7 @@ impl Idc {
             next_id: 0,
             stats: IdcStats::default(),
             telemetry: None,
+            circuit_spans: BTreeMap::new(),
         }
     }
 
@@ -305,6 +318,23 @@ impl Idc {
                     .field("id", id.0)
                     .field("setup_s", (ready - now).as_secs_f64())
             });
+            // The circuit's whole life as a span (closed at teardown)
+            // with the signalling delay as a child. The setup child's
+            // end is known now, so it closes immediately at a future
+            // timestamp — offline consumers sort by time.
+            let circuit = t.tracer.span_enter_with(
+                SpanId::NONE,
+                now.micros() as i64,
+                "circuit.lifetime",
+                |ev| ev.field("reservation", id.0),
+            );
+            let setup = t.tracer.span_enter_with(circuit, now.micros() as i64, "idc.setup", |ev| {
+                ev.field("reservation", id.0).field("setup_s", (ready - now).as_secs_f64())
+            });
+            t.tracer.span_exit(setup, ready.micros() as i64);
+            if !circuit.is_none() {
+                self.circuit_spans.insert(id.0, circuit);
+            }
         }
         Ok(ready)
     }
@@ -330,6 +360,9 @@ impl Idc {
             t.tracer.emit_with(|| {
                 TraceEvent::new(now.micros() as i64, "idc.teardown").field("id", id.0)
             });
+            if let Some(span) = self.circuit_spans.remove(&id.0) {
+                t.tracer.span_exit(span, now.micros() as i64);
+            }
         }
         Ok(())
     }
@@ -530,9 +563,24 @@ mod tests {
                 "idc.block",
                 "idc.block",
                 "idc.provision",
-                "idc.teardown"
+                "span.start", // circuit.lifetime opens at provision
+                "span.start", // idc.setup child ...
+                "span.end",   // ... closes at ready (future timestamp)
+                "idc.teardown",
+                "span.end", // circuit.lifetime closes at teardown
             ]
         );
+        let jsons: Vec<String> =
+            ring.events().iter().map(gvc_telemetry::TraceEvent::to_json).collect();
+        assert!(
+            jsons[5].contains("\"name\":\"circuit.lifetime\"")
+                && jsons[5].contains("\"reservation\":0"),
+            "{}",
+            jsons[5]
+        );
+        assert!(jsons[6].contains("\"name\":\"idc.setup\""), "{}", jsons[6]);
+        assert_eq!(ring.events()[7].t_us, 60_000_000, "setup span ends at ready");
+        assert_eq!(ring.events()[9].t_us, 30_000_000, "circuit span ends at teardown");
         // Second admit on the same window fills the path to capacity.
         let util =
             reg.histogram("idc_path_utilization", &[], || Histogram::new(0.01, 1.6, 11)).snapshot();

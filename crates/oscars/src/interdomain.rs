@@ -21,7 +21,7 @@ use crate::idc::{BlockReason, Idc};
 use crate::reservation::{ReservationId, ReservationRequest};
 use gvc_engine::{SimSpan, SimTime};
 use gvc_faults::{FaultInjector, FaultKind, FaultTelemetry, RecoveryAction, RecoveryPolicy};
-use gvc_telemetry::TraceEvent;
+use gvc_telemetry::{SpanId, TraceEvent};
 use gvc_topology::NodeId;
 use std::collections::HashMap;
 
@@ -239,8 +239,20 @@ impl InterDomainController {
         let seed = injector.plan().seed;
         let mut at = now;
         let mut attempts = 0u32;
+        // The whole establishment sequence as one span, each attempt
+        // and each backoff wait as children.
+        let chain = telemetry.tracer.span_enter_with(
+            SpanId::NONE,
+            now.micros() as i64,
+            "idc.interdomain",
+            |ev| ev.field("rate_bps", rate_bps),
+        );
         loop {
             attempts += 1;
+            let attempt_span =
+                telemetry.tracer.span_enter_with(chain, at.micros() as i64, "idc.attempt", |ev| {
+                    ev.field("attempt", u64::from(attempts))
+                });
             let fault = injector.provision_fault();
             let result = self.create_circuit(src_label, dst_label, rate_bps, start, end, at);
             let failure = match (fault, result) {
@@ -257,6 +269,10 @@ impl InterDomainController {
                             TraceEvent::new(at.micros() as i64, "recovery.established")
                                 .field("attempts", u64::from(attempts))
                                 .field("waited_s", (at - now).as_secs_f64())
+                        });
+                        telemetry.tracer.span_exit(attempt_span, at.micros() as i64);
+                        telemetry.tracer.span_exit_with(chain, at.micros() as i64, |ev| {
+                            ev.field("outcome", "established")
                         });
                         return RecoveryOutcome {
                             result: CircuitResult::Established(circuit),
@@ -276,7 +292,7 @@ impl InterDomainController {
                     telemetry.count_injected(kind);
                     telemetry.tracer.emit_with(|| {
                         TraceEvent::new(at.micros() as i64, "fault.injected")
-                            .field("kind", kind.as_str())
+                            .field("fault", kind.as_str())
                             .field("attempt", u64::from(attempts))
                     });
                     AttemptFailure::Fault(kind)
@@ -292,7 +308,11 @@ impl InterDomainController {
                             .field("attempt", u64::from(attempts))
                             .field("delay_s", delay_s_micros as f64 / 1e6)
                     });
+                    telemetry.tracer.span_exit(attempt_span, at.micros() as i64);
+                    let backoff =
+                        telemetry.tracer.span_enter(chain, at.micros() as i64, "idc.backoff");
                     at += SimSpan(delay_s_micros as i64);
+                    telemetry.tracer.span_exit(backoff, at.micros() as i64);
                 }
                 RecoveryAction::FallbackToIp => {
                     telemetry.fallback_ip.inc();
@@ -300,6 +320,10 @@ impl InterDomainController {
                     telemetry.tracer.emit_with(|| {
                         TraceEvent::new(at.micros() as i64, "recovery.fallback")
                             .field("attempts", u64::from(attempts))
+                    });
+                    telemetry.tracer.span_exit(attempt_span, at.micros() as i64);
+                    telemetry.tracer.span_exit_with(chain, at.micros() as i64, |ev| {
+                        ev.field("outcome", "fallback_ip")
                     });
                     return RecoveryOutcome {
                         result: CircuitResult::FellBack(failure),
@@ -312,6 +336,10 @@ impl InterDomainController {
                     telemetry.tracer.emit_with(|| {
                         TraceEvent::new(at.micros() as i64, "recovery.giveup")
                             .field("attempts", u64::from(attempts))
+                    });
+                    telemetry.tracer.span_exit(attempt_span, at.micros() as i64);
+                    telemetry.tracer.span_exit_with(chain, at.micros() as i64, |ev| {
+                        ev.field("outcome", "giveup")
                     });
                     return RecoveryOutcome {
                         result: CircuitResult::Abandoned(failure),
@@ -541,6 +569,69 @@ mod tests {
         // The two failed attempts left nothing behind.
         let CircuitResult::Established(circuit) = &out.result else { unreachable!() };
         assert_eq!(c.open_reservations(), circuit.segments.len());
+    }
+
+    #[test]
+    fn recovery_chain_emits_paired_spans() {
+        use gvc_faults::{FaultInjector, FaultPlan, FaultTelemetry, RecoveryPolicy};
+        use gvc_telemetry::{Registry, RingSink, TraceModel, Tracer};
+        use std::sync::Arc;
+        let mut c = controller(10e9);
+        let plan = FaultPlan { fail_first_provisions: 2, ..FaultPlan::default() };
+        let mut inj = FaultInjector::new(plan);
+        let ring = Arc::new(RingSink::new(64));
+        let tel = FaultTelemetry::register(&Registry::new(), Tracer::to_sink(ring.clone()));
+        let out = c.create_circuit_with_recovery(
+            "ep-a",
+            "ep-b",
+            4e9,
+            t(0),
+            t(3600),
+            t(0),
+            &RecoveryPolicy::default(),
+            &mut inj,
+            &tel,
+        );
+        assert_eq!(out.attempts, 3);
+        let text: String = ring
+            .events()
+            .iter()
+            .map(gvc_telemetry::TraceEvent::to_json)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let model = TraceModel::from_text(&text).expect("parse own trace");
+        let names: Vec<&str> = model.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "idc.interdomain",
+                "idc.attempt",
+                "idc.backoff",
+                "idc.attempt",
+                "idc.backoff",
+                "idc.attempt"
+            ]
+        );
+        // Every span closed, attempts/backoffs all children of the chain.
+        for s in &model.spans {
+            assert!(s.end_us.is_some(), "span {} never closed", s.name);
+            if s.name != "idc.interdomain" {
+                assert_eq!(s.parent, model.spans[0].id);
+            }
+        }
+        let chain = &model.spans[0];
+        assert_eq!(chain.end_us, Some(out.finished_at.micros() as i64));
+        let backoff_total: i64 = model
+            .spans
+            .iter()
+            .filter(|s| s.name == "idc.backoff")
+            .map(|s| s.end_us.unwrap_or(0) - s.start_us)
+            .sum();
+        assert_eq!(
+            backoff_total,
+            (out.finished_at - t(0)).0,
+            "backoff spans account for the whole virtual wait"
+        );
     }
 
     #[test]

@@ -1,0 +1,1169 @@
+//! Offline trace analysis: parse a `--trace` JSONL file, rebuild the
+//! span forest, and derive per-phase profiles, per-session timelines,
+//! and structural checks.
+//!
+//! The wire format is the flat one-object-per-line JSON emitted by
+//! [`crate::trace`] (see `docs/observability.md`); the parser here is
+//! deliberately restricted to that shape — scalar values only, no
+//! nesting — and hand-rolled so the analysis toolchain stays std-only
+//! like the rest of the crate.
+//!
+//! Time attribution (the `profile` self-time column) partitions each
+//! span tree's timeline over its *innermost open* spans: at every
+//! instant the elapsed microsecond is credited to the deepest spans
+//! open at that instant, split evenly when several leaves overlap.
+//! Summed over a tree this reproduces the tree's total span exactly
+//! (integer remainders are assigned deterministically), which is what
+//! lets `gvc trace profile` reconcile phase sums against the run's
+//! total simulated time.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A scalar JSON value from a trace line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null` (also used for non-finite floats on the wire).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number with no fractional part or exponent.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+}
+
+impl JsonValue {
+    /// Numeric view of the value, if it has one.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(v) => Some(*v as f64),
+            JsonValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Integer view of the value, if it is an integer.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view of the value, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+/// One parsed trace line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Simulation time, microseconds.
+    pub t_us: i64,
+    /// Dot-namespaced event kind.
+    pub kind: String,
+    /// Remaining fields, in wire order.
+    pub fields: Vec<(String, JsonValue)>,
+}
+
+impl TraceRecord {
+    /// Looks up a field by key.
+    #[must_use]
+    pub fn field(&self, key: &str) -> Option<&JsonValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Integer field shorthand.
+    #[must_use]
+    pub fn int(&self, key: &str) -> Option<i64> {
+        self.field(key).and_then(JsonValue::as_i64)
+    }
+
+    /// Numeric field shorthand.
+    #[must_use]
+    pub fn num(&self, key: &str) -> Option<f64> {
+        self.field(key).and_then(JsonValue::as_f64)
+    }
+
+    /// String field shorthand.
+    #[must_use]
+    pub fn text(&self, key: &str) -> Option<&str> {
+        self.field(key).and_then(JsonValue::as_str)
+    }
+}
+
+/// A parse failure, locating the offending line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a whole JSONL trace. Blank lines are skipped; anything else
+/// must be a flat JSON object with integer `t_us` and string `kind`.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceRecord>, ParseError> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Ok(rec) => out.push(rec),
+            Err(message) => return Err(ParseError { line: idx + 1, message }),
+        }
+    }
+    Ok(out)
+}
+
+/// Parses one trace line.
+pub fn parse_record(line: &str) -> Result<TraceRecord, ParseError> {
+    parse_line(line).map_err(|message| ParseError { line: 1, message })
+}
+
+fn parse_line(line: &str) -> Result<TraceRecord, String> {
+    let mut p = Scanner { b: line.as_bytes(), i: 0 };
+    p.skip_ws();
+    p.eat(b'{')?;
+    let mut t_us: Option<i64> = None;
+    let mut kind: Option<String> = None;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.i += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.eat(b':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            match key.as_str() {
+                "t_us" => match value.as_i64() {
+                    Some(v) => t_us = Some(v),
+                    None => return Err("t_us is not an integer".to_string()),
+                },
+                "kind" => match value {
+                    JsonValue::Str(s) => kind = Some(s),
+                    _ => return Err("kind is not a string".to_string()),
+                },
+                _ => fields.push((key, value)),
+            }
+            p.skip_ws();
+            match p.next_byte() {
+                Some(b',') => {}
+                Some(b'}') => break,
+                _ => return Err("expected `,` or `}`".to_string()),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err("trailing bytes after object".to_string());
+    }
+    match (t_us, kind) {
+        (Some(t_us), Some(kind)) => Ok(TraceRecord { t_us, kind, fields }),
+        (None, _) => Err("missing t_us".to_string()),
+        (_, None) => Err("missing kind".to_string()),
+    }
+}
+
+struct Scanner<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Scanner<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn next_byte(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.i += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, want: u8) -> Result<(), String> {
+        match self.next_byte() {
+            Some(c) if c == want => Ok(()),
+            _ => Err(format!("expected `{}`", char::from(want))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next_byte() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next_byte() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => out.push(self.unicode_escape()?),
+                    _ => return Err("bad escape".to_string()),
+                },
+                Some(c) if c < 0x80 => out.push(char::from(c)),
+                Some(c) => {
+                    // Re-assemble a UTF-8 sequence: the input is a
+                    // &str, so the bytes are valid by construction.
+                    let len = match c {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let start = self.i - 1;
+                    let end = (start + len).min(self.b.len());
+                    if let Ok(s) = std::str::from_utf8(self.b.get(start..end).unwrap_or(&[])) {
+                        out.push_str(s);
+                    }
+                    self.i = end;
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, String> {
+        let hi = self.hex4()?;
+        if (0xd800..0xdc00).contains(&hi) {
+            // Surrogate pair: expect `\uXXXX` low half.
+            if self.next_byte() == Some(b'\\') && self.next_byte() == Some(b'u') {
+                let lo = self.hex4()?;
+                let code = 0x10000 + ((hi - 0xd800) << 10) + (lo.wrapping_sub(0xdc00) & 0x3ff);
+                return char::from_u32(code).ok_or_else(|| "bad surrogate pair".to_string());
+            }
+            return Err("lone high surrogate".to_string());
+        }
+        char::from_u32(hi).ok_or_else(|| "bad \\u escape".to_string())
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self.next_byte().ok_or("truncated \\u escape")?;
+            let d = char::from(c).to_digit(16).ok_or("bad hex digit")?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'{' | b'[') => Err("nested values are not part of the trace format".to_string()),
+            Some(_) => self.number(),
+            None => Err("expected a value".to_string()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
+        let end = self.i + word.len();
+        if self.b.get(self.i..end) == Some(word.as_bytes()) {
+            self.i = end;
+            Ok(v)
+        } else {
+            Err(format!("expected `{word}`"))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.i;
+        while matches!(self.peek(), Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')) {
+            self.i += 1;
+        }
+        let s = std::str::from_utf8(self.b.get(start..self.i).unwrap_or(&[]))
+            .map_err(|_| "bad number".to_string())?;
+        if s.bytes().all(|c| c == b'-' || c.is_ascii_digit()) {
+            if let Ok(v) = s.parse::<i64>() {
+                return Ok(JsonValue::Int(v));
+            }
+        }
+        s.parse::<f64>().map(JsonValue::Float).map_err(|_| format!("bad number `{s}`"))
+    }
+}
+
+/// One reconstructed span.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Wire span id (1-based).
+    pub id: u64,
+    /// Parent span id; 0 for roots.
+    pub parent: u64,
+    /// Span name, e.g. `session.vc_setup`.
+    pub name: String,
+    /// Start, microseconds of simulation time.
+    pub start_us: i64,
+    /// End, if the `span.end` event was seen.
+    pub end_us: Option<i64>,
+    /// Extra `span.start` fields (session index, reservation id, ...).
+    pub fields: Vec<(String, JsonValue)>,
+}
+
+impl SpanNode {
+    /// End clamped to `fallback` for unfinished spans, never before
+    /// the start.
+    #[must_use]
+    pub fn effective_end(&self, fallback: i64) -> i64 {
+        self.end_us.unwrap_or(fallback).max(self.start_us)
+    }
+}
+
+/// A parsed trace with its span forest pulled out.
+#[derive(Debug, Clone, Default)]
+pub struct TraceModel {
+    /// Every record, in file order.
+    pub records: Vec<TraceRecord>,
+    /// Reconstructed spans, in `span.start` order.
+    pub spans: Vec<SpanNode>,
+    /// `span.end` events whose id never started: `(t_us, id)`.
+    pub orphan_ends: Vec<(i64, u64)>,
+    /// Ids that appeared in more than one `span.start`.
+    pub duplicate_starts: Vec<u64>,
+    /// Malformed span events (missing `span`/`name` fields).
+    pub malformed: Vec<String>,
+}
+
+impl TraceModel {
+    /// Builds the model from parsed records.
+    #[must_use]
+    pub fn build(records: Vec<TraceRecord>) -> TraceModel {
+        let mut model = TraceModel { records, ..TraceModel::default() };
+        let mut by_id: BTreeMap<u64, usize> = BTreeMap::new();
+        for ridx in 0..model.records.len() {
+            let Some(rec) = model.records.get(ridx) else { continue };
+            match rec.kind.as_str() {
+                "span.start" => {
+                    let (Some(id), Some(name)) =
+                        (rec.int("span"), rec.text("name").map(str::to_string))
+                    else {
+                        model.malformed.push(format!(
+                            "span.start at t_us={} lacks span/name fields",
+                            rec.t_us
+                        ));
+                        continue;
+                    };
+                    let id = id as u64;
+                    if by_id.contains_key(&id) {
+                        model.duplicate_starts.push(id);
+                        continue;
+                    }
+                    let parent = rec.int("parent").unwrap_or(0) as u64;
+                    let fields = rec
+                        .fields
+                        .iter()
+                        .filter(|(k, _)| !matches!(k.as_str(), "span" | "parent" | "name"))
+                        .cloned()
+                        .collect();
+                    by_id.insert(id, model.spans.len());
+                    model.spans.push(SpanNode {
+                        id,
+                        parent,
+                        name,
+                        start_us: rec.t_us,
+                        end_us: None,
+                        fields,
+                    });
+                }
+                "span.end" => {
+                    let Some(id) = rec.int("span") else {
+                        model
+                            .malformed
+                            .push(format!("span.end at t_us={} lacks a span field", rec.t_us));
+                        continue;
+                    };
+                    let id = id as u64;
+                    let t_us = rec.t_us;
+                    match by_id.get(&id).and_then(|i| model.spans.get_mut(*i)) {
+                        Some(span) if span.end_us.is_none() => span.end_us = Some(t_us),
+                        Some(_) => model.malformed.push(format!("span {id} ended twice")),
+                        None => model.orphan_ends.push((t_us, id)),
+                    }
+                }
+                _ => {}
+            }
+        }
+        model
+    }
+
+    /// Parses `text` and builds the model in one step.
+    pub fn from_text(text: &str) -> Result<TraceModel, ParseError> {
+        Ok(TraceModel::build(parse_trace(text)?))
+    }
+
+    /// The latest timestamp seen across spans (clamp target for
+    /// unfinished spans). Zero for an empty trace.
+    #[must_use]
+    pub fn horizon_us(&self) -> i64 {
+        self.spans.iter().map(|s| s.end_us.unwrap_or(s.start_us).max(s.start_us)).max().unwrap_or(0)
+    }
+
+    fn index_by_id(&self) -> BTreeMap<u64, usize> {
+        self.spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect()
+    }
+
+    /// Root ancestor index of each span (self-rooting on unknown
+    /// parents or cycles).
+    fn root_of(&self) -> Vec<usize> {
+        let by_id = self.index_by_id();
+        (0..self.spans.len())
+            .map(|mut at| {
+                for _ in 0..=self.spans.len() {
+                    let Some(span) = self.spans.get(at) else { break };
+                    if span.parent == 0 {
+                        break;
+                    }
+                    match by_id.get(&span.parent) {
+                        Some(&up) if up != at => at = up,
+                        _ => break,
+                    }
+                }
+                at
+            })
+            .collect()
+    }
+}
+
+/// A row of the per-phase profile table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRow {
+    /// Span name.
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Sum of span durations (overlap counted per span).
+    pub total_us: i64,
+    /// Attributed innermost time (partitions each tree's timeline).
+    pub self_us: i64,
+}
+
+/// The root span the profile reconciles against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MainTree {
+    /// Root span name (`driver.run` when present).
+    pub name: String,
+    /// Root span interval, microseconds.
+    pub start_us: i64,
+    /// Root span end (clamped for unfinished roots).
+    pub end_us: i64,
+    /// Self time summed over the root's whole tree. Equals
+    /// `end_us - start_us` whenever the tree's spans nest inside the
+    /// root, which is the reconciliation `gvc trace profile` prints.
+    pub attributed_us: i64,
+}
+
+/// Output of [`profile`].
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Phase rows, widest self-time first.
+    pub rows: Vec<PhaseRow>,
+    /// The reconciliation tree, when the trace has any spans.
+    pub main: Option<MainTree>,
+    /// Folded stacks (`root;child;leaf self_us`), alphabetical,
+    /// zero-weight stacks dropped — feed to inferno / flamegraph.pl.
+    pub folded: Vec<(String, i64)>,
+}
+
+/// Computes the per-phase profile of a span forest.
+#[must_use]
+pub fn profile(model: &TraceModel) -> Profile {
+    let n = model.spans.len();
+    if n == 0 {
+        return Profile::default();
+    }
+    let horizon = model.horizon_us();
+    let roots = model.root_of();
+    let by_id = model.index_by_id();
+
+    // Group spans per tree, then attribute each tree's timeline to
+    // its innermost open spans.
+    let mut trees: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (idx, &root) in roots.iter().enumerate() {
+        trees.entry(root).or_default().push(idx);
+    }
+    let mut self_us = vec![0i64; n];
+    for members in trees.values() {
+        attribute_tree(model, members, horizon, &by_id, &mut self_us);
+    }
+
+    // Aggregate per name.
+    let mut by_name: BTreeMap<&str, (u64, i64, i64)> = BTreeMap::new();
+    for (idx, span) in model.spans.iter().enumerate() {
+        let entry = by_name.entry(span.name.as_str()).or_default();
+        entry.0 += 1;
+        entry.1 += span.effective_end(horizon) - span.start_us;
+        entry.2 += self_us.get(idx).copied().unwrap_or(0);
+    }
+    let mut rows: Vec<PhaseRow> = by_name
+        .iter()
+        .map(|(name, &(count, total_us, s))| PhaseRow {
+            name: (*name).to_string(),
+            count,
+            total_us,
+            self_us: s,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.self_us.cmp(&a.self_us).then_with(|| a.name.cmp(&b.name)));
+
+    // The main tree: a `driver.run` root when present, else the
+    // longest root span.
+    let main_root = trees
+        .keys()
+        .copied()
+        .filter(|&r| model.spans.get(r).is_some_and(|s| s.name == "driver.run"))
+        .chain(trees.keys().copied().max_by_key(|&r| {
+            model.spans.get(r).map_or(0, |s| s.effective_end(horizon) - s.start_us)
+        }))
+        .next();
+    let main = main_root.and_then(|root| {
+        let span = model.spans.get(root)?;
+        let members = trees.get(&root)?;
+        Some(MainTree {
+            name: span.name.clone(),
+            start_us: span.start_us,
+            end_us: span.effective_end(horizon),
+            attributed_us: members.iter().map(|&i| self_us.get(i).copied().unwrap_or(0)).sum(),
+        })
+    });
+
+    // Folded stacks from per-span self time.
+    let mut folded: BTreeMap<String, i64> = BTreeMap::new();
+    for idx in 0..model.spans.len() {
+        let weight = self_us.get(idx).copied().unwrap_or(0);
+        if weight == 0 {
+            continue;
+        }
+        let mut stack = Vec::new();
+        let mut at = idx;
+        for _ in 0..=n {
+            let Some(s) = model.spans.get(at) else { break };
+            stack.push(s.name.as_str());
+            match by_id.get(&s.parent) {
+                Some(&up) if s.parent != 0 && up != at => at = up,
+                _ => break,
+            }
+        }
+        stack.reverse();
+        *folded.entry(stack.join(";")).or_default() += weight;
+    }
+    Profile { rows, main, folded: folded.into_iter().collect() }
+}
+
+/// Sweeps one tree's boundaries, crediting each elementary interval
+/// to the open spans that have no open children (split evenly; the
+/// integer remainder goes to the lowest span ids, keeping the sum
+/// exact).
+fn attribute_tree(
+    model: &TraceModel,
+    members: &[usize],
+    horizon: i64,
+    by_id: &BTreeMap<u64, usize>,
+    self_us: &mut [i64],
+) {
+    // Zero-duration spans never occupy an interval.
+    let mut live: Vec<usize> = members
+        .iter()
+        .copied()
+        .filter(|&i| model.spans.get(i).is_some_and(|s| s.effective_end(horizon) > s.start_us))
+        .collect();
+    if live.is_empty() {
+        return;
+    }
+    live.sort_by_key(|&i| model.spans.get(i).map_or(0, |s| s.id));
+
+    let mut bounds: Vec<i64> = live
+        .iter()
+        .flat_map(|&i| {
+            let s = &model.spans[i];
+            [s.start_us, s.effective_end(horizon)]
+        })
+        .collect();
+    bounds.sort_unstable();
+    bounds.dedup();
+
+    let mut open: Vec<usize> = Vec::new();
+    let mut open_children = vec![0usize; model.spans.len()];
+    let mut counted = vec![false; model.spans.len()];
+    let mut is_open = vec![false; model.spans.len()];
+    let mut leaves: Vec<usize> = Vec::new();
+    for w in bounds.windows(2) {
+        let (t, next) = match w {
+            [a, b] => (*a, *b),
+            _ => continue,
+        };
+        // Close spans ending at t, then open spans starting at t.
+        open.retain(|&i| {
+            let done = model.spans.get(i).is_some_and(|s| s.effective_end(horizon) <= t);
+            if done {
+                if let Some(f) = is_open.get_mut(i) {
+                    *f = false;
+                }
+                if counted.get(i).copied().unwrap_or(false) {
+                    let parent = model.spans.get(i).map_or(0, |s| s.parent);
+                    if let Some(&p) = by_id.get(&parent) {
+                        if let Some(c) = open_children.get_mut(p) {
+                            *c = c.saturating_sub(1);
+                        }
+                    }
+                }
+            }
+            !done
+        });
+        for &i in &live {
+            let Some(span) = model.spans.get(i) else { continue };
+            if span.start_us == t {
+                open.push(i);
+                if let Some(f) = is_open.get_mut(i) {
+                    *f = true;
+                }
+                if let Some(&p) = by_id.get(&span.parent) {
+                    if is_open.get(p).copied().unwrap_or(false) {
+                        if let Some(c) = open_children.get_mut(p) {
+                            *c += 1;
+                        }
+                        if let Some(f) = counted.get_mut(i) {
+                            *f = true;
+                        }
+                    }
+                }
+            }
+        }
+        leaves.clear();
+        leaves.extend(
+            open.iter().copied().filter(|&i| open_children.get(i).copied().unwrap_or(0) == 0),
+        );
+        if leaves.is_empty() {
+            continue;
+        }
+        leaves.sort_by_key(|&i| model.spans.get(i).map_or(0, |s| s.id));
+        let len = next - t;
+        let k = leaves.len() as i64;
+        let share = len / k;
+        let rem = (len % k) as usize;
+        for (pos, &i) in leaves.iter().enumerate() {
+            if let Some(s) = self_us.get_mut(i) {
+                *s += share + i64::from(pos < rem);
+            }
+        }
+    }
+}
+
+/// Which phase owns an instant of a session's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionPhase {
+    /// Circuit setup (`session.vc_setup`).
+    Setup,
+    /// Bytes in flight (`session.transfer`).
+    Transfer,
+    /// Waiting for a slot or circuit (`session.queue_wait` remainder).
+    Wait,
+    /// Inter-transfer gaps and bookkeeping.
+    Other,
+}
+
+/// One session's timeline decomposition.
+#[derive(Debug, Clone)]
+pub struct SessionRow {
+    /// The driver's session index, when recorded.
+    pub session: Option<i64>,
+    /// Session interval, microseconds.
+    pub start_us: i64,
+    /// Session end (clamped for unfinished sessions).
+    pub end_us: i64,
+    /// Time per phase, microseconds; sums to `end_us - start_us`.
+    pub setup_us: i64,
+    /// See `setup_us`.
+    pub transfer_us: i64,
+    /// See `setup_us`.
+    pub wait_us: i64,
+    /// See `setup_us`.
+    pub other_us: i64,
+    /// Transfers completed inside the session.
+    pub transfers: u64,
+    /// Circuit establishment attempts observed.
+    pub attempts: u64,
+    /// Whether the session fell back to the routed IP path.
+    pub fallback: bool,
+    /// The phase partition, `(start_us, end_us, phase)` in order —
+    /// drives Gantt rendering.
+    pub segments: Vec<(i64, i64, SessionPhase)>,
+}
+
+/// Decomposes every `session.run` span into setup / transfer / wait /
+/// other time, priority-ordered so overlapping phases (setup happens
+/// *during* the queue wait) are not double-counted.
+#[must_use]
+pub fn sessions(model: &TraceModel) -> Vec<SessionRow> {
+    let horizon = model.horizon_us();
+    let roots = model.root_of();
+    let mut out = Vec::new();
+    for (idx, span) in model.spans.iter().enumerate() {
+        if span.name != "session.run" {
+            continue;
+        }
+        let start = span.start_us;
+        let end = span.effective_end(horizon);
+        let mut setup = Vec::new();
+        let mut transfer = Vec::new();
+        let mut wait = Vec::new();
+        let mut transfers = 0u64;
+        let mut attempts = 0u64;
+        let mut fallback = false;
+        for (midx, member) in model.spans.iter().enumerate() {
+            if midx == idx || !descends(model, &roots, midx, idx) {
+                continue;
+            }
+            let iv = (member.start_us.max(start), member.effective_end(horizon).min(end));
+            match member.name.as_str() {
+                "session.vc_setup" => setup.push(iv),
+                "session.transfer" => {
+                    transfers += 1;
+                    transfer.push(iv);
+                }
+                "session.queue_wait" => wait.push(iv),
+                "vc.attempt" => attempts += 1,
+                "session.fallback" => fallback = true,
+                _ => {}
+            }
+        }
+        let segments = partition(start, end, &setup, &transfer, &wait);
+        let mut sums = [0i64; 4];
+        for &(a, b, phase) in &segments {
+            let slot = match phase {
+                SessionPhase::Setup => 0,
+                SessionPhase::Transfer => 1,
+                SessionPhase::Wait => 2,
+                SessionPhase::Other => 3,
+            };
+            if let Some(s) = sums.get_mut(slot) {
+                *s += b - a;
+            }
+        }
+        let [setup_us, transfer_us, wait_us, other_us] = sums;
+        out.push(SessionRow {
+            session: span.fields.iter().find(|(k, _)| k == "session").and_then(|(_, v)| v.as_i64()),
+            start_us: start,
+            end_us: end,
+            setup_us,
+            transfer_us,
+            wait_us,
+            other_us,
+            transfers,
+            attempts,
+            fallback,
+            segments,
+        });
+    }
+    out.sort_by_key(|r| (r.start_us, r.session));
+    out
+}
+
+fn descends(model: &TraceModel, roots: &[usize], mut at: usize, ancestor: usize) -> bool {
+    // Quick reject: different trees cannot be related.
+    if roots.get(at) != roots.get(ancestor) {
+        return false;
+    }
+    let by_id = model.index_by_id();
+    for _ in 0..=model.spans.len() {
+        let Some(span) = model.spans.get(at) else { return false };
+        if span.parent == 0 {
+            return false;
+        }
+        match by_id.get(&span.parent) {
+            Some(&up) if up == ancestor => return true,
+            Some(&up) if up != at => at = up,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Splits `[start, end)` into contiguous phase segments, with setup
+/// beating transfer beating wait at instants covered by several.
+fn partition(
+    start: i64,
+    end: i64,
+    setup: &[(i64, i64)],
+    transfer: &[(i64, i64)],
+    wait: &[(i64, i64)],
+) -> Vec<(i64, i64, SessionPhase)> {
+    let mut bounds = vec![start, end];
+    for &(a, b) in setup.iter().chain(transfer).chain(wait) {
+        bounds.push(a.clamp(start, end));
+        bounds.push(b.clamp(start, end));
+    }
+    bounds.sort_unstable();
+    bounds.dedup();
+    let covered = |ivs: &[(i64, i64)], a: i64, b: i64| ivs.iter().any(|&(x, y)| x <= a && y >= b);
+    let mut out: Vec<(i64, i64, SessionPhase)> = Vec::new();
+    for w in bounds.windows(2) {
+        let (a, b) = match w {
+            [a, b] if b > a => (*a, *b),
+            _ => continue,
+        };
+        let phase = if covered(setup, a, b) {
+            SessionPhase::Setup
+        } else if covered(transfer, a, b) {
+            SessionPhase::Transfer
+        } else if covered(wait, a, b) {
+            SessionPhase::Wait
+        } else {
+            SessionPhase::Other
+        };
+        match out.last_mut() {
+            Some(last) if last.2 == phase && last.1 == a => last.1 = b,
+            _ => out.push((a, b, phase)),
+        }
+    }
+    out
+}
+
+/// Configuration for [`check`].
+#[derive(Debug, Clone, Copy)]
+pub struct CheckConfig {
+    /// Maximum tolerated per-session setup share (setup time over
+    /// session duration).
+    pub max_setup_share: f64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> CheckConfig {
+        CheckConfig { max_setup_share: 0.95 }
+    }
+}
+
+/// Outcome of [`check`].
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// Human-readable violations; empty means the trace is sound.
+    pub violations: Vec<String>,
+    /// Spans examined.
+    pub spans: usize,
+    /// Circuit spans matched against reservations.
+    pub circuits: usize,
+    /// Sessions whose setup share was bounded.
+    pub sessions: usize,
+}
+
+impl CheckReport {
+    /// True when no assertion failed.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Structural assertions over a trace: span pairing, parent links,
+/// circuit spans contained in their reservation windows, and the
+/// setup-share bound.
+#[must_use]
+pub fn check(model: &TraceModel, cfg: &CheckConfig) -> CheckReport {
+    let mut report = CheckReport { spans: model.spans.len(), ..CheckReport::default() };
+    for msg in &model.malformed {
+        report.violations.push(format!("malformed span event: {msg}"));
+    }
+    for id in &model.duplicate_starts {
+        report.violations.push(format!("span {id} started twice"));
+    }
+    for (t_us, id) in &model.orphan_ends {
+        report.violations.push(format!("span.end at t_us={t_us} for unknown span {id}"));
+    }
+    let by_id = model.index_by_id();
+    for span in &model.spans {
+        match span.end_us {
+            None => report.violations.push(format!(
+                "span {} ({}) started at t_us={} but never ended",
+                span.id, span.name, span.start_us
+            )),
+            Some(end) if end < span.start_us => report.violations.push(format!(
+                "span {} ({}) ends at t_us={} before its start t_us={}",
+                span.id, span.name, end, span.start_us
+            )),
+            Some(_) => {}
+        }
+        if span.parent != 0 && !by_id.contains_key(&span.parent) {
+            report.violations.push(format!(
+                "span {} ({}) references unknown parent {}",
+                span.id, span.name, span.parent
+            ));
+        }
+    }
+
+    // Circuit spans must not outlive their reservation windows. The
+    // admission event carries the window; join on the reservation id.
+    for span in model.spans.iter().filter(|s| s.name == "circuit.lifetime") {
+        let Some(rid) =
+            span.fields.iter().find(|(k, _)| k == "reservation").and_then(|(_, v)| v.as_i64())
+        else {
+            report.violations.push(format!("circuit span {} carries no reservation id", span.id));
+            continue;
+        };
+        let admit =
+            model.records.iter().find(|r| r.kind == "idc.admit" && r.int("id") == Some(rid));
+        let Some(admit) = admit else {
+            report.violations.push(format!(
+                "circuit span {} references reservation {rid} with no idc.admit event",
+                span.id
+            ));
+            continue;
+        };
+        report.circuits += 1;
+        let window_end = admit.t_us + (admit.num("window_s").unwrap_or(0.0) * 1e6).round() as i64;
+        if let Some(end) = span.end_us {
+            if end > window_end + 1 {
+                report.violations.push(format!(
+                    "circuit span {} for reservation {rid} ends at t_us={end}, outliving its \
+                     reservation window ending at t_us={window_end}",
+                    span.id
+                ));
+            }
+        }
+    }
+
+    // Setup share: the amortization bound the paper's Table IV is
+    // about — flag sessions whose circuit setup dominates.
+    for row in sessions(model) {
+        let dur = row.end_us - row.start_us;
+        if dur <= 0 {
+            continue;
+        }
+        report.sessions += 1;
+        let share = row.setup_us as f64 / dur as f64;
+        if share > cfg.max_setup_share + 1e-9 {
+            report.violations.push(format!(
+                "session {} spends {:.1}% of its {:.1}s in circuit setup (bound {:.1}%)",
+                row.session.map_or_else(|| "?".to_string(), |s| s.to_string()),
+                share * 100.0,
+                dur as f64 / 1e6,
+                cfg.max_setup_share * 100.0
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(line: &str) -> TraceRecord {
+        parse_record(line).expect("parse")
+    }
+
+    #[test]
+    fn parses_flat_objects() {
+        let r = rec(
+            r#"{"t_us":1500,"kind":"idc.admit","id":3,"rate_bps":1e9,"ok":true,"note":"a\nb","nothing":null,"neg":-2.5}"#,
+        );
+        assert_eq!(r.t_us, 1500);
+        assert_eq!(r.kind, "idc.admit");
+        assert_eq!(r.int("id"), Some(3));
+        assert_eq!(r.num("rate_bps"), Some(1e9));
+        assert_eq!(r.field("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(r.text("note"), Some("a\nb"));
+        assert_eq!(r.field("nothing"), Some(&JsonValue::Null));
+        assert_eq!(r.num("neg"), Some(-2.5));
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let r = rec(r#"{"t_us":0,"kind":"x","s":"q\"\\Aéé😀"}"#);
+        assert_eq!(r.text("s"), Some("q\"\\Aéé😀"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_record("{\"kind\":\"x\"}").is_err());
+        assert!(parse_record("{\"t_us\":1}").is_err());
+        assert!(parse_record("{\"t_us\":1,\"kind\":\"x\"} junk").is_err());
+        assert!(parse_record("{\"t_us\":1,\"kind\":\"x\",\"v\":{}}").is_err());
+        assert!(parse_record("not json").is_err());
+        let err = parse_trace("{\"t_us\":1,\"kind\":\"a\"}\nboom").expect_err("line 2");
+        assert_eq!(err.line, 2);
+    }
+
+    fn span_line(t: i64, id: u64, parent: u64, name: &str) -> String {
+        format!(
+            "{{\"t_us\":{t},\"kind\":\"span.start\",\"span\":{id},\"parent\":{parent},\
+             \"name\":\"{name}\"}}"
+        )
+    }
+
+    fn end_line(t: i64, id: u64) -> String {
+        format!("{{\"t_us\":{t},\"kind\":\"span.end\",\"span\":{id}}}")
+    }
+
+    /// driver.run [0,100]; session [10,90] with setup [10,40] and
+    /// transfer [40,80]; a detached root [0,50].
+    fn sample_model() -> TraceModel {
+        let text = [
+            span_line(0, 1, 0, "driver.run"),
+            span_line(10, 2, 1, "session.run"),
+            span_line(10, 3, 2, "session.queue_wait"),
+            span_line(10, 4, 3, "session.vc_setup"),
+            end_line(40, 4),
+            end_line(40, 3),
+            span_line(40, 5, 2, "session.transfer"),
+            end_line(80, 5),
+            end_line(90, 2),
+            end_line(100, 1),
+            span_line(0, 6, 0, "kernel.queue_wait"),
+            end_line(50, 6),
+        ]
+        .join("\n");
+        TraceModel::from_text(&text).expect("model")
+    }
+
+    #[test]
+    fn profile_reconciles_exactly() {
+        let p = profile(&sample_model());
+        let main = p.main.expect("main tree");
+        assert_eq!(main.name, "driver.run");
+        assert_eq!(main.end_us - main.start_us, 100);
+        assert_eq!(main.attributed_us, 100, "tree self times partition the root");
+        let row = |name: &str| p.rows.iter().find(|r| r.name == name).expect(name).clone();
+        assert_eq!(row("session.vc_setup").self_us, 30);
+        assert_eq!(row("session.transfer").self_us, 40);
+        assert_eq!(row("session.run").self_us, 10, "gaps inside the session");
+        assert_eq!(row("driver.run").self_us, 20, "time outside the session");
+        assert_eq!(row("session.queue_wait").self_us, 0, "fully covered by setup");
+        assert_eq!(row("kernel.queue_wait").self_us, 50, "independent tree");
+        let folded: BTreeMap<&str, i64> = p.folded.iter().map(|(s, v)| (s.as_str(), *v)).collect();
+        assert_eq!(
+            folded.get("driver.run;session.run;session.queue_wait;session.vc_setup"),
+            Some(&30)
+        );
+        assert_eq!(folded.get("kernel.queue_wait"), Some(&50));
+    }
+
+    #[test]
+    fn overlapping_leaves_split_the_interval() {
+        let text = [
+            span_line(0, 1, 0, "driver.run"),
+            span_line(0, 2, 1, "session.transfer"),
+            span_line(0, 3, 1, "session.transfer"),
+            end_line(10, 2),
+            end_line(10, 3),
+            end_line(10, 1),
+        ]
+        .join("\n");
+        let p = profile(&TraceModel::from_text(&text).expect("model"));
+        let row = p.rows.iter().find(|r| r.name == "session.transfer").expect("row");
+        assert_eq!(row.count, 2);
+        assert_eq!(row.total_us, 20, "durations double-count overlap");
+        assert_eq!(row.self_us, 10, "attribution does not");
+        assert_eq!(p.main.expect("main").attributed_us, 10);
+    }
+
+    #[test]
+    fn sessions_decompose_with_priority() {
+        let rows = sessions(&sample_model());
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.setup_us, 30);
+        assert_eq!(r.transfer_us, 40);
+        assert_eq!(r.wait_us, 0);
+        assert_eq!(r.other_us, 10);
+        assert_eq!(r.setup_us + r.transfer_us + r.wait_us + r.other_us, r.end_us - r.start_us);
+        assert_eq!(r.transfers, 1);
+        assert!(!r.fallback);
+        assert_eq!(r.segments.first().map(|s| s.2), Some(SessionPhase::Setup));
+    }
+
+    #[test]
+    fn check_accepts_sound_traces() {
+        let report = check(&sample_model(), &CheckConfig::default());
+        assert!(report.clean(), "{:?}", report.violations);
+        assert_eq!(report.spans, 6);
+        assert_eq!(report.sessions, 1);
+    }
+
+    #[test]
+    fn check_flags_truncation_and_bad_links() {
+        let text = [
+            span_line(0, 1, 0, "driver.run"),
+            span_line(5, 2, 9, "session.run"),
+            end_line(3, 2),
+            end_line(7, 7),
+        ]
+        .join("\n");
+        let report = check(&TraceModel::from_text(&text).expect("model"), &CheckConfig::default());
+        let all = report.violations.join("\n");
+        assert!(all.contains("never ended"), "{all}");
+        assert!(all.contains("unknown parent 9"), "{all}");
+        assert!(all.contains("unknown span 7"), "{all}");
+        assert!(all.contains("before its start"), "{all}");
+    }
+
+    #[test]
+    fn check_joins_circuits_to_reservations() {
+        let ok = [
+            "{\"t_us\":0,\"kind\":\"idc.admit\",\"id\":1,\"window_s\":100}".to_string(),
+            "{\"t_us\":10,\"kind\":\"span.start\",\"span\":1,\"parent\":0,\
+             \"name\":\"circuit.lifetime\",\"reservation\":1}"
+                .to_string(),
+            end_line(90_000_000, 1),
+        ]
+        .join("\n");
+        let report = check(&TraceModel::from_text(&ok).expect("model"), &CheckConfig::default());
+        assert!(report.clean(), "{:?}", report.violations);
+        assert_eq!(report.circuits, 1);
+
+        let overlong = ok.replace("\"t_us\":90000000,", "\"t_us\":150000000,");
+        let report =
+            check(&TraceModel::from_text(&overlong).expect("model"), &CheckConfig::default());
+        assert!(report.violations.join("\n").contains("outliving"), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn check_bounds_setup_share() {
+        let text = [
+            span_line(0, 1, 0, "session.run"),
+            span_line(0, 2, 1, "session.vc_setup"),
+            end_line(90, 2),
+            end_line(100, 1),
+        ]
+        .join("\n");
+        let model = TraceModel::from_text(&text).expect("model");
+        assert!(check(&model, &CheckConfig { max_setup_share: 0.95 }).clean());
+        let strict = check(&model, &CheckConfig { max_setup_share: 0.5 });
+        assert!(strict.violations.join("\n").contains("circuit setup"), "{strict:?}");
+    }
+}

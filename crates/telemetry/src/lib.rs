@@ -14,9 +14,17 @@
 //! * [`manifest`] — [`RunManifest`]: the RNG seed, config digest,
 //!   crate version, and wall-clock start of a run, so every emitted
 //!   report is reproducible-by-construction.
+//! * [`span`] — hierarchical spans over the trace stream: parent
+//!   links and deterministic ids, emitted as `span.start`/`span.end`
+//!   events and free when no sink is attached.
+//! * [`analyze`] — the offline side: parse a `--trace` JSONL file
+//!   back into records and a span forest, compute per-phase profiles
+//!   (self/total time, folded stacks), per-session timelines, and
+//!   structural checks. Powers the `gvc trace` subcommands.
 //!
 //! The trace-event schema and metric naming conventions are specified
-//! in `docs/observability.md` at the workspace root.
+//! in `docs/observability.md` at the workspace root; the span
+//! toolchain walkthrough lives in `docs/trace-analysis.md`.
 //!
 //! ```
 //! use gvc_telemetry::{Registry, Tracer, TraceEvent, Value};
@@ -31,12 +39,19 @@
 //! assert!(registry.render().contains("idc_admitted_total 1"));
 //! ```
 
+pub mod analyze;
 pub mod manifest;
 pub mod metrics;
+pub mod span;
 pub mod trace;
 
+pub use analyze::{
+    check, parse_trace, profile, sessions, CheckConfig, CheckReport, JsonValue, ParseError,
+    PhaseRow, Profile, SessionPhase, SessionRow, SpanNode, TraceModel, TraceRecord,
+};
 pub use manifest::{fnv1a64, RunManifest};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use span::SpanId;
 pub use trace::{JsonlSink, RingSink, SpanTimer, Stopwatch, TraceEvent, TraceSink, Tracer, Value};
 
 use std::sync::Arc;

@@ -281,11 +281,11 @@ impl Key {
     }
 
     fn render_labels(&self, extra: Option<(&str, String)>) -> String {
-        let mut parts: Vec<String> = self
-            .labels
-            .iter()
-            .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
-            .collect();
+        // Label-value escaping per the Prometheus text exposition
+        // format: backslash, double quote, and line feed.
+        let esc = |v: &str| v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n");
+        let mut parts: Vec<String> =
+            self.labels.iter().map(|(k, v)| format!("{k}=\"{}\"", esc(v))).collect();
         if let Some((k, v)) = extra {
             parts.push(format!("{k}=\"{v}\""));
         }
@@ -302,12 +302,20 @@ impl Key {
 #[derive(Default)]
 pub struct Registry {
     metrics: Mutex<BTreeMap<Key, Metric>>,
+    help: Mutex<BTreeMap<String, String>>,
 }
 
 impl Registry {
     /// An empty registry.
     pub fn new() -> Registry {
         Registry::default()
+    }
+
+    /// Attaches `# HELP` text to the metric family `name`; rendered
+    /// once per family ahead of its `# TYPE` line. Last write wins.
+    pub fn describe(&self, name: &str, help: &str) {
+        let mut h = self.help.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        h.insert(name.to_string(), help.to_string());
     }
 
     /// Gets or creates the counter `name{labels}`.
@@ -353,10 +361,18 @@ impl Registry {
     /// sorted by name then labels.
     pub fn render(&self) -> String {
         let m = self.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let help = self.help.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut out = String::new();
         let mut last_name = "";
         for (key, metric) in m.iter() {
             if key.name != last_name {
+                // `# HELP` then `# TYPE`, once per family even when
+                // the family spans several label sets.
+                if let Some(text) = help.get(&key.name) {
+                    // Help-text escaping: backslash and line feed.
+                    let text = text.replace('\\', "\\\\").replace('\n', "\\n");
+                    let _ = writeln!(out, "# HELP {} {text}", key.name);
+                }
                 let kind = match metric {
                     Metric::Counter(_) => "counter",
                     Metric::Gauge(_) => "gauge",
@@ -490,6 +506,55 @@ mod tests {
         // Label escaping.
         r.counter("lbl_total", &[("q", "a\"b")]).inc();
         assert!(r.render().contains("lbl_total{q=\"a\\\"b\"} 1"));
+    }
+
+    /// Conformance regression: parse the rendered exposition line by
+    /// line and assert the family-level invariants — `# HELP` then
+    /// `# TYPE` exactly once per family, full label-value escaping,
+    /// every sample line well-formed.
+    #[test]
+    fn render_conforms_to_text_exposition() {
+        let r = Registry::new();
+        r.describe("req_total", "Requests by\nendpoint \\ verb");
+        r.counter("req_total", &[("ep", "a\\b\"c\nd")]).inc();
+        r.counter("req_total", &[("ep", "plain")]).add(2);
+        r.describe("depth", "Queue depth");
+        r.gauge("depth", &[]).set(7);
+        r.histogram("lat_seconds", &[("ep", "plain")], Histogram::timing).record(0.5);
+        let text = r.render();
+
+        // Escapes: backslash, quote, and newline in label values;
+        // backslash and newline in help text.
+        assert!(text.contains("req_total{ep=\"a\\\\b\\\"c\\nd\"} 1"), "{text}");
+        assert!(text.contains("# HELP req_total Requests by\\nendpoint \\\\ verb"), "{text}");
+
+        let mut headers: Vec<&str> = Vec::new();
+        for line in text.lines() {
+            assert!(!line.is_empty());
+            if line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+                headers.push(line);
+                continue;
+            }
+            // Sample lines: name{labels} value — one space, parseable
+            // value, no raw newline left inside the braces.
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in {line:?}");
+            assert!(!series.is_empty());
+        }
+        // HELP immediately precedes TYPE for described families, and
+        // each family gets each header at most once.
+        let help_idx = headers.iter().position(|h| *h == "# HELP depth Queue depth");
+        let type_idx = headers.iter().position(|h| *h == "# TYPE depth gauge");
+        assert_eq!(help_idx.map(|i| i + 1), type_idx, "{headers:?}");
+        let type_req: Vec<_> =
+            headers.iter().filter(|h| h.starts_with("# TYPE req_total ")).collect();
+        assert_eq!(type_req.len(), 1, "one TYPE line for the two req_total series");
+        let help_req: Vec<_> =
+            headers.iter().filter(|h| h.starts_with("# HELP req_total ")).collect();
+        assert_eq!(help_req.len(), 1);
+        // Histogram families keep the classic shape.
+        assert!(text.contains("# TYPE lat_seconds histogram"));
+        assert!(text.contains("lat_seconds_bucket{ep=\"plain\",le=\"+Inf\"} 1"));
     }
 
     #[test]

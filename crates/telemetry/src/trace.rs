@@ -233,20 +233,25 @@ impl TraceSink for RingSink {
 }
 
 /// A cheap cloneable handle routing events to a sink, or nowhere.
+///
+/// Clones share one span-id counter, so span ids handed out by any
+/// clone of a run's tracer are unique across the whole run (see
+/// [`crate::span`]).
 #[derive(Clone, Default)]
 pub struct Tracer {
-    sink: Option<Arc<dyn TraceSink>>,
+    pub(crate) sink: Option<Arc<dyn TraceSink>>,
+    pub(crate) span_seq: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl Tracer {
     /// A tracer that drops everything at the cost of one branch.
     pub fn disabled() -> Tracer {
-        Tracer { sink: None }
+        Tracer { sink: None, span_seq: Arc::default() }
     }
 
     /// A tracer writing into `sink`.
     pub fn to_sink(sink: Arc<dyn TraceSink>) -> Tracer {
-        Tracer { sink: Some(sink) }
+        Tracer { sink: Some(sink), span_seq: Arc::default() }
     }
 
     /// Is a sink attached? Hot paths may use this to skip building

@@ -459,6 +459,140 @@ impl Rule for Hygiene {
     }
 }
 
+/// `trace-kind-naming`: trace event kinds and span names must be
+/// lowercase dot-namespaced string literals (`subsystem.event`) at
+/// the emit site, so the documented schema in
+/// `docs/observability.md` stays mechanically auditable (the
+/// `schema_drift` meta-test in `gvc-cli` closes the loop from the
+/// other side).
+pub struct TraceKindNaming {
+    allow: Vec<String>,
+}
+
+/// Call tokens whose next string-literal argument is an event kind or
+/// span name.
+const EMIT_TOKENS: &[&str] = &["TraceEvent::new(", ".span_enter(", ".span_enter_with("];
+
+/// How many lines after the emit token to search for the literal —
+/// rustfmt puts wrapped call arguments one per line, with the name
+/// never more than a few arguments in.
+const EMIT_LOOKAHEAD: usize = 5;
+
+impl TraceKindNaming {
+    pub fn new(allow: Vec<String>) -> TraceKindNaming {
+        TraceKindNaming { allow }
+    }
+
+    /// True for `seg(.seg)+` where each segment is nonempty
+    /// `[a-z0-9_]+`.
+    fn well_formed(name: &str) -> bool {
+        let mut segments = 0usize;
+        for seg in name.split('.') {
+            let ok = !seg.is_empty()
+                && seg.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+            if !ok {
+                return false;
+            }
+            segments += 1;
+        }
+        segments >= 2
+    }
+
+    /// The first string literal at or after char column `from` of line
+    /// `start`, as `(line index, 1-based col, contents)`. Scanning
+    /// stops at a `;` or `{` in the masked view — the name argument
+    /// always precedes the statement end and any closure body — or
+    /// when the lookahead window runs out. String masking blanks the
+    /// delimiters too, so a real literal is a position where the raw
+    /// line has `"` but the strings-masked views have a space (a quote
+    /// inside a comment survives in `nostr` and is skipped).
+    fn first_literal(
+        file: &SourceFile,
+        start: usize,
+        from: usize,
+    ) -> Option<(usize, usize, String)> {
+        let stop = (start + EMIT_LOOKAHEAD).min(file.code.len());
+        for j in start..stop {
+            let code: Vec<char> = file.code.get(j)?.chars().collect();
+            let raw: Vec<char> = file.raw.get(j)?.chars().collect();
+            let nostr: Vec<char> = file.nostr.get(j)?.chars().collect();
+            let begin = if j == start { from } else { 0 };
+            for at in begin..raw.len() {
+                if let Some(';' | '{') = code.get(at) {
+                    return None;
+                }
+                let opens = raw.get(at) == Some(&'"') && nostr.get(at) == Some(&' ');
+                if !opens {
+                    continue;
+                }
+                let close = (at + 1..raw.len()).find(|&k| {
+                    raw.get(k) == Some(&'"') && raw.get(k.wrapping_sub(1)) != Some(&'\\')
+                })?;
+                let lit: String = raw.get(at + 1..close)?.iter().collect();
+                return Some((j, at + 2, lit));
+            }
+        }
+        None
+    }
+}
+
+impl Rule for TraceKindNaming {
+    fn name(&self) -> &'static str {
+        "trace-kind-naming"
+    }
+
+    fn description(&self) -> &'static str {
+        "trace event kinds and span names must be lowercase dot-namespaced string literals \
+         (`subsystem.event`) at the emit site"
+    }
+
+    fn allowlist(&self) -> &[String] {
+        &self.allow
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (idx, code) in file.code.iter().enumerate() {
+            if file.is_test.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            for tok in EMIT_TOKENS {
+                for col in token_cols(code, tok) {
+                    let from =
+                        code.get(..col - 1 + tok.len()).map_or(0, |prefix| prefix.chars().count());
+                    match TraceKindNaming::first_literal(file, idx, from) {
+                        Some((line, lcol, lit)) => {
+                            if !TraceKindNaming::well_formed(&lit) {
+                                out.push(violation(
+                                    self.name(),
+                                    file,
+                                    line,
+                                    lcol,
+                                    format!(
+                                        "trace kind/span name `{lit}` must be lowercase \
+                                         dot-namespaced, e.g. `subsystem.event` \
+                                         (see docs/observability.md)"
+                                    ),
+                                ));
+                            }
+                        }
+                        None => out.push(violation(
+                            self.name(),
+                            file,
+                            idx,
+                            col,
+                            "trace kind/span name should be a string literal at the emit site \
+                             so the documented schema stays auditable"
+                                .to_string(),
+                        )),
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
 /// The default registry: every shipped rule with its allowlist.
 pub fn default_rules() -> Vec<Box<dyn Rule>> {
     vec![
@@ -467,6 +601,7 @@ pub fn default_rules() -> Vec<Box<dyn Rule>> {
         Box::new(NoStdoutInLib::new(vec![])),
         Box::new(OrderedIteration::new(vec![])),
         Box::new(Hygiene::new(vec![])),
+        Box::new(TraceKindNaming::new(vec![])),
     ]
 }
 
@@ -557,6 +692,34 @@ mod tests {
         assert!(v[0].message.contains("trailing"));
         assert!(v[1].message.contains("tab"));
         assert!(v[2].message.contains("issue reference"));
+    }
+
+    #[test]
+    fn trace_kind_naming_accepts_namespaced_literals() {
+        let src = "fn f(t: &Tracer) {\n    t.emit_with(|| TraceEvent::new(0, \"idc.admit\").field(\"id\", 1u64));\n    t.span_enter(SpanId::NONE, 0, \"session.vc_setup\");\n}\n";
+        assert!(TraceKindNaming::new(vec![]).check(&file("crates/core/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn trace_kind_naming_flags_bad_names_and_non_literals() {
+        let src = "fn f(t: &Tracer) {\n    t.emit_with(|| TraceEvent::new(0, \"BadKind\"));\n    t.span_enter(p, 0, name);\n    let s = t.span_enter_with(\n        p,\n        0,\n        \"single\",\n        |ev| ev,\n    );\n}\n";
+        let v = TraceKindNaming::new(vec![]).check(&file("crates/core/src/x.rs", src));
+        let lines: Vec<usize> = v.iter().map(|x| x.line).collect();
+        assert_eq!(lines, vec![2, 3, 7], "{v:#?}");
+        assert!(v.first().is_some_and(|x| x.message.contains("BadKind")));
+        assert!(v.get(1).is_some_and(|x| x.message.contains("string literal")));
+    }
+
+    #[test]
+    fn trace_kind_well_formedness() {
+        assert!(TraceKindNaming::well_formed("idc.admit"));
+        assert!(TraceKindNaming::well_formed("net.snmp_deposit"));
+        assert!(TraceKindNaming::well_formed("a.b.c2"));
+        assert!(!TraceKindNaming::well_formed("flat"));
+        assert!(!TraceKindNaming::well_formed("Idc.Admit"));
+        assert!(!TraceKindNaming::well_formed("idc..admit"));
+        assert!(!TraceKindNaming::well_formed("idc.admit "));
+        assert!(!TraceKindNaming::well_formed(""));
     }
 
     #[test]

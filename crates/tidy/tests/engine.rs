@@ -28,6 +28,7 @@ const UNORDERED_FIXTURE: &str = include_str!("fixtures/unordered_render.rs");
 const HYGIENE_FIXTURE: &str = include_str!("fixtures/hygiene.rs");
 const SUPPRESSION_FIXTURE: &str = include_str!("fixtures/suppressions.rs");
 const MASKED_FIXTURE: &str = include_str!("fixtures/masked_tokens.rs");
+const TRACE_KINDS_FIXTURE: &str = include_str!("fixtures/trace_kinds.rs");
 
 #[test]
 fn panic_fixture_exact_findings() {
@@ -141,6 +142,25 @@ fn suppression_fixture_semantics() {
         "{vs:#?}"
     );
     assert!(vs[1].message.contains("justification"));
+}
+
+#[test]
+fn trace_kinds_fixture_exact_findings() {
+    let vs = check("crates/gridftp/src/trace_kinds.rs", TRACE_KINDS_FIXTURE);
+    assert_eq!(
+        found(&vs),
+        vec![
+            ("trace-kind-naming", 5), // uppercase segments
+            ("trace-kind-naming", 6), // single segment
+            ("trace-kind-naming", 9), // name is not a string literal
+        ],
+        "{vs:#?}"
+    );
+    assert!(vs[0].message.contains("dot-namespaced"));
+    assert!(vs[2].message.contains("string literal"));
+    // The well-formed sites (including the rustfmt-wrapped call whose
+    // literal sits a few lines below the token) stay silent.
+    assert!(vs.iter().all(|v| v.line != 4 && v.line != 7 && v.line != 10));
 }
 
 #[test]

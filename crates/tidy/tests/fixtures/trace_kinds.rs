@@ -1,0 +1,17 @@
+//! Fixture: trace emit sites with malformed kind/span names.
+
+pub fn emit(t: &Tracer, parent: SpanId, name: &'static str) {
+    t.emit_with(|| TraceEvent::new(0, "idc.admit").field("rate", 1u64));
+    t.emit_with(|| TraceEvent::new(0, "UpperCase.Kind"));
+    t.emit_with(|| TraceEvent::new(0, "flat"));
+    let s = t.span_enter(parent, 0, "session.vc_setup");
+    t.span_exit(s, 1);
+    t.span_enter(parent, 0, name);
+    let wrapped = t.span_enter_with(
+        parent,
+        0,
+        "kernel.queue_wait",
+        |ev| ev.field("depth", 3u64),
+    );
+    t.span_exit(wrapped, 2);
+}

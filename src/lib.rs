@@ -49,7 +49,7 @@
 //! | [`core`] | `gvc-core` | the paper's analyses (sessions, Table IV, Eq. 1/2, …) |
 //! | [`workload`] | `gvc-workload` | calibrated scenario generators and ablations |
 //! | [`faults`] | `gvc-faults` | fault plans, injection, retry/backoff recovery policy |
-//! | [`telemetry`] | `gvc-telemetry` | metrics registry, JSONL tracing, run manifests |
+//! | [`telemetry`] | `gvc-telemetry` | metrics registry, JSONL tracing, spans, run manifests, offline trace analysis |
 
 pub use gvc_core as core;
 pub use gvc_engine as engine;
@@ -91,5 +91,8 @@ mod tests {
         assert_eq!(p.seed, 9);
         assert!(crate::prelude::RecoveryPolicy::default().validate().is_ok());
         assert!(!crate::telemetry::Telemetry::default().tracer.enabled());
+        assert!(crate::telemetry::SpanId::NONE.is_none());
+        let model = crate::telemetry::TraceModel::from_text("").unwrap();
+        assert!(crate::telemetry::check(&model, &Default::default()).clean());
     }
 }

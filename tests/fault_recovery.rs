@@ -109,7 +109,7 @@ fn two_injected_failures_yield_the_exact_retry_storyline() {
     // attempts 1 and 2, success on attempt 3.
     let faults: Vec<&TraceEvent> = events.iter().filter(|e| e.kind == "fault.injected").collect();
     for (i, f) in faults.iter().enumerate() {
-        assert_eq!(field_str(f, "kind"), Some("signalling_failure"));
+        assert_eq!(field_str(f, "fault"), Some("signalling_failure"));
         assert_eq!(field_u64(f, "attempt"), Some(i as u64 + 1));
     }
     let retries: Vec<&TraceEvent> = events.iter().filter(|e| e.kind == "recovery.retry").collect();
@@ -166,7 +166,7 @@ fn preemption_tears_down_the_circuit_and_the_session_finishes() {
     // storyline is the mid-reservation preemption.
     assert_eq!(storyline(&events), vec!["fault.injected"]);
     let preempt = events.iter().rfind(|e| e.kind == "fault.injected").unwrap();
-    assert_eq!(field_str(preempt, "kind"), Some("preemption"));
+    assert_eq!(field_str(preempt, "fault"), Some("preemption"));
 
     let r = out.resilience.expect("recovery attached");
     assert_eq!(r.preemptions, 1);
