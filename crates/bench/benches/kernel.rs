@@ -1,33 +1,29 @@
 //! Microbenchmarks of the discrete-event kernel.
+//!
+//! The workload is `gvc_bench::perfsuite::kernel_schedule_pop` — the
+//! exact function `gvc perf snapshot` measures — so criterion's
+//! elements/sec and the `BENCH_kernel.json` events/sec are the same
+//! quantity. Set `GVC_PERF_SNAPSHOT_DIR` to also drop a snapshot.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use gvc_engine::{EventQueue, SimTime};
+use criterion::{criterion_group, Criterion, Throughput};
+use gvc_bench::perfsuite::{emit_snapshot_for_bench, kernel_schedule_pop};
 
 fn bench_event_queue(c: &mut Criterion) {
     let mut g = c.benchmark_group("event_queue");
     for &n in &[1_000usize, 10_000, 100_000] {
         g.throughput(Throughput::Elements(n as u64));
         g.bench_function(format!("schedule_pop_{n}"), |b| {
-            // Pseudo-random but fixed schedule times.
-            let times: Vec<u64> = (0..n as u64).map(|i| (i * 2_654_435_761) % 1_000_000).collect();
-            b.iter_batched(
-                EventQueue::<u64>::new,
-                |mut q| {
-                    for (i, &t) in times.iter().enumerate() {
-                        q.schedule(SimTime::from_secs(t), i as u64);
-                    }
-                    let mut acc = 0u64;
-                    while let Some((_, e)) = q.pop() {
-                        acc = acc.wrapping_add(e);
-                    }
-                    acc
-                },
-                BatchSize::SmallInput,
-            );
+            b.iter(|| kernel_schedule_pop(n));
         });
     }
     g.finish();
 }
 
 criterion_group!(benches, bench_event_queue);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    if let Some(path) = emit_snapshot_for_bench("kernel") {
+        println!("wrote perf snapshot {}", path.display());
+    }
+}

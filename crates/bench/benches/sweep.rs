@@ -5,40 +5,19 @@
 //! dataset with an 8-gap × 4-delay grid; the `grid_1m` pair is the
 //! same comparison at the million-transfer scale the analyses are
 //! meant to reach.
+//!
+//! The dataset generator, grid, and engine workload come from
+//! `gvc_bench::perfsuite` — shared with `gvc perf snapshot` so
+//! criterion and `BENCH_sweep.json` measure the same records/sec.
+//! Set `GVC_PERF_SNAPSHOT_DIR` to also drop a snapshot.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, Criterion, Throughput};
+use gvc_bench::perfsuite::{
+    emit_snapshot_for_bench, engine_grid, synth_sweep_log, DELAYS_S, FACTOR, GAPS_S,
+};
 use gvc_core::sessions::group_sessions;
-use gvc_core::sweep::SessionStore;
 use gvc_core::vc_suitability::vc_suitability;
-use gvc_logs::{Dataset, TransferRecord, TransferType};
-
-const GAPS_S: [f64; 8] = [0.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0];
-const DELAYS_S: [f64; 4] = [60.0, 5.0, 1.0, 0.05];
-const FACTOR: f64 = 10.0;
-
-/// A synthetic log of `n` transfers across `pairs` server pairs, with
-/// enough spread in inter-arrival (and hence boundary gaps) that every
-/// grid gap changes the session structure.
-fn synth_log(n: usize, pairs: usize) -> Dataset {
-    let recs: Vec<TransferRecord> = (0..n)
-        .map(|i| {
-            let pair = i % pairs;
-            // Pair-local arrivals: spacing cycles through 1 s .. ~40 min.
-            let k = (i / pairs) as i64;
-            let spacing = 1 + (i as i64 * 2_654_435_761 % 2_400);
-            let start = k * spacing * 1_000_000 + pair as i64;
-            TransferRecord::simple(
-                TransferType::Retr,
-                ((i * 37) % 4000) as u64 * 1_000_000 + 1,
-                start,
-                5_000_000 + ((i * 13) % 100) as i64 * 100_000,
-                "server",
-                Some(&format!("peer-{pair}")),
-            )
-        })
-        .collect();
-    Dataset::from_records(recs)
-}
+use gvc_logs::Dataset;
 
 /// The full grid the slow way: regroup per gap, score per delay.
 fn legacy_grid(ds: &Dataset) -> usize {
@@ -53,16 +32,9 @@ fn legacy_grid(ds: &Dataset) -> usize {
     cells
 }
 
-/// The same grid through the engine (store build included, so the
-/// comparison covers the engine's whole cost).
-fn engine_grid(ds: &Dataset) -> usize {
-    let sweep = SessionStore::from_dataset(ds).sweep(&GAPS_S, &DELAYS_S, FACTOR);
-    sweep.cells.len() + sweep.gap_rows.len()
-}
-
 fn bench_sweep(c: &mut Criterion) {
     for &(label, n) in &[("500k", 500_000usize), ("1m", 1_000_000)] {
-        let ds = synth_log(n, 64);
+        let ds = synth_sweep_log(n, 64);
         let mut g = c.benchmark_group(format!("table_grid_{label}"));
         g.throughput(Throughput::Elements(n as u64));
         g.bench_function("engine_sweep", |b| {
@@ -76,4 +48,10 @@ fn bench_sweep(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_sweep);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    if let Some(path) = emit_snapshot_for_bench("sweep") {
+        println!("wrote perf snapshot {}", path.display());
+    }
+}

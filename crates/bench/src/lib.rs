@@ -9,6 +9,7 @@
 
 pub mod experiments;
 pub mod fmt;
+pub mod perfsuite;
 pub mod scenarios;
 
 pub use experiments::{run_experiment, EXPERIMENT_IDS};

@@ -1,0 +1,252 @@
+//! The standard host-performance workload matrix behind
+//! `gvc perf snapshot` and the criterion benches.
+//!
+//! One definition of each hot-path workload (kernel schedule/pop,
+//! session-sweep grid, trace parsing, session grouping) shared by
+//! both measurement layers, so criterion's `Melem/s` lines and the
+//! `BENCH_*.json` snapshots never disagree about what a number means.
+//! All timing goes through [`gvc_telemetry::perf::measure_throughput`]
+//! — the bench crate itself is held to the determinism lint and never
+//! reads a clock directly.
+
+use gvc_core::sessions::group_sessions;
+use gvc_core::sweep::SessionStore;
+use gvc_engine::{EventQueue, SimTime};
+use gvc_logs::{Dataset, TransferRecord, TransferType};
+use gvc_telemetry::parse_trace;
+use gvc_telemetry::perf::{measure_throughput, median, BenchMetric, PerfSnapshot};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The snapshot names `gvc perf snapshot` produces, in emission order.
+pub const SNAPSHOT_NAMES: &[&str] = &["kernel", "sweep", "analysis"];
+
+/// The paper-sized sweep grid (Table III gaps × Table IV delays).
+pub const GAPS_S: [f64; 8] = [0.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0];
+/// Setup delays swept per gap.
+pub const DELAYS_S: [f64; 4] = [60.0, 5.0, 1.0, 0.05];
+/// Circuit-worthiness overhead factor used across the suite.
+pub const FACTOR: f64 = 10.0;
+
+/// Scales a base workload size, clamped to stay meaningful.
+fn scaled(base: usize, scale: f64) -> usize {
+    ((base as f64 * scale).round() as usize).max(16)
+}
+
+/// Kernel hot path: schedule `n` pseudo-randomly timed events, pop
+/// them all. Returns the number of events processed. Identical to the
+/// `event_queue/schedule_pop_*` criterion workload.
+pub fn kernel_schedule_pop(n: usize) -> u64 {
+    let mut q = EventQueue::<u64>::new();
+    for i in 0..n as u64 {
+        // Pseudo-random but fixed schedule times.
+        let t = (i * 2_654_435_761) % 1_000_000;
+        q.schedule(SimTime::from_secs(t), i);
+    }
+    let mut acc = 0u64;
+    while let Some((_, e)) = q.pop() {
+        acc = acc.wrapping_add(e);
+    }
+    std::hint::black_box(acc);
+    n as u64
+}
+
+/// A synthetic log of `n` transfers across `pairs` server pairs, with
+/// enough spread in inter-arrival (and hence boundary gaps) that every
+/// grid gap changes the session structure. Identical to the criterion
+/// sweep bench's generator.
+pub fn synth_sweep_log(n: usize, pairs: usize) -> Dataset {
+    let recs: Vec<TransferRecord> = (0..n)
+        .map(|i| {
+            let pair = i % pairs;
+            // Pair-local arrivals: spacing cycles through 1 s .. ~40 min.
+            let k = (i / pairs) as i64;
+            let spacing = 1 + (i as i64 * 2_654_435_761 % 2_400);
+            let start = k * spacing * 1_000_000 + pair as i64;
+            TransferRecord::simple(
+                TransferType::Retr,
+                ((i * 37) % 4000) as u64 * 1_000_000 + 1,
+                start,
+                5_000_000 + ((i * 13) % 100) as i64 * 100_000,
+                "server",
+                Some(&format!("peer-{pair}")),
+            )
+        })
+        .collect();
+    Dataset::from_records(recs)
+}
+
+/// The full grid through the sweep engine (store build included, so
+/// the measurement covers the engine's whole cost).
+pub fn engine_grid(ds: &Dataset) -> usize {
+    let sweep = SessionStore::from_dataset(ds).sweep(&GAPS_S, &DELAYS_S, FACTOR);
+    sweep.cells.len() + sweep.gap_rows.len()
+}
+
+/// A synthetic log shaped like the analysis benches' input: steady
+/// arrivals across `pairs` server pairs.
+pub fn synth_analysis_log(n: usize, pairs: usize) -> Dataset {
+    let recs: Vec<TransferRecord> = (0..n)
+        .map(|i| {
+            let start = (i as i64) * 8_000_000;
+            TransferRecord::simple(
+                TransferType::Retr,
+                ((i * 37) % 1000) as u64 * 1_000_000 + 1,
+                start,
+                5_000_000 + ((i * 13) % 100) as i64 * 100_000,
+                "server",
+                Some(&format!("peer-{}", i % pairs)),
+            )
+        })
+        .collect();
+    Dataset::from_records(recs)
+}
+
+/// A deterministic JSONL trace of `lines` records shaped like a
+/// `gvc simulate --trace` stream.
+pub fn synth_trace_jsonl(lines: usize) -> String {
+    let mut out = String::with_capacity(lines * 96);
+    for i in 0..lines {
+        let t_us = i as u64 * 1250;
+        let _ = writeln!(
+            out,
+            "{{\"t_us\":{t_us},\"kind\":\"transfer.complete\",\"tag\":{tag},\"session\":{sess},\
+             \"bytes\":{bytes},\"duration_s\":{dur},\"mbps\":{mbps},\"streams\":4,\
+             \"lossy\":false,\"failed\":false}}",
+            tag = i,
+            sess = i % 500,
+            bytes = 5_000_000 + (i % 100) * 100_000,
+            dur = 1.5 + (i % 7) as f64 * 0.25,
+            mbps = 80.0 + (i % 40) as f64,
+        );
+    }
+    out
+}
+
+/// Parses `text` with the offline trace parser, returning the line
+/// count processed.
+pub fn parse_trace_lines(text: &str) -> u64 {
+    parse_trace(text).map_or(0, |records| records.len() as u64)
+}
+
+fn throughput_metric(id: &str, unit: &str, items: u64, samples: Vec<f64>) -> BenchMetric {
+    BenchMetric {
+        id: id.to_string(),
+        unit: unit.to_string(),
+        higher_is_better: true,
+        items,
+        value: median(&samples),
+        samples,
+    }
+}
+
+/// Runs the named snapshot's workloads `reps` times each (median-of-N)
+/// at `scale` × the standard sizes. `None` for an unknown name.
+///
+/// Standard sizes at `scale = 1.0`: kernel 200k events, sweep 200k
+/// records × the 8×4 grid, analysis 50k trace lines + 100k records.
+pub fn run_snapshot(name: &str, reps: u64, scale: f64) -> Option<PerfSnapshot> {
+    let mut snap = PerfSnapshot::new(name, reps);
+    match name {
+        "kernel" => {
+            let n = scaled(200_000, scale);
+            let (items, rates) = measure_throughput(reps, || kernel_schedule_pop(n));
+            snap.metrics.push(throughput_metric(
+                "kernel.schedule_pop.events_per_sec",
+                "events/sec",
+                items,
+                rates,
+            ));
+        }
+        "sweep" => {
+            let n = scaled(200_000, scale);
+            let ds = synth_sweep_log(n, 64);
+            let (items, rates) = measure_throughput(reps, || {
+                std::hint::black_box(engine_grid(&ds));
+                n as u64
+            });
+            snap.metrics.push(throughput_metric(
+                "sweep.engine_grid.records_per_sec",
+                "records/sec",
+                items,
+                rates,
+            ));
+        }
+        "analysis" => {
+            let lines = scaled(50_000, scale);
+            let text = synth_trace_jsonl(lines);
+            let (items, rates) = measure_throughput(reps, || parse_trace_lines(&text));
+            snap.metrics.push(throughput_metric(
+                "analysis.parse_trace.lines_per_sec",
+                "lines/sec",
+                items,
+                rates,
+            ));
+            let n = scaled(100_000, scale);
+            let ds = synth_analysis_log(n, 20);
+            let (items, rates) = measure_throughput(reps, || {
+                std::hint::black_box(group_sessions(&ds, 60.0));
+                n as u64
+            });
+            snap.metrics.push(throughput_metric(
+                "analysis.group_sessions.records_per_sec",
+                "records/sec",
+                items,
+                rates,
+            ));
+        }
+        _ => return None,
+    }
+    Some(snap)
+}
+
+/// Bench-binary hook: when `GVC_PERF_SNAPSHOT_DIR` is set, re-measures
+/// the named workload through the shared snapshot writer and drops
+/// `BENCH_<name>.json` there, so a criterion run can leave the same
+/// artifact `gvc perf snapshot` would. Returns the written path.
+pub fn emit_snapshot_for_bench(name: &str) -> Option<PathBuf> {
+    let dir = PathBuf::from(std::env::var_os("GVC_PERF_SNAPSHOT_DIR")?);
+    std::fs::create_dir_all(&dir).ok()?;
+    let snap = run_snapshot(name, 3, 1.0)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    snap.write(&path).ok()?;
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_snapshot_name_is_none() {
+        assert!(run_snapshot("nope", 1, 0.01).is_none());
+    }
+
+    #[test]
+    fn every_snapshot_runs_small_and_round_trips() {
+        for &name in SNAPSHOT_NAMES {
+            let snap = run_snapshot(name, 2, 0.01).expect(name);
+            assert_eq!(snap.name, name);
+            assert_eq!(snap.reps, 2);
+            assert!(!snap.metrics.is_empty(), "{name}");
+            for m in &snap.metrics {
+                assert!(m.value > 0.0, "{name}/{}", m.id);
+                assert_eq!(m.samples.len(), 2, "{name}/{}", m.id);
+                assert!(m.higher_is_better);
+            }
+            let back = PerfSnapshot::parse(&snap.to_json()).expect("parse");
+            assert_eq!(back, snap);
+        }
+    }
+
+    #[test]
+    fn kernel_workload_processes_all_events() {
+        assert_eq!(kernel_schedule_pop(1000), 1000);
+    }
+
+    #[test]
+    fn trace_workload_parses_every_line() {
+        let text = synth_trace_jsonl(500);
+        assert_eq!(parse_trace_lines(&text), 500);
+    }
+}

@@ -3,6 +3,13 @@
 
 use gvc_cli::{parse_flags, run_command, COMMANDS};
 
+// Feature-gated counting allocator: `--features perf-alloc` makes the
+// `--perf` report include allocation counts. Off by default — the
+// default binary keeps the system allocator untouched.
+#[cfg(feature = "perf-alloc")]
+#[global_allocator]
+static ALLOC: gvc_telemetry::perf::CountingAlloc = gvc_telemetry::perf::CountingAlloc;
+
 fn usage() {
     eprintln!("gvc — GridFTP virtual-circuit study toolkit\n");
     eprintln!("commands:");
@@ -13,6 +20,8 @@ fn usage() {
     eprintln!("  {:<64} write structured JSONL trace events", "--trace <path>");
     eprintln!("  {:<64} print the metric exposition after the command", "--metrics");
     eprintln!("  {:<64} write the metric exposition to a file", "--metrics-out <path>");
+    eprintln!("  {:<64} print a host-performance report (phases, RSS)", "--perf");
+    eprintln!("  {:<64} write the host-performance report to a file", "--perf-out <path>");
 }
 
 fn main() {

@@ -22,7 +22,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 /// `(name, usage, description)` for every subcommand.
-pub const COMMANDS: [(&str, &str, &str); 8] = [
+pub const COMMANDS: [(&str, &str, &str); 9] = [
     ("summary", "gvc summary <log>", "descriptive statistics of a usage log"),
     ("sessions", "gvc sessions <log> [--gap 60]", "group transfers into sessions"),
     (
@@ -55,6 +55,11 @@ pub const COMMANDS: [(&str, &str, &str); 8] = [
         "gvc trace <profile|sessions|check> <trace.jsonl> [--folded <out>] [--max-setup-share 0.95]",
         "offline span analysis of a --trace JSONL file",
     ),
+    (
+        "perf",
+        "gvc perf <snapshot|diff|gate> [--out-dir <dir>] [--tolerance 0.15] [--threshold 2.0]",
+        "host-performance snapshots, diffs, and the regression gate",
+    ),
 ];
 
 /// Canonical argv reconstruction: positionals in order then sorted
@@ -70,19 +75,24 @@ fn config_string(a: &ParsedArgs) -> String {
 }
 
 /// Builds the telemetry context requested by the global `--trace
-/// <path>` / `--metrics` flags. The second element is true when any
-/// instrumentation was requested (otherwise the context is inert and
-/// nothing is attached to the subsystems).
+/// <path>` / `--metrics` / `--perf` flags. The second element is true
+/// when any instrumentation was requested (otherwise the context is
+/// inert and nothing is attached to the subsystems).
 fn telemetry_from_flags(a: &ParsedArgs) -> Result<(Telemetry, bool), CliError> {
-    if let Some(path) = a.flags.get("trace") {
+    let want_perf = a.bool_flag("perf") || a.flags.contains_key("perf-out");
+    let (telemetry, instrumented) = if let Some(path) = a.flags.get("trace") {
         let sink =
             JsonlSink::create(path).map_err(|e| CliError(format!("cannot create {path}: {e}")))?;
-        return Ok((Telemetry::with_sink(Arc::new(sink)), true));
+        (Telemetry::with_sink(Arc::new(sink)), true)
+    } else if want_perf || a.bool_flag("metrics") || a.flags.contains_key("metrics-out") {
+        (Telemetry::metrics_only(), true)
+    } else {
+        (Telemetry::default(), false)
+    };
+    if want_perf {
+        return Ok((telemetry.with_perf(), true));
     }
-    if a.bool_flag("metrics") || a.flags.contains_key("metrics-out") {
-        return Ok((Telemetry::metrics_only(), true));
-    }
-    Ok((Telemetry::default(), false))
+    Ok((telemetry, instrumented))
 }
 
 fn load(path: &str) -> Result<Dataset, CliError> {
@@ -237,6 +247,7 @@ fn cmd_sweep<W: Write>(a: &ParsedArgs, w: &mut W, telemetry: &Telemetry) -> Resu
     }
     let store = SessionStore::from_dataset(&ds);
     let sweep = store.sweep_with_telemetry(&gaps, &delays, factor, telemetry);
+    let emit_phase = telemetry.perf.phase("report_emission");
     writeln!(
         w,
         "{} transfers across {} pairs ({} not sessionizable, {} degenerate)",
@@ -270,10 +281,15 @@ fn cmd_sweep<W: Write>(a: &ParsedArgs, w: &mut W, telemetry: &Telemetry) -> Resu
             c.pct_transfers()
         )?;
     }
+    drop(emit_phase);
     Ok(())
 }
 
-fn cmd_generate<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
+fn cmd_generate<W: Write>(
+    a: &ParsedArgs,
+    w: &mut W,
+    telemetry: &Telemetry,
+) -> Result<(), CliError> {
     let scenario = a.positional(1, "scenario")?.to_owned();
     let out = a.positional(2, "out")?.to_owned();
     let scale: f64 = a.flag_or("scale", 0.1)?;
@@ -281,6 +297,7 @@ fn cmd_generate<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
     if scale <= 0.0 || scale.is_nan() {
         return Err(CliError("--scale must be positive".into()));
     }
+    let mut gen_phase = telemetry.perf.phase("workload_generation");
     let ds = match scenario.as_str() {
         "ncar" => gvc_workload::ncar_nics::generate(gvc_workload::ncar_nics::NcarNicsConfig {
             seed,
@@ -297,7 +314,11 @@ fn cmd_generate<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
         }),
         other => return Err(CliError(format!("unknown scenario {other:?} (want ncar|slac|anl)"))),
     };
+    gen_phase.items(ds.len() as u64);
+    drop(gen_phase);
+    let emit_phase = telemetry.perf.phase("report_emission");
     save(&out, &ds)?;
+    drop(emit_phase);
     writeln!(w, "wrote {} transfers to {out}", ds.len())?;
     Ok(())
 }
@@ -366,7 +387,9 @@ fn cmd_simulate<W: Write>(
     }
 
     let result = d.run(SimTime::from_secs_f64(horizon));
+    let emit_phase = telemetry.perf.phase("report_emission");
     save(&out, &result.log)?;
+    drop(emit_phase);
     writeln!(w, "wrote {} transfers to {out}", result.log.len())?;
     if let Some(stats) = &result.idc_stats {
         writeln!(w, "circuits: {} admitted, {} blocked", stats.admitted, stats.blocked)?;
@@ -410,14 +433,22 @@ fn cmd_simulate<W: Write>(
     Ok(())
 }
 
-fn load_trace(path: &str) -> Result<gvc_telemetry::TraceModel, CliError> {
+fn load_trace(path: &str, telemetry: &Telemetry) -> Result<gvc_telemetry::TraceModel, CliError> {
+    let mut phase = telemetry.perf.phase("trace_analysis");
     let text =
         std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
-    gvc_telemetry::TraceModel::from_text(&text).map_err(|e| CliError(format!("{path}: {e}")))
+    let model = gvc_telemetry::TraceModel::from_text(&text)
+        .map_err(|e| CliError(format!("{path}: {e}")))?;
+    phase.items(model.records.len() as u64);
+    Ok(model)
 }
 
-fn cmd_trace_profile<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
-    let model = load_trace(a.positional(2, "trace.jsonl")?)?;
+fn cmd_trace_profile<W: Write>(
+    a: &ParsedArgs,
+    w: &mut W,
+    telemetry: &Telemetry,
+) -> Result<(), CliError> {
+    let model = load_trace(a.positional(2, "trace.jsonl")?, telemetry)?;
     let p = gvc_telemetry::profile(&model);
     if p.rows.is_empty() {
         writeln!(w, "no spans in trace ({} records)", model.records.len())?;
@@ -465,8 +496,12 @@ fn phase_char(phase: gvc_telemetry::SessionPhase) -> char {
     }
 }
 
-fn cmd_trace_sessions<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
-    let model = load_trace(a.positional(2, "trace.jsonl")?)?;
+fn cmd_trace_sessions<W: Write>(
+    a: &ParsedArgs,
+    w: &mut W,
+    telemetry: &Telemetry,
+) -> Result<(), CliError> {
+    let model = load_trace(a.positional(2, "trace.jsonl")?, telemetry)?;
     let rows = gvc_telemetry::sessions(&model);
     if rows.is_empty() {
         writeln!(w, "no session spans in trace ({} spans)", model.spans.len())?;
@@ -505,13 +540,17 @@ fn cmd_trace_sessions<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliErro
     Ok(())
 }
 
-fn cmd_trace_check<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
+fn cmd_trace_check<W: Write>(
+    a: &ParsedArgs,
+    w: &mut W,
+    telemetry: &Telemetry,
+) -> Result<(), CliError> {
     let path = a.positional(2, "trace.jsonl")?.to_owned();
     let max_setup_share: f64 = a.flag_or("max-setup-share", 0.95)?;
     if !(0.0..=1.0).contains(&max_setup_share) {
         return Err(CliError("--max-setup-share must be in [0, 1]".into()));
     }
-    let model = load_trace(&path)?;
+    let model = load_trace(&path, telemetry)?;
     let report = gvc_telemetry::check(&model, &gvc_telemetry::CheckConfig { max_setup_share });
     writeln!(
         w,
@@ -530,11 +569,11 @@ fn cmd_trace_check<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> 
 
 /// `gvc trace <profile|sessions|check> <trace.jsonl>`: offline span
 /// analysis over a `--trace` JSONL file.
-fn cmd_trace<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
+fn cmd_trace<W: Write>(a: &ParsedArgs, w: &mut W, telemetry: &Telemetry) -> Result<(), CliError> {
     match a.positional(1, "profile|sessions|check")? {
-        "profile" => cmd_trace_profile(a, w),
-        "sessions" => cmd_trace_sessions(a, w),
-        "check" => cmd_trace_check(a, w),
+        "profile" => cmd_trace_profile(a, w, telemetry),
+        "sessions" => cmd_trace_sessions(a, w, telemetry),
+        "check" => cmd_trace_check(a, w, telemetry),
         other => Err(CliError(format!(
             "unknown trace subcommand {other:?} (want profile|sessions|check)"
         ))),
@@ -548,8 +587,10 @@ fn cmd_trace<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
 /// events (starting with a `run.manifest` record) to the given path,
 /// `--metrics` appends the Prometheus-style exposition to the output
 /// once the command finishes, and `--metrics-out` writes that same
-/// exposition to a file instead. Without these flags the telemetry
-/// context is inert.
+/// exposition to a file instead. `--perf` appends a host-performance
+/// `PerfReport` (wall-clock phase timings, throughput, peak RSS) as
+/// JSON, and `--perf-out <path>` writes that report to a file.
+/// Without these flags the telemetry context is inert.
 pub fn run_command<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
     let command = a.positional(0, "command")?;
     let (telemetry, _instrumented) = telemetry_from_flags(a)?;
@@ -568,16 +609,26 @@ pub fn run_command<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> 
         "sessions" => cmd_sessions(a, w),
         "suitability" => cmd_suitability(a, w),
         "sweep" => cmd_sweep(a, w, &telemetry),
-        "generate" => cmd_generate(a, w),
+        "generate" => cmd_generate(a, w, &telemetry),
         "anonymize" => cmd_anonymize(a, w),
         "simulate" => cmd_simulate(a, w, &telemetry),
-        "trace" => cmd_trace(a, w),
+        "trace" => cmd_trace(a, w, &telemetry),
+        "perf" => crate::perf::cmd_perf(a, w),
         other => Err(CliError(format!(
             "unknown command {other:?}; available: {}",
             COMMANDS.map(|(n, _, _)| n).join(", ")
         ))),
     }?;
     telemetry.tracer.flush();
+    if let Some(report) = telemetry.perf.report() {
+        if let Some(path) = a.flags.get("perf-out") {
+            std::fs::write(path, report.to_json())
+                .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        }
+        if a.bool_flag("perf") {
+            write!(w, "{}", report.to_json())?;
+        }
+    }
     if let Some(path) = a.flags.get("metrics-out") {
         std::fs::write(path, telemetry.registry.render())
             .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;

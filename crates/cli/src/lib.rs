@@ -17,17 +17,24 @@
 //!                                        run the instrumented simulation
 //! gvc trace <profile|sessions|check> <trace.jsonl>
 //!                                        offline span analysis of a trace
+//! gvc perf <snapshot|diff|gate>          host-performance snapshots and the
+//!                                        regression gate
 //! ```
 //!
 //! Every command also accepts the global observability flags
 //! `--trace <path>` (stream structured JSONL events, starting with a
 //! `run.manifest` record), `--metrics` (append the Prometheus-style
-//! metric exposition to the output), and `--metrics-out <path>` (write
-//! that exposition to a file). See `docs/observability.md` for the
-//! event schema and `docs/trace-analysis.md` for the span toolchain.
+//! metric exposition to the output), `--metrics-out <path>` (write
+//! that exposition to a file), `--perf` (append a host-performance
+//! report: wall-clock phase timings, throughput, peak RSS), and
+//! `--perf-out <path>` (write that report to a file). See
+//! `docs/observability.md` for the event schema, `docs/perf.md` for
+//! the host-performance toolchain, and `docs/trace-analysis.md` for
+//! the span toolchain.
 
 pub mod args;
 pub mod commands;
+pub mod perf;
 
 pub use args::{parse_flags, CliError, ParsedArgs};
 pub use commands::{run_command, COMMANDS};

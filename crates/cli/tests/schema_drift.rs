@@ -119,3 +119,35 @@ fn emitted_trace_schema_matches_the_documentation() {
          gvc_oscars::create_circuit_with_recovery"
     );
 }
+
+#[test]
+fn emitted_perf_families_match_the_documentation() {
+    let doc_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/observability.md");
+    let doc = std::fs::read_to_string(doc_path).expect("docs/observability.md");
+    let perf_doc = documented(&doc, "Host-performance metrics", false);
+    assert!(!perf_doc.is_empty(), "host-perf family table parsed");
+
+    // A --perf run's exposition must contain exactly the documented
+    // perf_* families (pre-registered by the recorder, so the set is
+    // stable even for phases that record no items).
+    let log = tmpfile("perf-families.log");
+    let argv = ["simulate", &log, "--seed", "7", "--jobs", "2", "--perf", "--metrics"];
+    let parsed =
+        parse_flags(argv.iter().map(std::string::ToString::to_string)).expect("parse argv");
+    let mut out = Vec::new();
+    run_command(&parsed, &mut out).expect("simulate");
+    let text = String::from_utf8(out).expect("utf8");
+    let emitted: BTreeSet<String> = text
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|rest| rest.split_whitespace().next())
+        .filter(|name| name.starts_with("perf_"))
+        .map(str::to_string)
+        .collect();
+    std::fs::remove_file(&log).ok();
+    assert_eq!(
+        emitted, perf_doc,
+        "perf_* families emitted by a --perf run must match the \
+         \"Host-performance metrics\" table in docs/observability.md"
+    );
+}

@@ -348,6 +348,8 @@ impl SessionStore {
             telemetry.registry.histogram("analysis_sweep_duration_seconds", &[], Histogram::timing);
         let result = {
             let _timer = SpanTimer::start(&hist);
+            let mut perf_phase = telemetry.perf.phase("sweep");
+            perf_phase.items(self.len() as u64);
             self.sweep(gaps_s, setup_delays_s, overhead_factor)
         };
         let reg = &telemetry.registry;

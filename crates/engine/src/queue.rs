@@ -94,6 +94,9 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
     now: SimTime,
+    /// Lifetime pop count, kept unconditionally (no telemetry needed)
+    /// so host-perf phase throughput can be derived after a run.
+    popped: u64,
     telemetry: Option<QueueTelemetry>,
 }
 
@@ -106,7 +109,13 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue with the clock at the epoch.
     pub fn new() -> EventQueue<E> {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO, telemetry: None }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+            telemetry: None,
+        }
     }
 
     /// Attaches kernel metrics (push/pop counts, depth high-water
@@ -157,6 +166,7 @@ impl<E> EventQueue<E> {
         self.heap.pop().map(|e| {
             debug_assert!(e.at >= self.now);
             self.now = e.at;
+            self.popped += 1;
             if let Some(t) = &self.telemetry {
                 t.dispatched.inc();
                 t.tracer.span_exit(e.span, e.at.micros() as i64);
@@ -168,6 +178,12 @@ impl<E> EventQueue<E> {
     /// Timestamp of the next event without popping.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.at)
+    }
+
+    /// Total events popped over the queue's lifetime (independent of
+    /// telemetry attachment).
+    pub fn dispatched(&self) -> u64 {
+        self.popped
     }
 
     /// Number of pending events.
@@ -259,6 +275,18 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn dispatched_counts_without_telemetry() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.dispatched(), 0);
+        q.schedule(SimTime::from_secs(1), ());
+        q.schedule(SimTime::from_secs(2), ());
+        q.pop();
+        q.pop();
+        q.pop();
+        assert_eq!(q.dispatched(), 2);
     }
 
     #[test]

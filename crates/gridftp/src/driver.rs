@@ -971,6 +971,11 @@ impl Driver {
     /// `limit` bounds the simulation clock as a safety net against
     /// stalled flows.
     pub fn run(mut self, limit: SimTime) -> DriverOutput {
+        // Host-perf phase around the whole drive loop; items = kernel
+        // pops + flow completions. Disabled handle = one branch here.
+        let perf = self.telemetry_ctx.as_ref().map(|c| c.perf.clone()).unwrap_or_default();
+        let mut perf_phase = perf.phase("simulate");
+        let mut completions: u64 = 0;
         self.run_span =
             self.tracer.span_enter(SpanId::NONE, self.sim.now().micros() as i64, "driver.run");
         // Scheduled link flaps from the fault plan become calendar
@@ -1007,6 +1012,7 @@ impl Driver {
                     break;
                 }
                 let done = self.sim.run_until(tc);
+                completions += done.len() as u64;
                 for c in done {
                     self.handle_completion(c);
                 }
@@ -1016,6 +1022,7 @@ impl Driver {
                     break;
                 }
                 let done = self.sim.run_until(te);
+                completions += done.len() as u64;
                 for c in done {
                     self.handle_completion(c);
                 }
@@ -1040,6 +1047,8 @@ impl Driver {
                 0.0
             },
         });
+        perf_phase.items(self.pending.dispatched() + completions);
+        drop(perf_phase);
         if let Some(t) = &self.telemetry {
             t.tracer.flush();
         }

@@ -42,6 +42,7 @@
 pub mod analyze;
 pub mod manifest;
 pub mod metrics;
+pub mod perf;
 pub mod span;
 pub mod trace;
 
@@ -51,6 +52,10 @@ pub use analyze::{
 };
 pub use manifest::{fnv1a64, RunManifest};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use perf::{
+    diff_snapshots, BenchMetric, DiffReport, DiffRow, DiffStatus, HostFingerprint, Perf,
+    PerfReport, PerfSnapshot, PhaseGuard,
+};
 pub use span::SpanId;
 pub use trace::{JsonlSink, RingSink, SpanTimer, Stopwatch, TraceEvent, TraceSink, Tracer, Value};
 
@@ -66,17 +71,36 @@ pub struct Telemetry {
     pub registry: Arc<Registry>,
     /// The trace handle for this run.
     pub tracer: Tracer,
+    /// The host-performance recorder for this run (disabled unless
+    /// [`Telemetry::with_perf`] was called).
+    pub perf: Perf,
 }
 
 impl Telemetry {
     /// A live context tracing into `sink`.
     pub fn with_sink(sink: Arc<dyn TraceSink>) -> Telemetry {
-        Telemetry { registry: Arc::new(Registry::new()), tracer: Tracer::to_sink(sink) }
+        Telemetry {
+            registry: Arc::new(Registry::new()),
+            tracer: Tracer::to_sink(sink),
+            perf: Perf::disabled(),
+        }
     }
 
     /// Metrics-only context: registry live, tracing disabled.
     pub fn metrics_only() -> Telemetry {
-        Telemetry { registry: Arc::new(Registry::new()), tracer: Tracer::disabled() }
+        Telemetry {
+            registry: Arc::new(Registry::new()),
+            tracer: Tracer::disabled(),
+            perf: Perf::disabled(),
+        }
+    }
+
+    /// Enables host-performance recording ([`perf`]) on this context,
+    /// bound to its registry.
+    #[must_use]
+    pub fn with_perf(mut self) -> Telemetry {
+        self.perf = Perf::recording(&self.registry);
+        self
     }
 }
 
@@ -85,3 +109,9 @@ impl Default for Telemetry {
         Telemetry::metrics_only()
     }
 }
+
+// For this crate's own unit tests under `--features perf-alloc`,
+// install the counting allocator so `alloc_stats` moves.
+#[cfg(all(test, feature = "perf-alloc"))]
+#[global_allocator]
+static TEST_ALLOC: perf::CountingAlloc = perf::CountingAlloc;

@@ -1,0 +1,1562 @@
+//! Host-performance observability: wall-clock phase timers,
+//! throughput rates, peak-RSS sampling, allocation tallies, and the
+//! `BENCH_*.json` snapshot / diff / gate layer behind `gvc perf`.
+//!
+//! Everything wall-clock lives here on purpose: the simulation crates
+//! are held to the `determinism` tidy rule, and this module is the one
+//! sanctioned place (besides the CLI) where the host's real clock,
+//! `/proc`, and the allocator may be observed. None of it feeds back
+//! into simulated results — the [`Perf`] handle follows the same
+//! zero-cost `Option` hook pattern as the tracer: a disabled handle
+//! costs one branch per phase and records nothing.
+//!
+//! Three layers:
+//!
+//! * **Recording** — [`Perf`] / [`PhaseGuard`]: scoped wall-clock
+//!   timers around real program phases (workload generation, simulate,
+//!   sweep, trace analysis, report emission) feeding the
+//!   `perf_phase_seconds`, `perf_events_per_second`,
+//!   `perf_peak_rss_bytes`, and `perf_allocations_total` Prometheus
+//!   families, folded into a serializable [`PerfReport`].
+//! * **Snapshots** — [`PerfSnapshot`]: a named set of throughput
+//!   metrics with a [`HostFingerprint`] (host, cpu count, rustc, git
+//!   sha), median-of-N timed by [`measure_throughput`], written as
+//!   `BENCH_<name>.json`.
+//! * **Comparison** — [`diff_snapshots`]: per-metric tolerance
+//!   classification ([`DiffStatus`]) plus fingerprint-mismatch
+//!   warnings; the `gvc perf gate` exit code is derived from
+//!   [`DiffReport::gate_failures`].
+
+use crate::metrics::{Histogram, Registry};
+use crate::trace::{json_escape_into, Stopwatch};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------------
+// Minimal nested JSON value (the analyze-layer parser is flat-only).
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Objects preserve key order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A JSON parse error: byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the error.
+    pub pos: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl Json {
+    /// Parses one JSON document (trailing whitespace allowed).
+    pub fn parse(s: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { b: s.as_bytes(), i: 0 };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.i < p.b.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (first match); `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64` (rejects negatives and fractions).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+const MAX_DEPTH: usize = 32;
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError { pos: self.i, msg: msg.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
+        if self.b.get(self.i..self.i + word.len()) == Some(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.i;
+        while matches!(self.peek(), Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')) {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(self.b.get(start..self.i).unwrap_or_default())
+            .map_err(|_| self.err("invalid utf-8 in number"))?;
+        text.parse::<f64>().map(Json::Num).map_err(|_| self.err("malformed number"))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-scan the full UTF-8 sequence starting here.
+                    let start = self.i - 1;
+                    let rest = std::str::from_utf8(self.b.get(start..).unwrap_or_default())
+                        .map_err(|_| self.err("invalid utf-8 in string"))?;
+                    let ch = rest.chars().next().ok_or_else(|| self.err("empty string tail"))?;
+                    out.push(ch);
+                    self.i = start + ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (c as char).to_digit(16).ok_or_else(|| self.err("non-hex in \\u escape"))?;
+            v = v * 16 + d;
+            self.i += 1;
+        }
+        Ok(v)
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let val = self.value(depth + 1)?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    json_escape_into(out, s);
+}
+
+// ---------------------------------------------------------------------------
+// Host fingerprint
+// ---------------------------------------------------------------------------
+
+/// Where a snapshot was taken: enough environment identity to judge
+/// whether two snapshots' absolute numbers are comparable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostFingerprint {
+    /// Hostname (`HOSTNAME` env or `/proc/sys/kernel/hostname`).
+    pub host: String,
+    /// `std::env::consts::OS`.
+    pub os: String,
+    /// `std::env::consts::ARCH`.
+    pub arch: String,
+    /// Available logical CPUs.
+    pub cpus: u64,
+    /// `rustc --version` output, or `unknown`.
+    pub rustc: String,
+    /// Short git commit sha of the working tree, or `unknown`.
+    pub git_sha: String,
+    /// `gvc-telemetry` crate version.
+    pub version: String,
+    /// Wall-clock capture time, unix milliseconds.
+    pub created_unix_ms: u64,
+}
+
+impl HostFingerprint {
+    /// Captures the current host's fingerprint. Every probe degrades
+    /// to `"unknown"` (or 1 cpu) rather than failing.
+    pub fn capture() -> HostFingerprint {
+        HostFingerprint {
+            host: hostname(),
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpus: std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+            rustc: rustc_version(),
+            git_sha: git_sha(),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            created_unix_ms: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.as_millis() as u64),
+        }
+    }
+
+    fn to_json_into(&self, out: &mut String) {
+        out.push_str("{\"host\":");
+        write_str(out, &self.host);
+        out.push_str(",\"os\":");
+        write_str(out, &self.os);
+        out.push_str(",\"arch\":");
+        write_str(out, &self.arch);
+        let _ = write!(out, ",\"cpus\":{}", self.cpus);
+        out.push_str(",\"rustc\":");
+        write_str(out, &self.rustc);
+        out.push_str(",\"git_sha\":");
+        write_str(out, &self.git_sha);
+        out.push_str(",\"version\":");
+        write_str(out, &self.version);
+        let _ = write!(out, ",\"created_unix_ms\":{}}}", self.created_unix_ms);
+    }
+
+    fn from_json(v: &Json) -> Result<HostFingerprint, String> {
+        let text = |k: &str| -> String {
+            v.get(k).and_then(Json::as_str).unwrap_or("unknown").to_string()
+        };
+        Ok(HostFingerprint {
+            host: text("host"),
+            os: text("os"),
+            arch: text("arch"),
+            cpus: v.get("cpus").and_then(Json::as_u64).unwrap_or(1),
+            rustc: text("rustc"),
+            git_sha: text("git_sha"),
+            version: text("version"),
+            created_unix_ms: v.get("created_unix_ms").and_then(Json::as_u64).unwrap_or(0),
+        })
+    }
+
+    /// Human-readable mismatch list against `other` (empty when the
+    /// environments look comparable). Capture time and crate version
+    /// are expected to differ and are not compared.
+    pub fn mismatches(&self, other: &HostFingerprint) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut check = |what: &str, a: &str, b: &str| {
+            if a != b {
+                out.push(format!("{what} differs: baseline `{a}` vs candidate `{b}`"));
+            }
+        };
+        check("host", &self.host, &other.host);
+        check("os", &self.os, &other.os);
+        check("arch", &self.arch, &other.arch);
+        check("rustc", &self.rustc, &other.rustc);
+        if self.cpus != other.cpus {
+            out.push(format!(
+                "cpu count differs: baseline {} vs candidate {}",
+                self.cpus, other.cpus
+            ));
+        }
+        out
+    }
+}
+
+fn hostname() -> String {
+    if let Ok(h) = std::env::var("HOSTNAME") {
+        if !h.trim().is_empty() {
+            return h.trim().to_string();
+        }
+    }
+    std::fs::read_to_string("/proc/sys/kernel/hostname")
+        .map(|s| s.trim().to_string())
+        .ok()
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Short (12-hex) commit sha found by walking up from the current
+/// directory to the nearest `.git`, following `HEAD`.
+fn git_sha() -> String {
+    let Ok(mut dir) = std::env::current_dir() else {
+        return "unknown".to_string();
+    };
+    loop {
+        let git = dir.join(".git");
+        if git.is_dir() {
+            return git_sha_in(&git).unwrap_or_else(|| "unknown".to_string());
+        }
+        if !dir.pop() {
+            return "unknown".to_string();
+        }
+    }
+}
+
+fn git_sha_in(git: &Path) -> Option<String> {
+    let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+    let head = head.trim();
+    let full = if let Some(refname) = head.strip_prefix("ref: ") {
+        match std::fs::read_to_string(git.join(refname)) {
+            Ok(s) => s.trim().to_string(),
+            // Loose ref absent: look in packed-refs.
+            Err(_) => {
+                let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+                packed.lines().filter(|l| !l.starts_with('#') && !l.starts_with('^')).find_map(
+                    |l| {
+                        let (sha, name) = l.split_once(' ')?;
+                        (name.trim() == refname).then(|| sha.trim().to_string())
+                    },
+                )?
+            }
+        }
+    } else {
+        head.to_string()
+    };
+    let short: String = full.chars().take(12).collect();
+    (short.len() == 12 && short.chars().all(|c| c.is_ascii_hexdigit())).then_some(short)
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// Schema tag written into every snapshot file.
+pub const SNAPSHOT_SCHEMA: &str = "gvc.perf.snapshot/v1";
+/// Schema tag written into every [`PerfReport`].
+pub const REPORT_SCHEMA: &str = "gvc.perf.report/v1";
+
+/// One measured throughput metric inside a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchMetric {
+    /// Stable dotted id, e.g. `kernel.schedule_pop.events_per_sec`.
+    pub id: String,
+    /// Unit label, e.g. `events/sec`.
+    pub unit: String,
+    /// Whether larger values are better (true for throughputs).
+    pub higher_is_better: bool,
+    /// Work items processed per repetition.
+    pub items: u64,
+    /// The headline value: median of `samples`.
+    pub value: f64,
+    /// Per-repetition rates, in measurement order.
+    pub samples: Vec<f64>,
+}
+
+/// A named `BENCH_<name>.json` performance snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfSnapshot {
+    /// Snapshot name (`kernel`, `sweep`, `analysis`).
+    pub name: String,
+    /// Repetitions behind each metric's median.
+    pub reps: u64,
+    /// Where it was measured.
+    pub fingerprint: HostFingerprint,
+    /// The measured metrics.
+    pub metrics: Vec<BenchMetric>,
+}
+
+impl PerfSnapshot {
+    /// An empty snapshot for the current host.
+    pub fn new(name: &str, reps: u64) -> PerfSnapshot {
+        PerfSnapshot {
+            name: name.to_string(),
+            reps,
+            fingerprint: HostFingerprint::capture(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Looks up a metric by id.
+    pub fn metric(&self, id: &str) -> Option<&BenchMetric> {
+        self.metrics.iter().find(|m| m.id == id)
+    }
+
+    /// Renders the snapshot as pretty-printed JSON (stable field
+    /// order, one metric per line block, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512 + self.metrics.len() * 160);
+        out.push_str("{\n  \"schema\": ");
+        write_str(&mut out, SNAPSHOT_SCHEMA);
+        out.push_str(",\n  \"name\": ");
+        write_str(&mut out, &self.name);
+        let _ = write!(out, ",\n  \"reps\": {},\n  \"fingerprint\": ", self.reps);
+        self.fingerprint.to_json_into(&mut out);
+        out.push_str(",\n  \"metrics\": [");
+        for (i, m) in self.metrics.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            out.push_str("{\"id\": ");
+            write_str(&mut out, &m.id);
+            out.push_str(", \"unit\": ");
+            write_str(&mut out, &m.unit);
+            let _ = write!(
+                out,
+                ", \"higher_is_better\": {}, \"items\": {}, \"value\": ",
+                m.higher_is_better, m.items
+            );
+            write_f64(&mut out, m.value);
+            out.push_str(", \"samples\": [");
+            for (j, s) in m.samples.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                write_f64(&mut out, *s);
+            }
+            out.push_str("]}");
+        }
+        out.push_str(if self.metrics.is_empty() { "]\n}\n" } else { "\n  ]\n}\n" });
+        out
+    }
+
+    /// Parses a snapshot produced by [`PerfSnapshot::to_json`].
+    pub fn parse(text: &str) -> Result<PerfSnapshot, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        let schema = v.get("schema").and_then(Json::as_str).unwrap_or("");
+        if schema != SNAPSHOT_SCHEMA {
+            return Err(format!("unsupported snapshot schema `{schema}` (want {SNAPSHOT_SCHEMA})"));
+        }
+        let name = v.get("name").and_then(Json::as_str).ok_or("missing `name`")?.to_string();
+        let reps = v.get("reps").and_then(Json::as_u64).ok_or("missing `reps`")?;
+        let fingerprint =
+            HostFingerprint::from_json(v.get("fingerprint").ok_or("missing `fingerprint`")?)?;
+        let mut metrics = Vec::new();
+        for m in v.get("metrics").and_then(Json::as_arr).ok_or("missing `metrics`")? {
+            metrics.push(BenchMetric {
+                id: m.get("id").and_then(Json::as_str).ok_or("metric missing `id`")?.to_string(),
+                unit: m.get("unit").and_then(Json::as_str).unwrap_or("").to_string(),
+                higher_is_better: m.get("higher_is_better").and_then(Json::as_bool).unwrap_or(true),
+                items: m.get("items").and_then(Json::as_u64).unwrap_or(0),
+                value: m.get("value").and_then(Json::as_f64).ok_or("metric missing `value`")?,
+                samples: m
+                    .get("samples")
+                    .and_then(Json::as_arr)
+                    .map(|a| a.iter().filter_map(Json::as_f64).collect())
+                    .unwrap_or_default(),
+            });
+        }
+        Ok(PerfSnapshot { name, reps, fingerprint, metrics })
+    }
+
+    /// Writes the snapshot to `path` (overwriting).
+    pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Loads and parses the snapshot at `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<PerfSnapshot, String> {
+        let path = path.as_ref();
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        PerfSnapshot::parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+    }
+}
+
+/// Median of `xs` (mean of the middle two for even lengths); 0 when
+/// empty.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    let lo = sorted.get((n - 1) / 2).copied().unwrap_or(0.0);
+    let hi = sorted.get(n / 2).copied().unwrap_or(0.0);
+    (lo + hi) / 2.0
+}
+
+/// Times `reps` runs of `work` (which returns the number of items it
+/// processed) and returns `(items, per-rep rates in items/sec)`. The
+/// first return's `items` is the last rep's count — the workload is
+/// expected to be identical across reps.
+pub fn measure_throughput(reps: u64, mut work: impl FnMut() -> u64) -> (u64, Vec<f64>) {
+    let mut rates = Vec::with_capacity(reps as usize);
+    let mut items = 0u64;
+    for _ in 0..reps.max(1) {
+        let sw = Stopwatch::start();
+        items = work();
+        let dt = sw.elapsed_s().max(1e-9);
+        rates.push(items as f64 / dt);
+    }
+    (items, rates)
+}
+
+// ---------------------------------------------------------------------------
+// Diff / gate
+// ---------------------------------------------------------------------------
+
+/// Per-metric classification from [`diff_snapshots`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffStatus {
+    /// Within tolerance.
+    Ok,
+    /// Better than baseline beyond tolerance.
+    Improved,
+    /// Worse than baseline beyond tolerance.
+    Regressed,
+    /// Only in the candidate (new metric).
+    MissingInBaseline,
+    /// Only in the baseline (metric disappeared).
+    MissingInCandidate,
+}
+
+impl DiffStatus {
+    /// Stable lowercase token used in JSON output and tests.
+    pub fn token(self) -> &'static str {
+        match self {
+            DiffStatus::Ok => "ok",
+            DiffStatus::Improved => "improved",
+            DiffStatus::Regressed => "regressed",
+            DiffStatus::MissingInBaseline => "missing_in_baseline",
+            DiffStatus::MissingInCandidate => "missing_in_candidate",
+        }
+    }
+}
+
+/// One metric's comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Metric id.
+    pub id: String,
+    /// Unit label (from whichever side has the metric).
+    pub unit: String,
+    /// Whether larger is better for this metric.
+    pub higher_is_better: bool,
+    /// Baseline value, when present.
+    pub baseline: Option<f64>,
+    /// Candidate value, when present.
+    pub candidate: Option<f64>,
+    /// `candidate / baseline`, when both are present and nonzero.
+    pub ratio: Option<f64>,
+    /// The classification.
+    pub status: DiffStatus,
+}
+
+/// The result of comparing two snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Baseline snapshot name.
+    pub baseline_name: String,
+    /// Candidate snapshot name.
+    pub candidate_name: String,
+    /// Relative tolerance the rows were classified with.
+    pub tolerance: f64,
+    /// Per-metric rows, baseline order then new candidate metrics.
+    pub rows: Vec<DiffRow>,
+    /// Environment-comparability warnings (fingerprint mismatches,
+    /// name mismatches). Warnings never fail a gate by themselves.
+    pub warnings: Vec<String>,
+}
+
+impl DiffReport {
+    /// Rows a `perf gate` run must treat as failures: regressions plus
+    /// metrics that vanished from the candidate.
+    pub fn gate_failures(&self) -> Vec<&DiffRow> {
+        self.rows
+            .iter()
+            .filter(|r| matches!(r.status, DiffStatus::Regressed | DiffStatus::MissingInCandidate))
+            .collect()
+    }
+
+    /// True when nothing regressed or vanished.
+    pub fn is_clean(&self) -> bool {
+        self.gate_failures().is_empty()
+    }
+
+    /// Machine-readable JSON rendering.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.rows.len() * 140);
+        out.push_str("{\"baseline\": ");
+        write_str(&mut out, &self.baseline_name);
+        out.push_str(", \"candidate\": ");
+        write_str(&mut out, &self.candidate_name);
+        out.push_str(", \"tolerance\": ");
+        write_f64(&mut out, self.tolerance);
+        out.push_str(", \"clean\": ");
+        let _ = write!(out, "{}", self.is_clean());
+        out.push_str(", \"warnings\": [");
+        for (i, w) in self.warnings.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_str(&mut out, w);
+        }
+        out.push_str("], \"rows\": [");
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"id\": ");
+            write_str(&mut out, &r.id);
+            out.push_str(", \"unit\": ");
+            write_str(&mut out, &r.unit);
+            out.push_str(", \"baseline\": ");
+            match r.baseline {
+                Some(v) => write_f64(&mut out, v),
+                None => out.push_str("null"),
+            }
+            out.push_str(", \"candidate\": ");
+            match r.candidate {
+                Some(v) => write_f64(&mut out, v),
+                None => out.push_str("null"),
+            }
+            out.push_str(", \"ratio\": ");
+            match r.ratio {
+                Some(v) => write_f64(&mut out, v),
+                None => out.push_str("null"),
+            }
+            out.push_str(", \"status\": ");
+            write_str(&mut out, r.status.token());
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Human-readable table rendering (the CLI prints this verbatim).
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "perf diff: {} -> {} (tolerance {:.0}%)",
+            self.baseline_name,
+            self.candidate_name,
+            self.tolerance * 100.0
+        );
+        for w in &self.warnings {
+            let _ = writeln!(out, "warning: {w}");
+        }
+        let _ = writeln!(
+            out,
+            "{:<44} {:>14} {:>14} {:>8}  status",
+            "metric", "baseline", "candidate", "ratio"
+        );
+        for r in &self.rows {
+            let fmt = |v: Option<f64>| match v {
+                Some(x) => format_rate(x),
+                None => "-".to_string(),
+            };
+            let ratio = match r.ratio {
+                Some(x) => format!("{x:.3}"),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<44} {:>14} {:>14} {:>8}  {}",
+                r.id,
+                fmt(r.baseline),
+                fmt(r.candidate),
+                ratio,
+                r.status.token()
+            );
+        }
+        out
+    }
+}
+
+/// Formats a rate with an SI magnitude suffix (`12.3M`, `456k`).
+pub fn format_rate(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if a >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if a >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Compares `candidate` against `baseline` with relative tolerance
+/// `tolerance` (e.g. `0.15` = ±15%). For a higher-is-better metric,
+/// `ratio = candidate / baseline` and the row regresses when
+/// `ratio < 1 - tolerance` (strictly — a ratio exactly at the boundary
+/// is still [`DiffStatus::Ok`]); lower-is-better metrics mirror that.
+pub fn diff_snapshots(
+    baseline: &PerfSnapshot,
+    candidate: &PerfSnapshot,
+    tolerance: f64,
+) -> DiffReport {
+    let tolerance = tolerance.max(0.0);
+    let mut warnings = Vec::new();
+    if baseline.name != candidate.name {
+        warnings
+            .push(format!("snapshot names differ: `{}` vs `{}`", baseline.name, candidate.name));
+    }
+    warnings.extend(
+        baseline
+            .fingerprint
+            .mismatches(&candidate.fingerprint)
+            .into_iter()
+            .map(|m| format!("fingerprint: {m} — absolute timings may not be comparable")),
+    );
+
+    let mut rows = Vec::new();
+    for b in &baseline.metrics {
+        match candidate.metric(&b.id) {
+            None => rows.push(DiffRow {
+                id: b.id.clone(),
+                unit: b.unit.clone(),
+                higher_is_better: b.higher_is_better,
+                baseline: Some(b.value),
+                candidate: None,
+                ratio: None,
+                status: DiffStatus::MissingInCandidate,
+            }),
+            Some(c) => {
+                let ratio = (b.value != 0.0).then(|| c.value / b.value);
+                let status = match ratio {
+                    None => DiffStatus::Ok,
+                    Some(r) => {
+                        let worse = if b.higher_is_better {
+                            r < 1.0 - tolerance
+                        } else {
+                            r > 1.0 + tolerance
+                        };
+                        let better = if b.higher_is_better {
+                            r > 1.0 + tolerance
+                        } else {
+                            r < 1.0 - tolerance
+                        };
+                        if worse {
+                            DiffStatus::Regressed
+                        } else if better {
+                            DiffStatus::Improved
+                        } else {
+                            DiffStatus::Ok
+                        }
+                    }
+                };
+                rows.push(DiffRow {
+                    id: b.id.clone(),
+                    unit: b.unit.clone(),
+                    higher_is_better: b.higher_is_better,
+                    baseline: Some(b.value),
+                    candidate: Some(c.value),
+                    ratio,
+                    status,
+                });
+            }
+        }
+    }
+    for c in &candidate.metrics {
+        if baseline.metric(&c.id).is_none() {
+            rows.push(DiffRow {
+                id: c.id.clone(),
+                unit: c.unit.clone(),
+                higher_is_better: c.higher_is_better,
+                baseline: None,
+                candidate: Some(c.value),
+                ratio: None,
+                status: DiffStatus::MissingInBaseline,
+            });
+        }
+    }
+    DiffReport {
+        baseline_name: baseline.name.clone(),
+        candidate_name: candidate.name.clone(),
+        tolerance,
+        rows,
+        warnings,
+    }
+}
+
+/// Maps a gate slowdown threshold (`2.0` = "fail when more than 2x
+/// slower") to the relative tolerance [`diff_snapshots`] expects.
+pub fn gate_tolerance(threshold: f64) -> f64 {
+    if threshold > 1.0 {
+        1.0 - 1.0 / threshold
+    } else {
+        0.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Peak RSS
+// ---------------------------------------------------------------------------
+
+/// Peak resident-set size of this process in bytes, from
+/// `/proc/self/status` (`VmHWM`). `None` where procfs is unavailable
+/// (non-Linux) — callers degrade gracefully.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1).and_then(|tok| tok.parse().ok())?;
+    Some(kb * 1024)
+}
+
+// ---------------------------------------------------------------------------
+// Allocation counting (feature `perf-alloc`)
+// ---------------------------------------------------------------------------
+
+/// A counting wrapper around the system allocator. Install it as the
+/// global allocator to make [`alloc_stats`] live:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: gvc_telemetry::perf::CountingAlloc = gvc_telemetry::perf::CountingAlloc;
+/// ```
+#[cfg(feature = "perf-alloc")]
+// GlobalAlloc is inherently unsafe; the wrapper only tallies counters
+// around the system allocator (workspace-wide `unsafe_code` is deny,
+// not forbid, precisely so this one opt-in module can exist).
+#[allow(unsafe_code)]
+pub mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub(crate) static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+    /// The counting allocator (zero-sized; see module docs).
+    pub struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+}
+
+#[cfg(feature = "perf-alloc")]
+pub use counting_alloc::CountingAlloc;
+
+/// Cumulative `(allocations, allocated bytes)` since process start.
+/// `None` unless the `perf-alloc` feature is enabled; zeros when the
+/// feature is on but [`CountingAlloc`] was not installed as the global
+/// allocator.
+pub fn alloc_stats() -> Option<(u64, u64)> {
+    #[cfg(feature = "perf-alloc")]
+    {
+        use std::sync::atomic::Ordering;
+        Some((
+            counting_alloc::ALLOCATIONS.load(Ordering::Relaxed),
+            counting_alloc::ALLOCATED_BYTES.load(Ordering::Relaxed),
+        ))
+    }
+    #[cfg(not(feature = "perf-alloc"))]
+    {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase recording
+// ---------------------------------------------------------------------------
+
+/// One completed phase inside a [`PerfReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfPhase {
+    /// Phase name (`workload_generation`, `simulate`, `sweep`,
+    /// `trace_analysis`, `report_emission`, `total`).
+    pub name: String,
+    /// Wall-clock seconds spent.
+    pub seconds: f64,
+    /// Work items processed (0 when the phase has no natural unit).
+    pub items: u64,
+    /// `items / seconds` (0 when `items` is 0).
+    pub per_sec: f64,
+}
+
+/// The serializable end-of-run host-performance report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Completed phases, in completion order.
+    pub phases: Vec<PerfPhase>,
+    /// Wall-clock seconds since the recorder was created.
+    pub total_seconds: f64,
+    /// Peak RSS in bytes ([`peak_rss_bytes`]); `None` off-Linux.
+    pub peak_rss_bytes: Option<u64>,
+    /// Cumulative allocations ([`alloc_stats`]); `None` without the
+    /// `perf-alloc` feature.
+    pub allocations: Option<u64>,
+    /// Cumulative allocated bytes; `None` without `perf-alloc`.
+    pub allocated_bytes: Option<u64>,
+}
+
+impl PerfReport {
+    /// Renders the report as JSON (single line, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(160 + self.phases.len() * 96);
+        out.push_str("{\"schema\": ");
+        write_str(&mut out, REPORT_SCHEMA);
+        out.push_str(", \"total_seconds\": ");
+        write_f64(&mut out, self.total_seconds);
+        let opt = |out: &mut String, v: Option<u64>| match v {
+            Some(x) => {
+                let _ = write!(out, "{x}");
+            }
+            None => out.push_str("null"),
+        };
+        out.push_str(", \"peak_rss_bytes\": ");
+        opt(&mut out, self.peak_rss_bytes);
+        out.push_str(", \"allocations\": ");
+        opt(&mut out, self.allocations);
+        out.push_str(", \"allocated_bytes\": ");
+        opt(&mut out, self.allocated_bytes);
+        out.push_str(", \"phases\": [");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"name\": ");
+            write_str(&mut out, &p.name);
+            out.push_str(", \"seconds\": ");
+            write_f64(&mut out, p.seconds);
+            let _ = write!(out, ", \"items\": {}, \"per_sec\": ", p.items);
+            write_f64(&mut out, p.per_sec);
+            out.push('}');
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Parses a report produced by [`PerfReport::to_json`].
+    pub fn parse(text: &str) -> Result<PerfReport, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        let schema = v.get("schema").and_then(Json::as_str).unwrap_or("");
+        if schema != REPORT_SCHEMA {
+            return Err(format!("unsupported report schema `{schema}` (want {REPORT_SCHEMA})"));
+        }
+        let mut phases = Vec::new();
+        for p in v.get("phases").and_then(Json::as_arr).unwrap_or(&[]) {
+            phases.push(PerfPhase {
+                name: p
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("phase missing `name`")?
+                    .to_string(),
+                seconds: p.get("seconds").and_then(Json::as_f64).unwrap_or(0.0),
+                items: p.get("items").and_then(Json::as_u64).unwrap_or(0),
+                per_sec: p.get("per_sec").and_then(Json::as_f64).unwrap_or(0.0),
+            });
+        }
+        Ok(PerfReport {
+            phases,
+            total_seconds: v.get("total_seconds").and_then(Json::as_f64).unwrap_or(0.0),
+            peak_rss_bytes: v.get("peak_rss_bytes").and_then(Json::as_u64),
+            allocations: v.get("allocations").and_then(Json::as_u64),
+            allocated_bytes: v.get("allocated_bytes").and_then(Json::as_u64),
+        })
+    }
+}
+
+struct PerfRecorder {
+    registry: Arc<Registry>,
+    phases: Mutex<Vec<PerfPhase>>,
+    started: Stopwatch,
+}
+
+/// A cheap cloneable handle to the host-performance recorder, or
+/// nothing. Follows the tracer's zero-cost pattern: a disabled handle
+/// is one `Option` branch per phase open/close.
+#[derive(Clone, Default)]
+pub struct Perf {
+    rec: Option<Arc<PerfRecorder>>,
+}
+
+impl Perf {
+    /// The disabled handle (records nothing).
+    pub fn disabled() -> Perf {
+        Perf { rec: None }
+    }
+
+    /// A live recorder feeding `registry`. Registers the `perf_*`
+    /// metric families up front so the exposition schema is stable
+    /// even before the first phase closes.
+    pub fn recording(registry: &Arc<Registry>) -> Perf {
+        registry.describe(
+            "perf_phase_seconds",
+            "Wall-clock seconds per program phase (host time, not simulation time)",
+        );
+        registry.describe(
+            "perf_events_per_second",
+            "Host throughput of the last completed phase, items per wall-clock second",
+        );
+        registry
+            .describe("perf_peak_rss_bytes", "Peak resident-set size (VmHWM), bytes; 0 off-Linux");
+        registry.describe(
+            "perf_allocations_total",
+            "Cumulative heap allocations (0 unless built with the perf-alloc feature)",
+        );
+        registry.describe(
+            "perf_allocated_bytes_total",
+            "Cumulative heap bytes allocated (0 unless built with the perf-alloc feature)",
+        );
+        registry.gauge("perf_peak_rss_bytes", &[]);
+        registry.counter("perf_allocations_total", &[]);
+        registry.counter("perf_allocated_bytes_total", &[]);
+        Perf {
+            rec: Some(Arc::new(PerfRecorder {
+                registry: Arc::clone(registry),
+                phases: Mutex::new(Vec::new()),
+                started: Stopwatch::start(),
+            })),
+        }
+    }
+
+    /// Is a recorder attached?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    /// Opens a phase timer; the phase is recorded when the guard
+    /// drops. Free when disabled.
+    #[must_use]
+    pub fn phase(&self, name: &'static str) -> PhaseGuard {
+        PhaseGuard {
+            rec: self.rec.clone(),
+            name,
+            items: 0,
+            alloc_at_open: alloc_stats(),
+            sw: Stopwatch::start(),
+        }
+    }
+
+    /// The report so far: completed phases, total wall time, peak RSS,
+    /// allocation tallies. `None` when disabled.
+    pub fn report(&self) -> Option<PerfReport> {
+        let rec = self.rec.as_ref()?;
+        let phases = rec.phases.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
+        let (allocations, allocated_bytes) = match alloc_stats() {
+            Some((a, b)) => (Some(a), Some(b)),
+            None => (None, None),
+        };
+        Some(PerfReport {
+            phases,
+            total_seconds: rec.started.elapsed_s(),
+            peak_rss_bytes: peak_rss_bytes(),
+            allocations,
+            allocated_bytes,
+        })
+    }
+}
+
+/// Scoped phase timer handed out by [`Perf::phase`]; records on drop.
+pub struct PhaseGuard {
+    rec: Option<Arc<PerfRecorder>>,
+    name: &'static str,
+    items: u64,
+    alloc_at_open: Option<(u64, u64)>,
+    sw: Stopwatch,
+}
+
+impl PhaseGuard {
+    /// Declares how many work items this phase processed, so the
+    /// recorder can derive a throughput. Call any time before drop.
+    pub fn items(&mut self, n: u64) {
+        self.items = n;
+    }
+
+    /// Adds to the phase's item count.
+    pub fn add_items(&mut self, n: u64) {
+        self.items += n;
+    }
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        let Some(rec) = &self.rec else {
+            return;
+        };
+        let seconds = self.sw.elapsed_s();
+        let per_sec = if self.items > 0 { self.items as f64 / seconds.max(1e-9) } else { 0.0 };
+        rec.registry
+            .histogram("perf_phase_seconds", &[("phase", self.name)], Histogram::timing)
+            .record(seconds);
+        if self.items > 0 {
+            rec.registry
+                .gauge("perf_events_per_second", &[("phase", self.name)])
+                .set(per_sec.round() as i64);
+        }
+        if let Some(rss) = peak_rss_bytes() {
+            rec.registry.gauge("perf_peak_rss_bytes", &[]).set_max(rss as i64);
+        }
+        if let (Some((a0, b0)), Some((a1, b1))) = (self.alloc_at_open, alloc_stats()) {
+            rec.registry.counter("perf_allocations_total", &[]).add(a1.saturating_sub(a0));
+            rec.registry.counter("perf_allocated_bytes_total", &[]).add(b1.saturating_sub(b0));
+        }
+        rec.phases.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(PerfPhase {
+            name: self.name.to_string(),
+            seconds,
+            items: self.items,
+            per_sec,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(name: &str, values: &[(&str, f64)]) -> PerfSnapshot {
+        let mut s = PerfSnapshot::new(name, 3);
+        for (id, v) in values {
+            s.metrics.push(BenchMetric {
+                id: (*id).to_string(),
+                unit: "events/sec".to_string(),
+                higher_is_better: true,
+                items: 1000,
+                value: *v,
+                samples: vec![*v * 0.98, *v, *v * 1.02],
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn json_parser_round_trips_nested_values() {
+        let text = r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\"y\n", "d": null}, "e": true}"#;
+        let v = Json::parse(text).expect("parse");
+        assert_eq!(v.get("a").and_then(Json::as_arr).map(<[Json]>::len), Some(3));
+        assert_eq!(v.get("b").and_then(|b| b.get("c")).and_then(Json::as_str), Some("x\"y\n"));
+        assert_eq!(v.get("b").and_then(|b| b.get("d")), Some(&Json::Null));
+        assert_eq!(v.get("e").and_then(Json::as_bool), Some(true));
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2] trailing").is_err());
+    }
+
+    #[test]
+    fn json_parser_handles_unicode_escapes() {
+        let v = Json::parse(r#""aéb 😀""#).expect("parse");
+        assert_eq!(v.as_str(), Some("a\u{e9}b \u{1F600}"));
+        assert!(Json::parse(r#""\ud83d""#).is_err(), "lone high surrogate must fail");
+    }
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[1.0, 9.0, 5.0]), 5.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 10.0]), 2.5);
+    }
+
+    #[test]
+    fn measure_throughput_counts_reps() {
+        let mut calls = 0u64;
+        let (items, rates) = measure_throughput(4, || {
+            calls += 1;
+            100
+        });
+        assert_eq!(calls, 4);
+        assert_eq!(items, 100);
+        assert_eq!(rates.len(), 4);
+        assert!(rates.iter().all(|r| *r > 0.0));
+    }
+
+    #[test]
+    fn snapshot_json_round_trip() {
+        let s = snapshot("kernel", &[("kernel.schedule_pop.events_per_sec", 1.25e6)]);
+        let text = s.to_json();
+        let back = PerfSnapshot::parse(&text).expect("parse");
+        assert_eq!(back, s);
+        // Schema guard.
+        assert!(PerfSnapshot::parse(&text.replace("snapshot/v1", "snapshot/v9")).is_err());
+    }
+
+    #[test]
+    fn snapshot_write_and_load() {
+        let dir = std::env::temp_dir().join("gvc-perf-tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join(format!("{}-snap.json", std::process::id()));
+        let s = snapshot("sweep", &[("sweep.engine.records_per_sec", 5.5e5)]);
+        s.write(&path).expect("write");
+        let back = PerfSnapshot::load(&path).expect("load");
+        assert_eq!(back, s);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fingerprint_capture_is_populated() {
+        let f = HostFingerprint::capture();
+        assert!(!f.host.is_empty());
+        assert_eq!(f.os, std::env::consts::OS);
+        assert!(f.cpus >= 1);
+        // In this repo's CI the tree is always a git checkout.
+        assert!(f.git_sha == "unknown" || f.git_sha.len() == 12, "{}", f.git_sha);
+    }
+
+    #[test]
+    fn diff_identical_snapshots_is_clean() {
+        let s = snapshot("kernel", &[("a.x", 100.0), ("b.y", 200.0)]);
+        let d = diff_snapshots(&s, &s, 0.15);
+        assert!(d.is_clean());
+        assert!(d.warnings.is_empty());
+        assert!(d.rows.iter().all(|r| r.status == DiffStatus::Ok));
+        assert!(d.rows.iter().all(|r| r.ratio == Some(1.0)));
+    }
+
+    #[test]
+    fn diff_classifies_regression_and_improvement() {
+        let base = snapshot("kernel", &[("a.x", 100.0), ("b.y", 100.0), ("c.z", 100.0)]);
+        let cand = snapshot("kernel", &[("a.x", 80.0), ("b.y", 130.0), ("c.z", 99.0)]);
+        let d = diff_snapshots(&base, &cand, 0.15);
+        let by_id = |id: &str| d.rows.iter().find(|r| r.id == id).expect("row").status;
+        assert_eq!(by_id("a.x"), DiffStatus::Regressed);
+        assert_eq!(by_id("b.y"), DiffStatus::Improved);
+        assert_eq!(by_id("c.z"), DiffStatus::Ok);
+        assert!(!d.is_clean());
+        assert_eq!(d.gate_failures().len(), 1);
+    }
+
+    #[test]
+    fn diff_boundary_ratio_is_ok_not_regressed() {
+        // ratio exactly 1 - tolerance: strictly-less comparison keeps it Ok.
+        let base = snapshot("kernel", &[("a.x", 100.0)]);
+        let cand = snapshot("kernel", &[("a.x", 85.0)]);
+        let d = diff_snapshots(&base, &cand, 0.15);
+        assert_eq!(d.rows.first().map(|r| r.status), Some(DiffStatus::Ok), "{d:?}");
+        // One epsilon below the boundary regresses.
+        let cand2 = snapshot("kernel", &[("a.x", 84.999)]);
+        let d2 = diff_snapshots(&base, &cand2, 0.15);
+        assert_eq!(d2.rows.first().map(|r| r.status), Some(DiffStatus::Regressed));
+    }
+
+    #[test]
+    fn diff_lower_is_better_mirrors() {
+        let mut base = snapshot("kernel", &[("lat.s", 1.0)]);
+        let mut cand = snapshot("kernel", &[("lat.s", 1.5)]);
+        for s in [&mut base, &mut cand] {
+            for m in &mut s.metrics {
+                m.higher_is_better = false;
+            }
+        }
+        let d = diff_snapshots(&base, &cand, 0.15);
+        assert_eq!(d.rows.first().map(|r| r.status), Some(DiffStatus::Regressed));
+    }
+
+    #[test]
+    fn diff_missing_metrics_each_side() {
+        let base = snapshot("kernel", &[("a.x", 100.0), ("gone.z", 50.0)]);
+        let cand = snapshot("kernel", &[("a.x", 100.0), ("new.w", 75.0)]);
+        let d = diff_snapshots(&base, &cand, 0.15);
+        let by_id = |id: &str| d.rows.iter().find(|r| r.id == id).expect("row").status;
+        assert_eq!(by_id("gone.z"), DiffStatus::MissingInCandidate);
+        assert_eq!(by_id("new.w"), DiffStatus::MissingInBaseline);
+        // Vanished metric fails the gate; a new one does not.
+        assert_eq!(d.gate_failures().len(), 1);
+        assert_eq!(d.gate_failures().first().map(|r| r.id.as_str()), Some("gone.z"));
+    }
+
+    #[test]
+    fn diff_warns_on_fingerprint_and_name_mismatch() {
+        let base = snapshot("kernel", &[("a.x", 100.0)]);
+        let mut cand = snapshot("sweep", &[("a.x", 100.0)]);
+        cand.fingerprint.host = format!("{}-other", base.fingerprint.host);
+        cand.fingerprint.cpus = base.fingerprint.cpus + 8;
+        let d = diff_snapshots(&base, &cand, 0.15);
+        assert!(d.warnings.iter().any(|w| w.contains("names differ")), "{:?}", d.warnings);
+        assert!(d.warnings.iter().any(|w| w.contains("host differs")), "{:?}", d.warnings);
+        assert!(d.warnings.iter().any(|w| w.contains("cpu count differs")), "{:?}", d.warnings);
+        // Warnings alone never fail the gate.
+        assert!(d.is_clean());
+    }
+
+    #[test]
+    fn diff_json_and_human_renderings() {
+        let base = snapshot("kernel", &[("a.x", 100.0)]);
+        let cand = snapshot("kernel", &[("a.x", 50.0)]);
+        let d = diff_snapshots(&base, &cand, 0.15);
+        let j = d.to_json();
+        assert!(j.contains("\"status\": \"regressed\""), "{j}");
+        assert!(j.contains("\"clean\": false"), "{j}");
+        Json::parse(&j).expect("diff json must parse");
+        let h = d.render_human();
+        assert!(h.contains("a.x"));
+        assert!(h.contains("regressed"));
+    }
+
+    #[test]
+    fn gate_tolerance_mapping() {
+        assert!((gate_tolerance(2.0) - 0.5).abs() < 1e-12);
+        assert!((gate_tolerance(2.5) - 0.6).abs() < 1e-12);
+        assert_eq!(gate_tolerance(1.0), 0.0);
+        assert_eq!(gate_tolerance(0.5), 0.0);
+    }
+
+    #[test]
+    fn format_rate_magnitudes() {
+        assert_eq!(format_rate(2.5e9), "2.50G");
+        assert_eq!(format_rate(1.25e6), "1.25M");
+        assert_eq!(format_rate(4500.0), "4.5k");
+        assert_eq!(format_rate(12.34), "12.3");
+    }
+
+    #[test]
+    fn peak_rss_present_on_linux() {
+        let rss = peak_rss_bytes();
+        if std::env::consts::OS == "linux" {
+            assert!(rss.is_some_and(|b| b > 0), "{rss:?}");
+        }
+    }
+
+    #[test]
+    fn disabled_perf_records_nothing() {
+        let p = Perf::disabled();
+        assert!(!p.enabled());
+        {
+            let mut g = p.phase("simulate");
+            g.items(10);
+        }
+        assert!(p.report().is_none());
+    }
+
+    #[test]
+    fn recorder_populates_families_and_report() {
+        let registry = Arc::new(Registry::new());
+        let p = Perf::recording(&registry);
+        assert!(p.enabled());
+        {
+            let mut g = p.phase("simulate");
+            g.items(5);
+            g.add_items(5);
+        }
+        {
+            let _g = p.phase("report_emission");
+        }
+        let report = p.report().expect("report");
+        assert_eq!(report.phases.len(), 2);
+        let sim = report.phases.first().expect("phase");
+        assert_eq!(sim.name, "simulate");
+        assert_eq!(sim.items, 10);
+        assert!(sim.per_sec > 0.0);
+        assert!(report.total_seconds >= sim.seconds);
+        let text = registry.render();
+        assert!(text.contains("# TYPE perf_phase_seconds histogram"), "{text}");
+        assert!(
+            text.contains("perf_phase_seconds_bucket{phase=\"simulate\",le=\"+Inf\"}"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE perf_events_per_second gauge"));
+        assert!(text.contains("# TYPE perf_peak_rss_bytes gauge"));
+        assert!(text.contains("# TYPE perf_allocations_total counter"));
+        assert!(text.contains("# TYPE perf_allocated_bytes_total counter"));
+    }
+
+    #[test]
+    fn perf_report_json_round_trip() {
+        let registry = Arc::new(Registry::new());
+        let p = Perf::recording(&registry);
+        {
+            let mut g = p.phase("sweep");
+            g.items(1234);
+        }
+        let report = p.report().expect("report");
+        let text = report.to_json();
+        let back = PerfReport::parse(&text).expect("parse");
+        assert_eq!(back.phases, report.phases);
+        assert_eq!(back.peak_rss_bytes, report.peak_rss_bytes);
+        assert_eq!(back.allocations, report.allocations);
+        assert!((back.total_seconds - report.total_seconds).abs() < 1e-12);
+        assert!(PerfReport::parse("{\"schema\": \"nope\"}").is_err());
+    }
+
+    #[cfg(feature = "perf-alloc")]
+    #[test]
+    fn alloc_stats_live_under_feature() {
+        // The test binary installs CountingAlloc (see lib.rs), so the
+        // counters move when we allocate.
+        let before = alloc_stats().expect("stats");
+        let v: Vec<u64> = (0..4096).collect();
+        let after = alloc_stats().expect("stats");
+        assert!(after.0 >= before.0);
+        assert!(after.1 > before.1, "allocated bytes must grow: {before:?} -> {after:?}");
+        drop(v);
+    }
+
+    #[cfg(not(feature = "perf-alloc"))]
+    #[test]
+    fn alloc_stats_none_without_feature() {
+        assert_eq!(alloc_stats(), None);
+    }
+}

@@ -133,7 +133,7 @@ impl TraceEvent {
     }
 }
 
-fn json_escape_into(out: &mut String, s: &str) {
+pub(crate) fn json_escape_into(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
