@@ -8,7 +8,7 @@ use gvc_core::vc_suitability::vc_suitability;
 use gvc_core::ResilienceSummary;
 use gvc_engine::SimTime;
 use gvc_faults::FaultPlan;
-use gvc_gridftp::{Driver, ServerCaps, SessionSpec, TransferJob, VcRequestSpec};
+use gvc_gridftp::{Driver, ServerCaps, SessionSpec, Shards, TransferJob, VcRequestSpec};
 use gvc_logs::anonymize::{anonymize_dataset, AnonymizePolicy};
 use gvc_logs::{parse_dataset, write_dataset, Dataset};
 use gvc_net::NetworkSim;
@@ -47,7 +47,7 @@ pub const COMMANDS: [(&str, &str, &str); 9] = [
     ),
     (
         "simulate",
-        "gvc simulate <out> [--seed 42] [--jobs 6] [--horizon 100000] [--faults <spec>]",
+        "gvc simulate <out> [--seed 42] [--jobs 6] [--horizon 100000] [--faults <spec>] [--shards auto|N]",
         "run the GridFTP-over-VC simulation and write its usage log",
     ),
     (
@@ -360,6 +360,16 @@ fn cmd_simulate<W: Write>(
         .map(|spec| FaultPlan::parse(spec).map_err(|e| CliError(e.to_string())))
         .transpose()?;
 
+    // Outputs are byte-identical for every shard count by the kernel's
+    // determinism contract, so the flag only tunes wall-clock time.
+    let shards = match a.str_flag_or("shards", "auto") {
+        "auto" => Shards::Auto,
+        s => match s.parse::<usize>() {
+            Ok(n) if n > 0 => Shards::Fixed(n),
+            _ => return Err(CliError("--shards must be 'auto' or a positive integer".into())),
+        },
+    };
+
     let t = study_topology();
     let (nersc, ornl) = (t.dtn(Site::Nersc), t.dtn(Site::Ornl));
     let idc = Idc::new(t.graph.clone(), SetupDelayModel::one_minute());
@@ -386,7 +396,7 @@ fn cmd_simulate<W: Write>(
         d.schedule_transfer(SimTime::from_secs(30 + 60 * i as u64), src, dst, job(128));
     }
 
-    let result = d.run(SimTime::from_secs_f64(horizon));
+    let result = d.run_sharded(SimTime::from_secs_f64(horizon), shards);
     let emit_phase = telemetry.perf.phase("report_emission");
     save(&out, &result.log)?;
     drop(emit_phase);
@@ -832,6 +842,29 @@ mod tests {
         assert!(err.0.contains("--horizon"));
         let err = run(&["simulate", "/tmp/x.log", "--faults", "bogus=1"]).unwrap_err();
         assert!(err.0.contains("invalid fault spec"), "{}", err.0);
+        let err = run(&["simulate", "/tmp/x.log", "--shards", "0"]).unwrap_err();
+        assert!(err.0.contains("--shards"), "{}", err.0);
+        let err = run(&["simulate", "/tmp/x.log", "--shards", "many"]).unwrap_err();
+        assert!(err.0.contains("--shards"), "{}", err.0);
+    }
+
+    #[test]
+    fn simulate_log_identical_for_every_shards_value() {
+        let sim_run = |tag: &str, shards: &[&str]| {
+            let out_path = tmpfile(&format!("sim-shards-{tag}.log"));
+            let mut argv = vec!["simulate", &out_path, "--seed", "11", "--jobs", "4"];
+            argv.extend_from_slice(shards);
+            let msg = run(&argv).unwrap();
+            let log = std::fs::read_to_string(&out_path).unwrap();
+            std::fs::remove_file(&out_path).ok();
+            (msg, log)
+        };
+        let (msg, base) = sim_run("default", &[]);
+        assert!(msg.contains("wrote"), "{msg}");
+        for (tag, n) in [("one", "1"), ("four", "4"), ("auto", "auto")] {
+            let (_, log) = sim_run(tag, &["--shards", n]);
+            assert_eq!(base, log, "usage log differs with --shards {n}");
+        }
     }
 
     #[test]

@@ -35,10 +35,33 @@ impl SimTime {
     /// From fractional seconds (rounded to the nearest microsecond).
     ///
     /// # Panics
-    /// Panics on negative or non-finite input.
+    /// Panics on negative, non-finite, or out-of-range input (values
+    /// whose microsecond count exceeds `u64`). The old behavior of
+    /// silently saturating huge finite inputs via an `as` cast hid
+    /// configuration typos like `1e40` seconds as "the far future".
     pub fn from_secs_f64(s: f64) -> SimTime {
-        assert!(s.is_finite() && s >= 0.0, "SimTime must be finite and non-negative");
-        SimTime((s * 1e6).round() as u64)
+        match SimTime::try_from_secs_f64(s) {
+            Some(t) => t,
+            None => {
+                // gvc-lint: allow(no-panic-in-lib) — documented contract: reject bad float input loudly
+                panic!("SimTime must be finite, non-negative, and within u64 microseconds: got {s}")
+            }
+        }
+    }
+
+    /// Checked [`SimTime::from_secs_f64`]: `None` instead of panicking
+    /// on negative, non-finite, or out-of-range input.
+    pub fn try_from_secs_f64(s: f64) -> Option<SimTime> {
+        if !s.is_finite() || s < 0.0 {
+            return None;
+        }
+        let us = (s * 1e6).round();
+        // Strict: `u64::MAX as f64` is 2^64, one past the last
+        // representable microsecond, and `as` would saturate there.
+        if us >= u64::MAX as f64 {
+            return None;
+        }
+        Some(SimTime(us as u64))
     }
 
     /// From whole milliseconds.
@@ -102,10 +125,31 @@ impl SimSpan {
     /// From fractional seconds (rounded to the nearest microsecond).
     ///
     /// # Panics
-    /// Panics on non-finite input.
+    /// Panics on non-finite or out-of-range input (values whose
+    /// microsecond count exceeds `i64`); bare `as` casts used to
+    /// saturate those silently.
     pub fn from_secs_f64(s: f64) -> SimSpan {
-        assert!(s.is_finite(), "SimSpan must be finite");
-        SimSpan((s * 1e6).round() as i64)
+        match SimSpan::try_from_secs_f64(s) {
+            Some(d) => d,
+            // gvc-lint: allow(no-panic-in-lib) — documented contract: reject bad float input loudly
+            None => panic!("SimSpan must be finite and within i64 microseconds: got {s}"),
+        }
+    }
+
+    /// Checked [`SimSpan::from_secs_f64`]: `None` instead of panicking
+    /// on non-finite or out-of-range input.
+    pub fn try_from_secs_f64(s: f64) -> Option<SimSpan> {
+        if !s.is_finite() {
+            return None;
+        }
+        let us = (s * 1e6).round();
+        // Strict on the positive side: `i64::MAX as f64` is 2^63, one
+        // past the last representable microsecond. `i64::MIN as f64`
+        // is exactly representable, so `>=` is the right bound there.
+        if us >= i64::MAX as f64 || us < i64::MIN as f64 {
+            return None;
+        }
+        Some(SimSpan(us as i64))
     }
 
     /// From whole milliseconds.
@@ -163,7 +207,15 @@ impl Sub<SimSpan> for SimTime {
 impl Sub for SimTime {
     type Output = SimSpan;
     fn sub(self, rhs: SimTime) -> SimSpan {
-        SimSpan(self.0 as i64 - rhs.0 as i64)
+        // Saturating: instants live in u64 microseconds, so a naive
+        // `as i64` difference wraps for timestamps past i64::MAX µs.
+        if self.0 >= rhs.0 {
+            SimSpan(i64::try_from(self.0 - rhs.0).unwrap_or(i64::MAX))
+        } else {
+            // -(2^63) is exactly i64::MIN, so saturating the failed
+            // conversion there is also the exact answer at the edge.
+            SimSpan(i64::try_from(rhs.0 - self.0).map_or(i64::MIN, i64::wrapping_neg))
+        }
     }
 }
 
@@ -274,6 +326,49 @@ mod tests {
     #[should_panic]
     fn negative_time_panics() {
         let _ = SimTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "within u64 microseconds")]
+    fn huge_finite_time_panics_instead_of_saturating() {
+        // Pre-fix this silently saturated to SimTime(u64::MAX).
+        let _ = SimTime::from_secs_f64(1e40);
+    }
+
+    #[test]
+    #[should_panic(expected = "within i64 microseconds")]
+    fn huge_finite_span_panics_instead_of_saturating() {
+        let _ = SimSpan::from_secs_f64(-1e40);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_finite_span_panics() {
+        let _ = SimSpan::from_secs_f64(f64::NAN);
+    }
+
+    #[test]
+    fn try_constructors_reject_instead_of_panicking() {
+        assert!(SimTime::try_from_secs_f64(f64::NAN).is_none());
+        assert!(SimTime::try_from_secs_f64(f64::INFINITY).is_none());
+        assert!(SimTime::try_from_secs_f64(-0.5).is_none());
+        assert!(SimTime::try_from_secs_f64(1e40).is_none());
+        assert_eq!(SimTime::try_from_secs_f64(1.5), Some(SimTime(1_500_000)));
+        assert!(SimSpan::try_from_secs_f64(f64::NEG_INFINITY).is_none());
+        assert!(SimSpan::try_from_secs_f64(1e40).is_none());
+        assert_eq!(SimSpan::try_from_secs_f64(-1.5), Some(SimSpan(-1_500_000)));
+    }
+
+    #[test]
+    fn instant_difference_saturates_at_i64_range() {
+        // Pre-fix both wrapped: MAX - ZERO was -1, ZERO - MAX was +1.
+        assert_eq!(SimTime::MAX - SimTime::ZERO, SimSpan(i64::MAX));
+        assert_eq!(SimTime::ZERO - SimTime::MAX, SimSpan(i64::MIN));
+        // The exact edge: a difference of 2^63 µs is exactly i64::MIN
+        // when negated, not a saturation artifact.
+        let edge = SimTime(1u64 << 63);
+        assert_eq!(SimTime::ZERO - edge, SimSpan(i64::MIN));
+        assert_eq!(edge - SimTime(1), SimSpan(i64::MAX));
     }
 
     #[test]

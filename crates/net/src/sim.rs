@@ -228,6 +228,13 @@ impl NetworkSim {
         &self.snmp
     }
 
+    /// Folds another recorder's SNMP counters into this sim's (see
+    /// [`SnmpRecorder::absorb`]). Sharded runs use this to merge each
+    /// lane's counters back into the coordinator's sim.
+    pub fn absorb_snmp(&mut self, other: &SnmpRecorder) {
+        self.snmp.absorb(other);
+    }
+
     /// Number of active flows.
     pub fn active_flows(&self) -> usize {
         self.flows.len()

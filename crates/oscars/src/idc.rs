@@ -198,6 +198,29 @@ impl Idc {
         self.setup
     }
 
+    /// A fresh controller sharing this one's graph, setup model, and
+    /// reservable-fraction policy, with an empty calendar and ids
+    /// starting at `id_base`.
+    ///
+    /// Sharded runs hand each lane a fork with a disjoint id range so
+    /// lane-issued [`ReservationId`]s never collide in merged output.
+    /// The fork's calendar is private: correctness relies on the lane
+    /// partition guaranteeing no two lanes reserve on the same links,
+    /// so the calendars can never disagree about shared capacity.
+    pub fn fork_with_id_base(&self, id_base: u64) -> Idc {
+        Idc {
+            graph: self.graph.clone(),
+            calendar: NetworkCalendar::new(),
+            setup: self.setup,
+            reservable_fraction: self.reservable_fraction,
+            reservations: HashMap::new(),
+            next_id: id_base,
+            stats: IdcStats::default(),
+            telemetry: None,
+            circuit_spans: BTreeMap::new(),
+        }
+    }
+
     /// Admission statistics so far.
     pub fn stats(&self) -> IdcStats {
         self.stats
@@ -648,6 +671,20 @@ mod tests {
             idc.provision(id, SimTime::from_secs(1)),
             Err(IdcError::InvalidState(id, ReservationState::Active))
         );
+    }
+
+    #[test]
+    fn fork_shares_policy_but_not_state() {
+        let (mut idc, req) = idc();
+        idc.create_reservation(req).unwrap();
+        let mut lane = idc.fork_with_id_base(1u64 << 32);
+        // Fresh calendar: the fork admits as if nothing were committed.
+        let id = lane.create_reservation(req).unwrap();
+        assert_eq!(id, ReservationId(1u64 << 32), "ids start at the base");
+        assert_eq!(lane.stats(), IdcStats { requests: 1, admitted: 1, blocked: 0 });
+        assert_eq!(lane.setup_model(), idc.setup_model());
+        assert_eq!(idc.stats().requests, 1, "parent untouched");
+        assert_eq!(lane.open_reservations(), 1);
     }
 
     #[test]

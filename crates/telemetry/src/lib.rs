@@ -57,7 +57,9 @@ pub use perf::{
     PerfReport, PerfSnapshot, PhaseGuard,
 };
 pub use span::SpanId;
-pub use trace::{JsonlSink, RingSink, SpanTimer, Stopwatch, TraceEvent, TraceSink, Tracer, Value};
+pub use trace::{
+    BufferSink, JsonlSink, RingSink, SpanTimer, Stopwatch, TraceEvent, TraceSink, Tracer, Value,
+};
 
 use std::sync::Arc;
 

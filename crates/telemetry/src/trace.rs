@@ -232,6 +232,46 @@ impl TraceSink for RingSink {
     }
 }
 
+/// Unbounded in-memory sink retaining every event in emission order.
+///
+/// Built for sharded runs: each lane traces into its own
+/// `BufferSink`, and the coordinator replays the buffers into the
+/// run's real sink in lane order, so the merged stream is a pure
+/// function of the lane contents — independent of how the lanes were
+/// interleaved on the host.
+#[derive(Default)]
+pub struct BufferSink {
+    buf: Mutex<Vec<TraceEvent>>,
+}
+
+impl BufferSink {
+    /// An empty buffer.
+    pub fn new() -> BufferSink {
+        BufferSink::default()
+    }
+
+    /// Drains and returns the buffered events in emission order.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.buf.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for BufferSink {
+    fn emit(&self, ev: &TraceEvent) {
+        self.buf.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(ev.clone());
+    }
+}
+
 /// A cheap cloneable handle routing events to a sink, or nowhere.
 ///
 /// Clones share one span-id counter, so span ids handed out by any
@@ -252,6 +292,20 @@ impl Tracer {
     /// A tracer writing into `sink`.
     pub fn to_sink(sink: Arc<dyn TraceSink>) -> Tracer {
         Tracer { sink: Some(sink), span_seq: Arc::default() }
+    }
+
+    /// A tracer writing into `sink` whose span ids start *after*
+    /// `span_id_base` (the first id handed out is `base + 1`).
+    ///
+    /// Sharded runs give each lane a disjoint id range so merged span
+    /// streams never collide, and — because the range depends only on
+    /// the lane's position, not on execution order — stay
+    /// byte-identical however the lanes were scheduled.
+    pub fn to_sink_with_span_base(sink: Arc<dyn TraceSink>, span_id_base: u64) -> Tracer {
+        Tracer {
+            sink: Some(sink),
+            span_seq: Arc::new(std::sync::atomic::AtomicU64::new(span_id_base)),
+        }
     }
 
     /// Is a sink attached? Hot paths may use this to skip building
@@ -358,6 +412,31 @@ mod tests {
         assert_eq!(evs.len(), 3);
         assert_eq!(evs[0].t_us, 2);
         assert_eq!(evs[2].t_us, 4);
+    }
+
+    #[test]
+    fn buffer_sink_retains_everything_and_drains() {
+        let buf = BufferSink::new();
+        for i in 0..100 {
+            buf.emit(&TraceEvent::new(i, "k"));
+        }
+        assert_eq!(buf.len(), 100);
+        let evs = buf.take();
+        assert_eq!(evs.len(), 100);
+        assert_eq!(evs[0].t_us, 0);
+        assert_eq!(evs[99].t_us, 99);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn span_base_offsets_ids_without_colliding() {
+        use crate::span::SpanId;
+        let ring = Arc::new(RingSink::new(8));
+        let t = Tracer::to_sink_with_span_base(ring.clone(), 1u64 << 40);
+        let id = t.span_enter(SpanId::NONE, 0, "driver.lane");
+        assert_eq!(id, SpanId((1u64 << 40) + 1));
+        t.span_exit(id, 5);
+        assert_eq!(ring.len(), 2);
     }
 
     #[test]
