@@ -121,10 +121,15 @@ fn mask_impl(content: &str, mask_comments: bool) -> String {
             }
             continue;
         }
-        // Raw (and raw-byte) strings: r"…", r#"…"#, br#"…"#.
+        // Raw (and raw-byte / raw-C) strings: r"…", r#"…"#, br#"…"#,
+        // cr#"…"#. The `c` prefix (C strings, Rust ≥ 1.77) used to be
+        // unknown to this scanner, so `cr##"…"##` fell through to the
+        // ordinary-string branch and any `#`-delimited (depth ≥ 1)
+        // contents containing quotes leaked into the code view.
         let prev_ident = i > 0 && is_ident(b[i - 1]);
-        if !prev_ident && (c == 'r' || c == 'b') {
-            let after_prefix = if c == 'b' && next == Some('r') { i + 2 } else { i + 1 };
+        if !prev_ident && (c == 'r' || c == 'b' || c == 'c') {
+            let after_prefix =
+                if (c == 'b' || c == 'c') && next == Some('r') { i + 2 } else { i + 1 };
             let is_raw = (c == 'r' || next == Some('r'))
                 && matches!(b.get(after_prefix), Some('"') | Some('#'));
             if is_raw {
@@ -364,6 +369,40 @@ mod tests {
         let m = mask("let s = r#\"has \"quotes\" and panic!( \"#; real();");
         assert!(!m.contains("panic"));
         assert!(m.contains("real();"));
+    }
+
+    #[test]
+    fn masks_deep_hash_raw_strings_of_every_prefix() {
+        // Depth ≥ 2 for every raw prefix the language has: plain,
+        // byte, and C raw strings. The `cr##"…"##` case failed before
+        // the scanner learned the `c` prefix — the inner quotes ended
+        // the "ordinary string" early and `leaked.unwrap()` surfaced
+        // as code (see fixtures/masked_tokens.rs for the corpus copy).
+        for prefix in ["r", "br", "cr"] {
+            let src = format!("let s = {prefix}##\"has \"leaked.unwrap()\" panic!( \"##; ok();");
+            let m = mask(&src);
+            assert!(!m.contains("unwrap"), "{prefix}: {m}");
+            assert!(!m.contains("panic"), "{prefix}: {m}");
+            assert!(!m.contains('#'), "{prefix}: delimiter hashes must be blanked: {m}");
+            assert!(m.contains("ok();"), "{prefix}: {m}");
+            assert_eq!(m.chars().count(), src.chars().count(), "{prefix}");
+        }
+    }
+
+    #[test]
+    fn masks_plain_c_strings() {
+        let m = mask("let s = c\"call .unwrap() now\"; real();");
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("real();"));
+    }
+
+    #[test]
+    fn deep_raw_string_with_depth_one_closer_inside() {
+        // A depth-2 raw string legitimately containing the depth-1
+        // closer sequence `"#` must not end early.
+        let m = mask("let s = r##\"end\"# panic!( \"##; after();");
+        assert!(!m.contains("panic"), "{m}");
+        assert!(m.contains("after();"));
     }
 
     #[test]

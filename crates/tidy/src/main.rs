@@ -2,18 +2,19 @@
 //!
 //! ```text
 //! gvc-tidy [--root <path>] [--format human|json] [--metrics <path>]
-//!          [--list-rules]
+//!          [--list-rules] [--perf]
 //! ```
 //!
 //! Exit code 0 when the tree is clean, 1 on violations, 2 on usage or
 //! I/O errors. `--metrics` writes `tidy_*` counters (rules run, files
-//! scanned, violations by rule) in Prometheus text exposition through
-//! the shared `gvc-telemetry` registry, alongside a `run.manifest`
-//! JSON line, so lint runs carry the same provenance as simulations.
+//! scanned, violations and suppressed sites by rule) in Prometheus
+//! text exposition through the shared `gvc-telemetry` registry,
+//! alongside a `run.manifest` JSON line, so lint runs carry the same
+//! provenance as simulations. `--perf` prints a per-rule wall-time
+//! table to stderr so analyzer cost shows up in the perf trajectory.
 
 use gvc_telemetry::{Registry, RunManifest};
-use gvc_tidy::rules::default_rules;
-use gvc_tidy::runner;
+use gvc_tidy::runner::{self, RuleSet};
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -23,11 +24,17 @@ struct Options {
     json: bool,
     metrics: Option<PathBuf>,
     list_rules: bool,
+    perf: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut opts =
-        Options { root: workspace_root(), json: false, metrics: None, list_rules: false };
+    let mut opts = Options {
+        root: workspace_root(),
+        json: false,
+        metrics: None,
+        list_rules: false,
+        perf: false,
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -45,9 +52,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.metrics = Some(PathBuf::from(v));
             }
             "--list-rules" => opts.list_rules = true,
+            "--perf" => opts.perf = true,
             "--help" | "-h" => {
                 return Err("usage: gvc-tidy [--root <path>] [--format human|json] \
-                            [--metrics <path>] [--list-rules]"
+                            [--metrics <path>] [--list-rules] [--perf]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other}; see --help")),
@@ -72,10 +80,13 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let rules = default_rules();
+    let rules = RuleSet::v2();
     if opts.list_rules {
-        for r in &rules {
-            println!("{:<20} {}", r.name(), r.description());
+        for r in &rules.file_rules {
+            println!("{:<24} {}", r.name(), r.description());
+        }
+        for r in &rules.workspace_rules {
+            println!("{:<24} [workspace] {}", r.name(), r.description());
         }
         return ExitCode::SUCCESS;
     }
@@ -92,11 +103,17 @@ fn main() -> ExitCode {
     let registry = Registry::new();
     registry.counter("tidy_files_scanned_total", &[]).add(report.files_scanned as u64);
     registry.counter("tidy_rules_run_total", &[]).add(report.rules_run as u64);
-    for rule in &rules {
-        registry.counter("tidy_violations_total", &[("rule", rule.name())]);
+    for r in &rules.file_rules {
+        registry.counter("tidy_violations_total", &[("rule", r.name())]);
+    }
+    for r in &rules.workspace_rules {
+        registry.counter("tidy_violations_total", &[("rule", r.name())]);
     }
     for (rule, n) in report.by_rule() {
         registry.counter("tidy_violations_total", &[("rule", rule)]).add(n as u64);
+    }
+    for (rule, n) in report.suppressed_by_rule() {
+        registry.counter("tidy_suppressions_total", &[("rule", rule)]).add(n as u64);
     }
     if let Some(path) = &opts.metrics {
         let manifest = RunManifest::new("gvc-tidy", 0, &format!("root={}", opts.root.display()));
@@ -107,28 +124,48 @@ fn main() -> ExitCode {
         }
     }
 
-    if opts.json {
-        let mut out = String::from("[");
-        for (i, v) in report.violations.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&v.render_json());
+    if opts.perf {
+        let mut table = String::from("gvc-tidy --perf (wall seconds per rule)");
+        for t in &report.timings {
+            table
+                .push_str(&format!("\n  {:<28} {:>9.6}s  {:>4} found", t.name, t.seconds, t.found));
         }
-        out.push(']');
-        println!("{out}");
+        let _ = writeln!(std::io::stderr(), "{table}");
+    }
+
+    if opts.json {
+        let render = |vs: &[gvc_tidy::Violation]| {
+            let mut out = String::from("[");
+            for (i, v) in vs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&v.render_json());
+            }
+            out.push(']');
+            out
+        };
+        println!(
+            "{{\"violations\":{},\"suppressed\":{}}}",
+            render(&report.violations),
+            render(&report.suppressed)
+        );
     } else {
         for v in &report.violations {
             println!("{}", v.render_human());
         }
         let mut summary = format!(
-            "gvc-tidy: {} file(s), {} rule(s), {} violation(s)",
+            "gvc-tidy: {} file(s), {} rule(s), {} violation(s), {} suppressed",
             report.files_scanned,
             report.rules_run,
-            report.violations.len()
+            report.violations.len(),
+            report.suppressed.len()
         );
         for (rule, n) in report.by_rule() {
             summary.push_str(&format!("\n  {rule}: {n}"));
+        }
+        for (rule, n) in report.suppressed_by_rule() {
+            summary.push_str(&format!("\n  {rule}: {n} suppressed"));
         }
         let _ = writeln!(std::io::stderr(), "{summary}");
     }

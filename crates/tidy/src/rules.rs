@@ -57,7 +57,7 @@ pub trait Rule {
 
 /// The crate a `crates/<name>/src/...` path belongs to, with the
 /// `src`-relative tail; `None` outside `crates/`.
-fn crate_of(rel: &str) -> Option<(&str, &str)> {
+pub(crate) fn crate_of(rel: &str) -> Option<(&str, &str)> {
     let rest = rel.strip_prefix("crates/")?;
     let (krate, tail) = rest.split_once('/')?;
     Some((krate, tail))
@@ -76,7 +76,7 @@ fn in_lib_crate(rel: &str) -> bool {
 
 /// Column positions (1-based) where `tok` occurs in `line` as a code
 /// token: the preceding character must not be part of an identifier.
-fn token_cols(line: &str, tok: &str) -> Vec<usize> {
+pub(crate) fn token_cols(line: &str, tok: &str) -> Vec<usize> {
     let bytes = line.as_bytes();
     // Tokens that start mid-expression (`.unwrap()`) carry their own
     // boundary; identifier-leading tokens must not match inside a
@@ -93,7 +93,7 @@ fn token_cols(line: &str, tok: &str) -> Vec<usize> {
         .collect()
 }
 
-fn violation(
+pub(crate) fn violation(
     rule: &'static str,
     file: &SourceFile,
     line_idx: usize,

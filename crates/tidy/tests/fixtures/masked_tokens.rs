@@ -6,5 +6,15 @@ pub fn clean() -> String {
     let a = "string with .unwrap() and panic!( and a TODO inside";
     let b = r#"raw: SystemTime::now and println!( and dbg!( here"#;
     let c = '"';
-    format!("{a}{b}{c}")
+    // Depth-≥2 raw strings of every prefix; the quoted contents must
+    // never surface in the code view. The `cr##` case mis-masked
+    // before the scanner learned the C-string prefix (Rust ≥ 1.77):
+    // the inner quote ended an "ordinary" string early and the text
+    // after it — here spelling panic and nondeterminism tokens —
+    // leaked as code.
+    let d = r##"deep: has "x.unwrap()" and "Instant::now" inside"##;
+    let e = br##"deep bytes: "panic!(" and "thread_rng" inside"##;
+    let f = cr##"deep C: has "dbg!(" and "SystemTime::now" inside"##;
+    let g = r###"deeper: closes "## but not yet, .expect( hidden"###;
+    format!("{a}{b}{c}{d}{e:?}{f:?}{g}")
 }

@@ -1,0 +1,33 @@
+//! Fixture: cfg-parity violations and one correct twin pair.
+//! Mapped to `crates/core/src/gated.rs` by the semantic tests.
+
+/// Orphan: no sequential twin anywhere.
+#[cfg(feature = "parallel")]
+pub fn lanes_only(n: usize) -> u64 {
+    n as u64
+}
+
+/// Drifted twins: same name, different return type.
+#[cfg(feature = "parallel")]
+pub fn merge(n: usize) -> u32 {
+    n as u32
+}
+
+#[cfg(not(feature = "parallel"))]
+pub fn merge(n: usize) -> u64 {
+    n as u64
+}
+
+/// Correct twins: `_n` normalizes against `n`, consts stay exempt.
+#[cfg(feature = "parallel")]
+pub fn run(n: usize) -> u64 {
+    n as u64
+}
+
+#[cfg(not(feature = "parallel"))]
+pub fn run(_n: usize) -> u64 {
+    0
+}
+
+#[cfg(feature = "parallel")]
+const THRESHOLD: usize = 4;

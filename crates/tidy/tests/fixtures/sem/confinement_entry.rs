@@ -1,0 +1,10 @@
+//! Fixture: second hop of the confinement chain.
+//! Mapped to `crates/gridftp/src/entry.rs` by the semantic tests.
+
+use gvc_core::sample_window;
+
+/// Hop 2: two calls away from `Instant::now()` and still flagged —
+/// the acceptance case for determinism confinement.
+pub fn schedule_seed() -> u64 {
+    sample_window() + 1
+}

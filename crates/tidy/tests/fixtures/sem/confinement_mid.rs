@@ -1,0 +1,10 @@
+//! Fixture: first hop of the confinement chain.
+//! Mapped to `crates/core/src/mid.rs` by the semantic tests.
+
+use gvc_net::raw_stamp_us;
+
+/// Hop 1: no sink token anywhere in this file — only the call graph
+/// can see that this is a clock read in disguise.
+pub fn sample_window() -> u64 {
+    raw_stamp_us() / 2
+}

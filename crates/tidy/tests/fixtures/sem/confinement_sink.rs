@@ -1,0 +1,9 @@
+//! Fixture: a direct wall-clock observer outside gvc-telemetry.
+//! Mapped to `crates/net/src/clock.rs` by the semantic tests.
+
+/// Hop 0: holds the sink itself. The per-line `determinism` rule
+/// flags this line; confinement starts its taint here.
+pub fn raw_stamp_us() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_micros() as u64
+}

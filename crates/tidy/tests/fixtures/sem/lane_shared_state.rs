@@ -1,0 +1,16 @@
+//! Fixture: shared mutable state inside a lane-fanned crate.
+//! Mapped to `crates/engine/src/shared.rs` by the semantic tests.
+
+use std::sync::atomic::AtomicUsize;
+use std::sync::Mutex;
+
+/// A cross-lane counter: exactly the channel lane isolation bans.
+pub static PROGRESS: AtomicUsize = AtomicUsize::new(0);
+
+/// Lock-guarded shared queue — merge order becomes timing-dependent.
+pub struct SharedQueue {
+    inner: Mutex<Vec<u64>>,
+}
+
+/// Mutable static: visible to every lane at once.
+pub static mut LAST_SEEN: u64 = 0;

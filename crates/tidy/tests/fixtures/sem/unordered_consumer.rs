@@ -1,0 +1,17 @@
+//! Fixture: presentation code iterating unordered returns through
+//! `let` bindings. Mapped to `crates/cli/src/report.rs`.
+
+use gvc_hntes::{active_pairs, pair_weights};
+
+/// Two flagged iterations and one clean (sorted) path.
+pub fn render() -> Vec<u32> {
+    let pairs = active_pairs();
+    for p in &pairs {
+        let _ = p;
+    }
+    let weights = pair_weights();
+    let _n = weights.keys().count();
+    let mut sorted: Vec<u32> = Vec::new();
+    sorted.sort_unstable();
+    sorted
+}

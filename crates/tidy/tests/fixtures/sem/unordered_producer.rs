@@ -1,0 +1,14 @@
+//! Fixture: workspace fns returning unordered collections.
+//! Mapped to `crates/hntes/src/pairs.rs` by the semantic tests.
+
+use std::collections::{HashMap, HashSet};
+
+/// Unordered return the v2 rule tracks across crates.
+pub fn active_pairs() -> HashSet<(u32, u32)> {
+    HashSet::new()
+}
+
+/// Map-returning variant.
+pub fn pair_weights() -> HashMap<u32, f64> {
+    HashMap::new()
+}
