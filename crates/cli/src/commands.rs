@@ -22,7 +22,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 /// `(name, usage, description)` for every subcommand.
-pub const COMMANDS: [(&str, &str, &str); 9] = [
+pub const COMMANDS: [(&str, &str, &str); 10] = [
     ("summary", "gvc summary <log>", "descriptive statistics of a usage log"),
     ("sessions", "gvc sessions <log> [--gap 60]", "group transfers into sessions"),
     (
@@ -37,7 +37,7 @@ pub const COMMANDS: [(&str, &str, &str); 9] = [
     ),
     (
         "generate",
-        "gvc generate <ncar|slac|anl> <out> [--scale 0.1] [--seed 42]",
+        "gvc generate <ncar|slac|anl|ornl> <out> [--scale 0.1] [--seed 42]",
         "synthesize a calibrated dataset",
     ),
     (
@@ -59,6 +59,11 @@ pub const COMMANDS: [(&str, &str, &str); 9] = [
         "perf",
         "gvc perf <snapshot|diff|gate> [--out-dir <dir>] [--tolerance 0.15] [--threshold 2.0]",
         "host-performance snapshots, diffs, and the regression gate",
+    ),
+    (
+        "scenario",
+        "gvc scenario <run|record|diff|list> [name] [--dir scenarios] [--all] [--shards auto|N]",
+        "run declarative scenario specs against committed goldens",
     ),
 ];
 
@@ -298,21 +303,28 @@ fn cmd_generate<W: Write>(
         return Err(CliError("--scale must be positive".into()));
     }
     let mut gen_phase = telemetry.perf.phase("workload_generation");
-    let ds = match scenario.as_str() {
-        "ncar" => gvc_workload::ncar_nics::generate(gvc_workload::ncar_nics::NcarNicsConfig {
-            seed,
-            scale,
-        }),
-        "slac" => {
-            gvc_workload::slac_bnl::generate(gvc_workload::slac_bnl::SlacBnlConfig { seed, scale })
+    // Dispatch over the generator registry; the error path enumerates
+    // what is actually available — the registered generators plus any
+    // corpus specs on disk — instead of a hardcoded list.
+    let ds = match gvc_workload::builtin_generator(&scenario) {
+        Some(g) => (g.generate)(seed, scale),
+        None => {
+            let mut msg = format!(
+                "unknown scenario {scenario:?} (want {}",
+                gvc_workload::builtin_names().join("|")
+            );
+            let corpus_names = gvc_scenario::discover(Path::new(a.str_flag_or("dir", "scenarios")))
+                .map(|es| es.into_iter().map(|e| e.name).collect::<Vec<_>>())
+                .unwrap_or_default();
+            if !corpus_names.is_empty() {
+                msg.push_str(&format!(
+                    "; corpus specs: {} — run those with `gvc scenario run <name>`",
+                    corpus_names.join("|")
+                ));
+            }
+            msg.push(')');
+            return Err(CliError(msg));
         }
-        "anl" => gvc_workload::nersc_anl::generate(gvc_workload::nersc_anl::NerscAnlConfig {
-            seed,
-            scale,
-            production_sessions_per_day: 60.0,
-            horizon_days: 50.0 * scale.clamp(0.1, 1.0),
-        }),
-        other => return Err(CliError(format!("unknown scenario {other:?} (want ncar|slac|anl)"))),
     };
     gen_phase.items(ds.len() as u64);
     drop(gen_phase);
@@ -624,6 +636,7 @@ pub fn run_command<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> 
         "simulate" => cmd_simulate(a, w, &telemetry),
         "trace" => cmd_trace(a, w, &telemetry),
         "perf" => crate::perf::cmd_perf(a, w),
+        "scenario" => crate::scenario::cmd_scenario(a, w, &telemetry),
         other => Err(CliError(format!(
             "unknown command {other:?}; available: {}",
             COMMANDS.map(|(n, _, _)| n).join(", ")

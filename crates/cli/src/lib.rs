@@ -11,7 +11,7 @@
 //! gvc suitability <log> [--gap 60] [--setup 60] [--factor 10]
 //!                                        the Table IV analysis
 //! gvc generate <scenario> <out> [--scale 0.1] [--seed 42]
-//!                                        synthesize a dataset (ncar|slac|anl)
+//!                                        synthesize a dataset (ncar|slac|anl|ornl)
 //! gvc anonymize <log> <out> [--policy drop|pseudonym]
 //! gvc simulate <out> [--seed 42] [--jobs 6] [--horizon 100000]
 //!                                        run the instrumented simulation
@@ -19,6 +19,8 @@
 //!                                        offline span analysis of a trace
 //! gvc perf <snapshot|diff|gate>          host-performance snapshots and the
 //!                                        regression gate
+//! gvc scenario <run|record|diff|list>    scenario corpus with golden-output
+//!                                        regression gating
 //! ```
 //!
 //! Every command also accepts the global observability flags
@@ -35,6 +37,7 @@
 pub mod args;
 pub mod commands;
 pub mod perf;
+pub mod scenario;
 
 pub use args::{parse_flags, CliError, ParsedArgs};
 pub use commands::{run_command, COMMANDS};

@@ -1,0 +1,130 @@
+//! Corpus discovery and golden-file layout.
+//!
+//! A corpus is a directory of `*.scn` specs plus a `goldens/` subtree:
+//!
+//! ```text
+//! scenarios/
+//!   paper-ncar-nics.scn
+//!   goldens/
+//!     paper-ncar-nics/
+//!       report.json   — canonical FeasibilityReport (byte-exact)
+//!       stats.txt     — headline stats (byte-exact)
+//! ```
+//!
+//! Discovery sorts by file name, so iteration order is deterministic
+//! across platforms; a spec's `name` must match its file stem, so CLI
+//! lookups, golden paths, and spec contents can never drift apart.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::spec::ScenarioSpec;
+use crate::ScenarioError;
+
+/// One discovered spec.
+pub struct CorpusEntry {
+    /// The scenario name (== file stem).
+    pub name: String,
+    /// The spec file path.
+    pub path: PathBuf,
+    /// The parsed spec.
+    pub spec: ScenarioSpec,
+}
+
+/// A scenario's committed goldens.
+pub struct Goldens {
+    /// Canonical report JSON.
+    pub report_json: String,
+    /// Headline stats text.
+    pub stats_text: String,
+}
+
+fn io_err<T>(path: &Path, e: &std::io::Error) -> Result<T, ScenarioError> {
+    Err(ScenarioError::Io { path: path.display().to_string(), message: e.to_string() })
+}
+
+/// Discovers and parses every `*.scn` under `dir`, sorted by name.
+pub fn discover(dir: &Path) -> Result<Vec<CorpusEntry>, ScenarioError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => return io_err(dir, &e),
+    };
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = match entry {
+            Ok(e) => e,
+            Err(e) => return io_err(dir, &e),
+        };
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "scn") {
+            paths.push(path);
+        }
+    }
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        out.push(load(&path)?);
+    }
+    Ok(out)
+}
+
+/// Loads and parses one spec file, checking the name/stem invariant.
+pub fn load(path: &Path) -> Result<CorpusEntry, ScenarioError> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return io_err(path, &e),
+    };
+    let spec = ScenarioSpec::parse(&text)?;
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or_default();
+    if spec.name != stem {
+        return Err(ScenarioError::Run(format!(
+            "{}: scenario name {:?} must match the file stem {stem:?}",
+            path.display(),
+            spec.name
+        )));
+    }
+    Ok(CorpusEntry { name: spec.name.clone(), path: path.to_path_buf(), spec })
+}
+
+/// The golden directory for a scenario.
+pub fn golden_dir(corpus_dir: &Path, name: &str) -> PathBuf {
+    corpus_dir.join("goldens").join(name)
+}
+
+/// Reads a scenario's committed goldens.
+pub fn read_goldens(corpus_dir: &Path, name: &str) -> Result<Goldens, ScenarioError> {
+    let dir = golden_dir(corpus_dir, name);
+    let report_path = dir.join("report.json");
+    let stats_path = dir.join("stats.txt");
+    let report_json = match fs::read_to_string(&report_path) {
+        Ok(t) => t,
+        Err(e) => return io_err(&report_path, &e),
+    };
+    let stats_text = match fs::read_to_string(&stats_path) {
+        Ok(t) => t,
+        Err(e) => return io_err(&stats_path, &e),
+    };
+    Ok(Goldens { report_json, stats_text })
+}
+
+/// Writes (or overwrites) a scenario's goldens.
+pub fn write_goldens(
+    corpus_dir: &Path,
+    name: &str,
+    report_json: &str,
+    stats_text: &str,
+) -> Result<PathBuf, ScenarioError> {
+    let dir = golden_dir(corpus_dir, name);
+    if let Err(e) = fs::create_dir_all(&dir) {
+        return io_err(&dir, &e);
+    }
+    let report_path = dir.join("report.json");
+    if let Err(e) = fs::write(&report_path, report_json) {
+        return io_err(&report_path, &e);
+    }
+    let stats_path = dir.join("stats.txt");
+    if let Err(e) = fs::write(&stats_path, stats_text) {
+        return io_err(&stats_path, &e);
+    }
+    Ok(dir)
+}

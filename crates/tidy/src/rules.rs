@@ -27,6 +27,7 @@ pub const LIB_CRATES: &[&str] = &[
     "topology",
     "hntes",
     "faults",
+    "scenario",
 ];
 
 /// Crates allowed to read wall clocks and unseeded entropy: the

@@ -25,7 +25,10 @@ pub mod combined;
 pub mod ncar_nics;
 pub mod nersc_anl;
 pub mod nersc_ornl;
+pub mod registry;
 pub mod slac_bnl;
+
+pub use registry::{builtin_generator, builtin_names, BuiltinGenerator, BUILTIN_GENERATORS};
 
 /// Unix microseconds for 2009-01-01T00:00:00Z — the NCAR window start
 /// and the default simulation epoch.

@@ -50,6 +50,7 @@
 //! | [`workload`] | `gvc-workload` | calibrated scenario generators and ablations |
 //! | [`faults`] | `gvc-faults` | fault plans, injection, retry/backoff recovery policy |
 //! | [`telemetry`] | `gvc-telemetry` | metrics registry, JSONL tracing, spans, run manifests, offline trace analysis |
+//! | [`scenario`] | `gvc-scenario` | declarative scenario specs, corpus loader, golden-output regression gate |
 
 pub use gvc_core as core;
 pub use gvc_engine as engine;
@@ -59,6 +60,7 @@ pub use gvc_hntes as hntes;
 pub use gvc_logs as logs;
 pub use gvc_net as net;
 pub use gvc_oscars as oscars;
+pub use gvc_scenario as scenario;
 pub use gvc_stats as stats;
 pub use gvc_telemetry as telemetry;
 pub use gvc_topology as topology;
@@ -94,5 +96,7 @@ mod tests {
         assert!(crate::telemetry::SpanId::NONE.is_none());
         let model = crate::telemetry::TraceModel::from_text("").unwrap();
         assert!(crate::telemetry::check(&model, &Default::default()).clean());
+        let err = crate::scenario::ScenarioSpec::parse("").unwrap_err();
+        assert!(err.to_string().contains("[scenario]"));
     }
 }
