@@ -15,6 +15,7 @@ use gvc_engine::{EventQueue, SimTime};
 use gvc_gridftp::{Driver, ServerCaps, SessionSpec, Shards, TransferJob};
 use gvc_logs::{Dataset, TransferRecord, TransferType};
 use gvc_net::NetworkSim;
+use gvc_scenario::{run_scenario, ScenarioSpec};
 use gvc_telemetry::parse_trace;
 use gvc_telemetry::perf::{measure_throughput, median, BenchMetric, PerfSnapshot};
 use gvc_tidy::{run_sources, RuleSet};
@@ -23,7 +24,12 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 /// The snapshot names `gvc perf snapshot` produces, in emission order.
-pub const SNAPSHOT_NAMES: &[&str] = &["kernel", "sweep", "analysis", "shard", "tidy"];
+pub const SNAPSHOT_NAMES: &[&str] = &["kernel", "sweep", "analysis", "shard", "tidy", "scenario"];
+
+/// The committed `esnet-backbone` scenario spec, embedded so the
+/// snapshot measures exactly the workload the golden corpus gates
+/// (full driver + faults + telemetry + timeline stack end to end).
+pub const ESNET_BACKBONE_SCN: &str = include_str!("../../../scenarios/esnet-backbone.scn");
 
 /// The paper-sized sweep grid (Table III gaps × Table IV delays).
 pub const GAPS_S: [f64; 8] = [0.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0];
@@ -157,6 +163,17 @@ pub fn sharded_sim(sessions_per_pair: usize, shards: Shards) -> u64 {
     out.log.len() as u64
 }
 
+/// One full scenario run through the corpus runner (spec topology,
+/// synthetic workload, faults, telemetry, flight recorder, golden
+/// serialization); returns the number of transfers produced, 0 on a
+/// run error (snapshot values then read as an obvious regression).
+pub fn scenario_transfers(spec: &ScenarioSpec, shards: Shards) -> u64 {
+    run_scenario(spec, shards).map_or(0, |o| {
+        std::hint::black_box(o.report_json.len() + o.timeline_json.map_or(0, |t| t.len()));
+        o.report.n_transfers as u64
+    })
+}
+
 /// A deterministic synthetic workspace for the lint-engine snapshot:
 /// `files` sources spread across the lib crates, each with doc'd fns,
 /// a struct, and a cross-crate `use` chain (`helper_{i-1}` called from
@@ -229,7 +246,8 @@ fn throughput_metric(id: &str, unit: &str, items: u64, samples: Vec<f64>) -> Ben
 /// Standard sizes at `scale = 1.0`: kernel 200k events, sweep 200k
 /// records × the 8×4 grid, analysis 50k trace lines + 100k records,
 /// shard 160 sessions × 4 transfers × 3 lanes at shard counts 1 and
-/// auto, tidy 120 synthetic source files through the full v2 engine.
+/// auto, tidy 120 synthetic source files through the full v2 engine,
+/// scenario one full `esnet-backbone` corpus run (scale-independent).
 pub fn run_snapshot(name: &str, reps: u64, scale: f64) -> Option<PerfSnapshot> {
     let mut snap = PerfSnapshot::new(name, reps);
     match name {
@@ -307,6 +325,21 @@ pub fn run_snapshot(name: &str, reps: u64, scale: f64) -> Option<PerfSnapshot> {
             snap.metrics.push(throughput_metric(
                 "tidy.analyze.lines_per_sec",
                 "lines/sec",
+                items,
+                rates,
+            ));
+        }
+        "scenario" => {
+            // `scale` is ignored: the workload is the committed
+            // esnet-backbone spec byte-for-byte, so the metric tracks
+            // the cost of the run the golden gate re-executes on
+            // every PR.
+            let spec = ScenarioSpec::parse(ESNET_BACKBONE_SCN).ok()?;
+            let (items, rates) =
+                measure_throughput(reps, || scenario_transfers(&spec, Shards::Auto));
+            snap.metrics.push(throughput_metric(
+                "scenario.run.transfers_per_sec",
+                "transfers/sec",
                 items,
                 rates,
             ));

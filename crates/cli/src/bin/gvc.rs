@@ -22,6 +22,7 @@ fn usage() {
     eprintln!("  {:<64} write the metric exposition to a file", "--metrics-out <path>");
     eprintln!("  {:<64} print a host-performance report (phases, RSS)", "--perf");
     eprintln!("  {:<64} write the host-performance report to a file", "--perf-out <path>");
+    eprintln!("  {:<64} record sim-time windowed series to a file", "--timeline <path>");
 }
 
 fn main() {

@@ -14,7 +14,9 @@ use gvc_logs::{parse_dataset, write_dataset, Dataset};
 use gvc_net::NetworkSim;
 use gvc_oscars::{Idc, SetupDelayModel};
 use gvc_stats::Summary;
-use gvc_telemetry::{JsonlSink, RunManifest, Telemetry, TraceEvent};
+use gvc_telemetry::{
+    JsonlSink, RunManifest, Telemetry, TimelineHandle, TraceEvent, DEFAULT_WIDTH_US,
+};
 use gvc_topology::{study_topology, Site};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -22,7 +24,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 /// `(name, usage, description)` for every subcommand.
-pub const COMMANDS: [(&str, &str, &str); 10] = [
+pub const COMMANDS: [(&str, &str, &str); 12] = [
     ("summary", "gvc summary <log>", "descriptive statistics of a usage log"),
     ("sessions", "gvc sessions <log> [--gap 60]", "group transfers into sessions"),
     (
@@ -65,6 +67,17 @@ pub const COMMANDS: [(&str, &str, &str); 10] = [
         "gvc scenario <run|record|diff|list> [name] [--dir scenarios] [--all] [--shards auto|N]",
         "run declarative scenario specs against committed goldens",
     ),
+    (
+        "timeline",
+        "gvc timeline <report|csv|check> <timeline.json> [--slo <rules>]",
+        "report, export, or SLO-check a --timeline flight-recorder file",
+    ),
+    (
+        "serve-metrics",
+        "gvc serve-metrics [--listen 127.0.0.1:0] [--seed 42] [--jobs 4] [--faults <spec>] \
+         [--max-requests N] [--addr-file <path>]",
+        "run the simulation with a live /metrics and /timeline.json endpoint",
+    ),
 ];
 
 /// Canonical argv reconstruction: positionals in order then sorted
@@ -85,15 +98,28 @@ fn config_string(a: &ParsedArgs) -> String {
 /// inert and nothing is attached to the subsystems).
 fn telemetry_from_flags(a: &ParsedArgs) -> Result<(Telemetry, bool), CliError> {
     let want_perf = a.bool_flag("perf") || a.flags.contains_key("perf-out");
-    let (telemetry, instrumented) = if let Some(path) = a.flags.get("trace") {
+    let want_timeline = a.flags.contains_key("timeline")
+        || a.positional.first().is_some_and(|c| c == "serve-metrics");
+    let (mut telemetry, mut instrumented) = if let Some(path) = a.flags.get("trace") {
         let sink =
             JsonlSink::create(path).map_err(|e| CliError(format!("cannot create {path}: {e}")))?;
         (Telemetry::with_sink(Arc::new(sink)), true)
-    } else if want_perf || a.bool_flag("metrics") || a.flags.contains_key("metrics-out") {
+    } else if want_perf
+        || want_timeline
+        || a.bool_flag("metrics")
+        || a.flags.contains_key("metrics-out")
+    {
         (Telemetry::metrics_only(), true)
     } else {
         (Telemetry::default(), false)
     };
+    if want_timeline {
+        // One sim-time flight recorder (default window width) serves
+        // both the `--timeline <path>` file and, for `serve-metrics`,
+        // the live `/timeline.json` endpoint.
+        telemetry = telemetry.with_timeline(TimelineHandle::new(DEFAULT_WIDTH_US));
+        instrumented = true;
+    }
     if want_perf {
         return Ok((telemetry.with_perf(), true));
     }
@@ -350,6 +376,75 @@ fn cmd_anonymize<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parses the `--shards auto|N` flag shared by the simulation-running
+/// commands. Outputs are byte-identical for every shard count by the
+/// kernel's determinism contract, so the flag only tunes wall-clock
+/// time.
+pub(crate) fn parse_shards(a: &ParsedArgs) -> Result<Shards, CliError> {
+    match a.str_flag_or("shards", "auto") {
+        "auto" => Ok(Shards::Auto),
+        s => match s.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(Shards::Fixed(n)),
+            _ => Err(CliError("--shards must be 'auto' or a positive integer".into())),
+        },
+    }
+}
+
+/// Builds the canonical study workload shared by `simulate` and
+/// `serve-metrics`: NERSC→ORNL over the study topology, one
+/// circuit-backed bulk session of `jobs` transfers plus standalone
+/// best-effort transfers, so kernel, IDC, transfer, and net activity
+/// all show up in a single instrumented run.
+pub(crate) fn study_driver(
+    seed: u64,
+    jobs: usize,
+    faults: Option<FaultPlan>,
+    telemetry: &Telemetry,
+) -> Driver {
+    let t = study_topology();
+    let (nersc, ornl) = (t.dtn(Site::Nersc), t.dtn(Site::Ornl));
+    let study_path = t.path(Site::Nersc, Site::Ornl);
+    // Light general-purpose cross traffic (§VII-C: backbone links are
+    // lightly loaded but not idle), so foreground flows see fair-share
+    // competition and `net.bg_util` has a background share to report.
+    let background = gvc_net::background::generate_background(
+        &t.graph,
+        &gvc_net::background::BackgroundConfig::default(),
+        SimTime::from_secs(300),
+        seed,
+    );
+    let idc = Idc::new(t.graph.clone(), SetupDelayModel::one_minute());
+    let sim = NetworkSim::new(t.graph, 0);
+    let mut d = Driver::new(sim, seed).with_idc(idc).with_telemetry(telemetry);
+    d.schedule_background(background);
+    if telemetry.timeline.is_some() {
+        // The flight recorder derives `net.link_util[..]` /
+        // `net.bg_util[..]` from monitored links only; watch every
+        // hop of the study path.
+        for link in study_path.links {
+            d.sim_mut().monitor_link(link);
+        }
+    }
+    if let Some(plan) = faults {
+        d = d.with_faults(plan);
+    }
+    let src = d.register_cluster("dtn.nersc.gov", nersc, ServerCaps::default(), 2);
+    let dst = d.register_cluster("dtn.ornl.gov", ornl, ServerCaps::default(), 2);
+
+    let job = |mb: u64| TransferJob { size_bytes: mb << 20, ..TransferJob::default() };
+    let bulk: Vec<TransferJob> = (0..jobs).map(|i| job(256 + 128 * (i as u64 % 4))).collect();
+    let spec = SessionSpec::sequential(bulk, 1.0).with_vc(VcRequestSpec {
+        rate_bps: 1e9,
+        max_duration_s: 3600.0,
+        wait_for_circuit: true,
+    });
+    d.schedule_session(SimTime::ZERO, src, dst, spec);
+    for i in 0..jobs.div_ceil(2) {
+        d.schedule_transfer(SimTime::from_secs(30 + 60 * i as u64), src, dst, job(128));
+    }
+    d
+}
+
 fn cmd_simulate<W: Write>(
     a: &ParsedArgs,
     w: &mut W,
@@ -371,44 +466,15 @@ fn cmd_simulate<W: Write>(
         .get("faults")
         .map(|spec| FaultPlan::parse(spec).map_err(|e| CliError(e.to_string())))
         .transpose()?;
+    let shards = parse_shards(a)?;
 
-    // Outputs are byte-identical for every shard count by the kernel's
-    // determinism contract, so the flag only tunes wall-clock time.
-    let shards = match a.str_flag_or("shards", "auto") {
-        "auto" => Shards::Auto,
-        s => match s.parse::<usize>() {
-            Ok(n) if n > 0 => Shards::Fixed(n),
-            _ => return Err(CliError("--shards must be 'auto' or a positive integer".into())),
-        },
-    };
-
-    let t = study_topology();
-    let (nersc, ornl) = (t.dtn(Site::Nersc), t.dtn(Site::Ornl));
-    let idc = Idc::new(t.graph.clone(), SetupDelayModel::one_minute());
-    let sim = NetworkSim::new(t.graph, 0);
-    let mut d = Driver::new(sim, seed).with_idc(idc).with_telemetry(telemetry);
-    if let Some(plan) = faults {
-        d = d.with_faults(plan);
-    }
-    let src = d.register_cluster("dtn.nersc.gov", nersc, ServerCaps::default(), 2);
-    let dst = d.register_cluster("dtn.ornl.gov", ornl, ServerCaps::default(), 2);
-
-    let job = |mb: u64| TransferJob { size_bytes: mb << 20, ..TransferJob::default() };
-    // One circuit-backed bulk session plus standalone best-effort
-    // transfers, so kernel, IDC, transfer, and net activity all show
-    // up in a single instrumented run.
-    let bulk: Vec<TransferJob> = (0..jobs).map(|i| job(256 + 128 * (i as u64 % 4))).collect();
-    let spec = SessionSpec::sequential(bulk, 1.0).with_vc(VcRequestSpec {
-        rate_bps: 1e9,
-        max_duration_s: 3600.0,
-        wait_for_circuit: true,
-    });
-    d.schedule_session(SimTime::ZERO, src, dst, spec);
-    for i in 0..jobs.div_ceil(2) {
-        d.schedule_transfer(SimTime::from_secs(30 + 60 * i as u64), src, dst, job(128));
-    }
-
+    let d = study_driver(seed, jobs, faults, telemetry);
     let result = d.run_sharded(SimTime::from_secs_f64(horizon), shards);
+    if let Some(tl) = &telemetry.timeline {
+        // Per-link utilization is derived once, from the merged
+        // integer SNMP bins, so the timeline stays shard-invariant.
+        result.sim.record_timeline(tl);
+    }
     let emit_phase = telemetry.perf.phase("report_emission");
     save(&out, &result.log)?;
     drop(emit_phase);
@@ -612,6 +678,9 @@ fn cmd_trace<W: Write>(a: &ParsedArgs, w: &mut W, telemetry: &Telemetry) -> Resu
 /// exposition to a file instead. `--perf` appends a host-performance
 /// `PerfReport` (wall-clock phase timings, throughput, peak RSS) as
 /// JSON, and `--perf-out <path>` writes that report to a file.
+/// `--timeline <path>` attaches the sim-time flight recorder and
+/// writes its windowed-series JSON to the file once the command
+/// finishes (the `serve-metrics` command attaches it implicitly).
 /// Without these flags the telemetry context is inert.
 pub fn run_command<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> {
     let command = a.positional(0, "command")?;
@@ -637,6 +706,8 @@ pub fn run_command<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> 
         "trace" => cmd_trace(a, w, &telemetry),
         "perf" => crate::perf::cmd_perf(a, w),
         "scenario" => crate::scenario::cmd_scenario(a, w, &telemetry),
+        "timeline" => crate::timeline::cmd_timeline(a, w),
+        "serve-metrics" => crate::timeline::cmd_serve_metrics(a, w, &telemetry),
         other => Err(CliError(format!(
             "unknown command {other:?}; available: {}",
             COMMANDS.map(|(n, _, _)| n).join(", ")
@@ -658,6 +729,12 @@ pub fn run_command<W: Write>(a: &ParsedArgs, w: &mut W) -> Result<(), CliError> 
     }
     if a.bool_flag("metrics") {
         write!(w, "{}", telemetry.registry.render())?;
+    }
+    if let Some(path) = a.flags.get("timeline") {
+        if let Some(tl) = &telemetry.timeline {
+            std::fs::write(path, tl.to_json())
+                .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        }
     }
     Ok(())
 }

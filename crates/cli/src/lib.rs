@@ -21,6 +21,10 @@
 //!                                        regression gate
 //! gvc scenario <run|record|diff|list>    scenario corpus with golden-output
 //!                                        regression gating
+//! gvc timeline <report|csv|check>        views and SLO burn checks over a
+//!                                        --timeline flight-recorder file
+//! gvc serve-metrics [--listen addr]      simulation run with a live /metrics
+//!                                        and /timeline.json scrape endpoint
 //! ```
 //!
 //! Every command also accepts the global observability flags
@@ -28,16 +32,20 @@
 //! `run.manifest` record), `--metrics` (append the Prometheus-style
 //! metric exposition to the output), `--metrics-out <path>` (write
 //! that exposition to a file), `--perf` (append a host-performance
-//! report: wall-clock phase timings, throughput, peak RSS), and
-//! `--perf-out <path>` (write that report to a file). See
+//! report: wall-clock phase timings, throughput, peak RSS),
+//! `--perf-out <path>` (write that report to a file), and
+//! `--timeline <path>` (record the sim-time flight recorder's
+//! windowed series and write them as JSON). See
 //! `docs/observability.md` for the event schema, `docs/perf.md` for
-//! the host-performance toolchain, and `docs/trace-analysis.md` for
-//! the span toolchain.
+//! the host-performance toolchain, `docs/trace-analysis.md` for the
+//! span toolchain, and `docs/timeline.md` for the flight recorder and
+//! SLO rule grammar.
 
 pub mod args;
 pub mod commands;
 pub mod perf;
 pub mod scenario;
+pub mod timeline;
 
 pub use args::{parse_flags, CliError, ParsedArgs};
 pub use commands::{run_command, COMMANDS};

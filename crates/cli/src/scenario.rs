@@ -23,16 +23,7 @@ use gvc_scenario::{golden, run_scenario};
 use gvc_telemetry::Telemetry;
 
 use crate::args::{CliError, ParsedArgs};
-
-fn parse_shards(a: &ParsedArgs) -> Result<Shards, CliError> {
-    match a.str_flag_or("shards", "auto") {
-        "auto" => Ok(Shards::Auto),
-        s => match s.parse::<usize>() {
-            Ok(n) if n > 0 => Ok(Shards::Fixed(n)),
-            _ => Err(CliError("--shards must be 'auto' or a positive integer".into())),
-        },
-    }
-}
+use crate::commands::parse_shards;
 
 fn corpus_dir(a: &ParsedArgs) -> PathBuf {
     PathBuf::from(a.str_flag_or("dir", "scenarios"))
@@ -114,6 +105,20 @@ fn check_entry(
     if let Some(diff) = golden::line_diff(&goldens.stats_text, &outcome.stats_text) {
         failures.push(format!("{}: stats.txt: {diff}", entry.name));
     }
+    match (&goldens.timeline_json, &outcome.timeline_json) {
+        (Some(want), Some(got)) => {
+            if let Some(diff) = golden::line_diff(want, got) {
+                failures.push(format!("{}: timeline.json: {diff}", entry.name));
+            }
+        }
+        (Some(_), None) => failures.push(format!(
+            "{}: timeline.json: golden committed but the run produced no timeline",
+            entry.name
+        )),
+        // No committed timeline: tolerated so corpora recorded before
+        // the flight recorder (or paper profiles) still gate.
+        (None, _) => {}
+    }
     if with_bounds {
         for v in &outcome.violations {
             failures.push(format!("{}: bound: {v}", entry.name));
@@ -145,9 +150,14 @@ pub fn cmd_scenario<W: Write>(
                 for v in &outcome.violations {
                     writeln!(w, "warning: {}: bound: {v}", e.name)?;
                 }
-                let path =
-                    corpus::write_goldens(&dir, &e.name, &outcome.report_json, &outcome.stats_text)
-                        .map_err(|err| CliError(err.to_string()))?;
+                let path = corpus::write_goldens(
+                    &dir,
+                    &e.name,
+                    &outcome.report_json,
+                    &outcome.stats_text,
+                    outcome.timeline_json.as_deref(),
+                )
+                .map_err(|err| CliError(err.to_string()))?;
                 writeln!(
                     w,
                     "recorded {} ({} transfers) -> {}",

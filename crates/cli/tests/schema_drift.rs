@@ -120,6 +120,55 @@ fn emitted_trace_schema_matches_the_documentation() {
     );
 }
 
+/// Runs `gvc simulate --timeline` in-process and returns the base
+/// names (instance suffix stripped) of every recorded series.
+fn timeline_base_names(tag: &str, faults: &str) -> BTreeSet<String> {
+    let log = tmpfile(&format!("{tag}.log"));
+    let tl = tmpfile(&format!("{tag}.timeline.json"));
+    let argv =
+        ["simulate", &log, "--seed", "7", "--jobs", "3", "--faults", faults, "--timeline", &tl];
+    let parsed =
+        parse_flags(argv.iter().map(std::string::ToString::to_string)).expect("parse argv");
+    let mut out = Vec::new();
+    run_command(&parsed, &mut out).expect("simulate");
+    let text = std::fs::read_to_string(&tl).expect("read timeline");
+    let doc = gvc_telemetry::TimelineDoc::parse(&text).expect("well-formed timeline");
+    std::fs::remove_file(&log).ok();
+    std::fs::remove_file(&tl).ok();
+    doc.series.iter().map(|s| s.base_name().to_string()).collect()
+}
+
+#[test]
+fn recorded_timeline_series_match_the_documentation() {
+    let doc_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/observability.md");
+    let doc = std::fs::read_to_string(doc_path).expect("docs/observability.md");
+    let series_doc = documented(&doc, "Timeline series", true);
+
+    // The docs table, the series registry, and what an instrumented
+    // run actually records must be the same set: a new series without
+    // a docs row fails, and so does a documented series no run
+    // produces.
+    let registry: BTreeSet<String> =
+        gvc_telemetry::timeline::series::ALL.iter().map(|s| (*s).to_string()).collect();
+    assert_eq!(
+        series_doc, registry,
+        "the \"Timeline series\" table in docs/observability.md must match \
+         gvc_telemetry::timeline::series::ALL"
+    );
+
+    // fail-first=1 exercises retry + establishment (driver.vc_setup,
+    // driver.retries); fail-first=100 forces the IP fallback
+    // (driver.fallbacks). Union covers every registered series.
+    let retry = timeline_base_names("tl-retry", "seed=1,fail-first=1");
+    let fallback = timeline_base_names("tl-fallback", "seed=1,fail-first=100");
+    let recorded: BTreeSet<String> = retry.union(&fallback).cloned().collect();
+    assert_eq!(
+        recorded, registry,
+        "series recorded by `gvc simulate --timeline --faults` must match \
+         gvc_telemetry::timeline::series::ALL"
+    );
+}
+
 #[test]
 fn emitted_perf_families_match_the_documentation() {
     let doc_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/observability.md");

@@ -8,7 +8,8 @@
 //! gaps), and their relative order must not depend on heap internals.
 
 use crate::time::{SimSpan, SimTime};
-use gvc_telemetry::{Counter, Gauge, Registry, SpanId, Tracer};
+use gvc_telemetry::timeline::series;
+use gvc_telemetry::{Counter, Gauge, Registry, SpanId, TimelineHandle, Tracer};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -27,6 +28,10 @@ pub struct QueueTelemetry {
     /// Span handle for `kernel.queue_wait` spans (schedule → pop).
     /// Disabled by default; see [`QueueTelemetry::with_tracer`].
     pub tracer: Tracer,
+    /// Sim-time flight recorder feeding the `kernel.scheduled` /
+    /// `kernel.dispatched` windowed series (`None` unless
+    /// [`QueueTelemetry::with_timeline`] attached one).
+    pub timeline: Option<TimelineHandle>,
 }
 
 impl QueueTelemetry {
@@ -37,6 +42,7 @@ impl QueueTelemetry {
             dispatched: registry.counter("sim_events_dispatched_total", &[]),
             depth_hwm: registry.gauge("sim_event_queue_depth_hwm", &[]),
             tracer: Tracer::disabled(),
+            timeline: None,
         }
     }
 
@@ -46,6 +52,16 @@ impl QueueTelemetry {
     #[must_use]
     pub fn with_tracer(mut self, tracer: Tracer) -> QueueTelemetry {
         self.tracer = tracer;
+        self
+    }
+
+    /// Attaches a sim-time flight recorder. Windowed schedule and
+    /// dispatch counts are shard-invariant: each calendar entry is
+    /// scheduled and popped in exactly one lane, so the lane-merged
+    /// per-window sums equal the unsharded run's.
+    #[must_use]
+    pub fn with_timeline(mut self, timeline: Option<TimelineHandle>) -> QueueTelemetry {
+        self.timeline = timeline;
         self
     }
 }
@@ -151,6 +167,9 @@ impl<E> EventQueue<E> {
         if let Some(t) = &self.telemetry {
             t.scheduled.inc();
             t.depth_hwm.set_max(self.heap.len() as i64);
+            if let Some(tl) = &t.timeline {
+                tl.add(series::KERNEL_SCHEDULED, self.now.micros(), 1.0);
+            }
         }
     }
 
@@ -170,6 +189,9 @@ impl<E> EventQueue<E> {
             if let Some(t) = &self.telemetry {
                 t.dispatched.inc();
                 t.tracer.span_exit(e.span, e.at.micros() as i64);
+                if let Some(tl) = &t.timeline {
+                    tl.add(series::KERNEL_DISPATCHED, e.at.micros(), 1.0);
+                }
             }
             (e.at, e.event)
         })

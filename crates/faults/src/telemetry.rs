@@ -4,7 +4,8 @@
 //! `fault.*` / `recovery.*` event.
 
 use crate::plan::FaultKind;
-use gvc_telemetry::{Counter, Histogram, Registry, Tracer};
+use gvc_telemetry::timeline::series;
+use gvc_telemetry::{Counter, Histogram, Registry, TimelineHandle, Tracer};
 use std::sync::Arc;
 
 /// Fault/recovery metrics, shared with a [`Registry`]. One instance
@@ -23,6 +24,10 @@ pub struct FaultTelemetry {
     pub recovery_latency: Arc<Histogram>,
     /// Trace handle for `fault.*` / `recovery.*` events.
     pub tracer: Tracer,
+    /// Sim-time flight recorder feeding the `fault.injected` windowed
+    /// series (`None` unless [`FaultTelemetry::with_timeline`]
+    /// attached one).
+    pub timeline: Option<TimelineHandle>,
 }
 
 const KINDS: [FaultKind; 5] = [
@@ -57,7 +62,17 @@ impl FaultTelemetry {
                 Histogram::timing,
             ),
             tracer,
+            timeline: None,
         }
+    }
+
+    /// Attaches a sim-time flight recorder for windowed injection
+    /// counts (each fault fires in exactly one shard lane, so the
+    /// per-window sums are shard-invariant).
+    #[must_use]
+    pub fn with_timeline(mut self, timeline: Option<TimelineHandle>) -> FaultTelemetry {
+        self.timeline = timeline;
+        self
     }
 
     /// A disconnected instance (private registry, tracing off) for
@@ -72,6 +87,15 @@ impl FaultTelemetry {
             if *k == kind {
                 self.injected[i].inc();
             }
+        }
+    }
+
+    /// Counts one injected fault of `kind` at sim time `t_us`, adding
+    /// it to the `fault.injected` timeline window as well.
+    pub fn count_injected_at(&self, kind: FaultKind, t_us: u64) {
+        self.count_injected(kind);
+        if let Some(tl) = &self.timeline {
+            tl.add(series::FAULT_INJECTED, t_us, 1.0);
         }
     }
 

@@ -19,9 +19,10 @@ use gvc_net::tcp::TcpModel;
 use gvc_net::{FlowCompletion, FlowId, FlowSpec, NetTelemetry, NetworkSim};
 use gvc_oscars::{Idc, IdcTelemetry, ReservationId, ReservationRequest};
 use gvc_stats::rng::component_rng;
+use gvc_telemetry::timeline::series;
 use gvc_telemetry::{
-    BufferSink, Counter, Histogram, Perf, Registry, SpanId, Stopwatch, Telemetry, TraceEvent,
-    Tracer,
+    BufferSink, Counter, Histogram, Perf, Registry, SpanId, Stopwatch, Telemetry, TimelineHandle,
+    TraceEvent, Tracer,
 };
 use gvc_topology::{LinkId, NodeId, Path};
 use rand::rngs::SmallRng;
@@ -49,6 +50,9 @@ pub struct DriverTelemetry {
     event_seconds: [Arc<Histogram>; 7],
     /// Trace handle for `transfer.*` and `kernel.*` events.
     pub tracer: Tracer,
+    /// Sim-time flight recorder for the `driver.*` windowed series
+    /// (`None` unless the [`Telemetry`] context carries one).
+    pub timeline: Option<TimelineHandle>,
 }
 
 impl DriverTelemetry {
@@ -80,6 +84,7 @@ impl DriverTelemetry {
                 class_hist("link_flap"),
             ],
             tracer: ctx.tracer.clone(),
+            timeline: ctx.timeline.clone(),
         }
     }
 }
@@ -203,6 +208,10 @@ struct InFlight {
     span: SpanId,
 }
 
+/// A lane sub-driver plus the private sink/registry/timeline the
+/// coordinator later absorbs in lane order.
+type LaneParts = (Driver, Option<Arc<BufferSink>>, Option<Arc<Registry>>, Option<TimelineHandle>);
+
 /// The session/transfer driver over a fluid network simulation.
 pub struct Driver {
     sim: NetworkSim,
@@ -247,7 +256,11 @@ pub struct Driver {
 
 impl Driver {
     /// A driver over `sim`, seeded deterministically.
-    pub fn new(sim: NetworkSim, seed: u64) -> Driver {
+    pub fn new(mut sim: NetworkSim, seed: u64) -> Driver {
+        // Background flows carry a reserved tag; telling the simulator
+        // lets its parallel SNMP recorder split out the background
+        // share for the `net.bg_util` timeline series.
+        sim.set_background_tag(BACKGROUND_TAG);
         Driver {
             sim,
             tcp: TcpModel::default(),
@@ -285,14 +298,21 @@ impl Driver {
     /// the fluid simulator, the IDC (if present), and the driver's own
     /// transfer lifecycle. Order-independent with [`Driver::with_idc`].
     pub fn with_telemetry(mut self, ctx: &Telemetry) -> Driver {
-        self.pending
-            .set_telemetry(QueueTelemetry::register(&ctx.registry).with_tracer(ctx.tracer.clone()));
+        self.pending.set_telemetry(
+            QueueTelemetry::register(&ctx.registry)
+                .with_tracer(ctx.tracer.clone())
+                .with_timeline(ctx.timeline.clone()),
+        );
         self.sim.set_telemetry(NetTelemetry::register(&ctx.registry, ctx.tracer.clone()));
         if let Some(idc) = self.idc.as_mut() {
-            idc.set_telemetry(IdcTelemetry::register(&ctx.registry, ctx.tracer.clone()));
+            idc.set_telemetry(
+                IdcTelemetry::register(&ctx.registry, ctx.tracer.clone())
+                    .with_timeline(ctx.timeline.clone()),
+            );
         }
         self.telemetry = Some(DriverTelemetry::register(ctx));
-        self.ftel = FaultTelemetry::register(&ctx.registry, ctx.tracer.clone());
+        self.ftel = FaultTelemetry::register(&ctx.registry, ctx.tracer.clone())
+            .with_timeline(ctx.timeline.clone());
         self.telemetry_ctx = Some(ctx.clone());
         self.tracer = ctx.tracer.clone();
         self
@@ -339,7 +359,10 @@ impl Driver {
     pub fn with_idc(mut self, idc: Idc) -> Driver {
         self.idc = Some(idc);
         if let (Some(ctx), Some(idc)) = (&self.telemetry_ctx, self.idc.as_mut()) {
-            idc.set_telemetry(IdcTelemetry::register(&ctx.registry, ctx.tracer.clone()));
+            idc.set_telemetry(
+                IdcTelemetry::register(&ctx.registry, ctx.tracer.clone())
+                    .with_timeline(ctx.timeline.clone()),
+            );
         }
         self
     }
@@ -437,6 +460,14 @@ impl Driver {
         self.pending.schedule(at, Event::ResizeCluster(cluster, n_servers));
     }
 
+    /// The attached sim-time flight recorder, if any. Driver-side
+    /// series are all counters of 1.0 increments (or per-event
+    /// quantile observations), each fired in exactly one shard lane,
+    /// so the per-window merges are shard-invariant.
+    fn tl(&self) -> Option<&TimelineHandle> {
+        self.telemetry.as_ref().and_then(|t| t.timeline.as_ref())
+    }
+
     fn path_between(&self, src: ClusterId, dst: ClusterId) -> Option<Path> {
         gvc_topology::shortest_path(
             self.sim.graph(),
@@ -490,6 +521,9 @@ impl Driver {
         };
         if let Some(t) = &self.telemetry {
             t.sessions_started.inc();
+            if let Some(tl) = &t.timeline {
+                tl.add(series::DRIVER_SESSION_STARTS, now.micros(), 1.0);
+            }
             let (jobs, conc) = {
                 let s = &self.sessions[idx];
                 (s.spec.jobs.len(), s.spec.concurrency)
@@ -543,6 +577,14 @@ impl Driver {
                     if let Ok(ready) = idc.provision(id, now) {
                         self.sessions[idx].vc = Some((id, ready, vc.rate_bps));
                         self.vc_established += 1;
+                        if let Some(tl) = self.telemetry.as_ref().and_then(|t| t.timeline.as_ref())
+                        {
+                            tl.observe(
+                                series::DRIVER_VC_SETUP,
+                                now.micros(),
+                                (ready - now).as_secs_f64(),
+                            );
+                        }
                         self.tracer.span_exit_with(vc_span, ready.micros() as i64, |ev| {
                             ev.field("outcome", "established")
                         });
@@ -629,7 +671,7 @@ impl Driver {
             }
         }
         if let Some(kind) = injected {
-            self.ftel.count_injected(kind);
+            self.ftel.count_injected_at(kind, now.micros());
             reason = kind.as_str();
             self.ftel.tracer.emit_with(|| {
                 TraceEvent::new(now.micros() as i64, "fault.injected")
@@ -649,6 +691,12 @@ impl Driver {
             self.sessions[idx].vc_span = SpanId::NONE;
             self.sessions[idx].vc = Some((id, ready, vc.rate_bps));
             self.vc_established += 1;
+            if let Some(tl) = self.tl() {
+                // Setup latency = first attempt to circuit-ready,
+                // including provisioning delay and any backoff waits.
+                let t0 = self.sessions[idx].vc_started.unwrap_or(now);
+                tl.observe(series::DRIVER_VC_SETUP, now.micros(), (ready - t0).as_secs_f64());
+            }
             if attempt > 1 {
                 let waited_s =
                     self.sessions[idx].vc_started.map_or(0.0, |t0| (now - t0).as_secs_f64());
@@ -677,6 +725,9 @@ impl Driver {
         match policy.decide(seed, attempt) {
             RecoveryAction::Retry { delay_s_micros } => {
                 self.ftel.retries.inc();
+                if let Some(tl) = self.tl() {
+                    tl.add(series::DRIVER_RETRIES, now.micros(), 1.0);
+                }
                 let delay_s = delay_s_micros as f64 / 1e6;
                 self.ftel.tracer.emit_with(|| {
                     TraceEvent::new(now.micros() as i64, "recovery.retry")
@@ -703,6 +754,9 @@ impl Driver {
             }
             RecoveryAction::FallbackToIp => {
                 self.ftel.fallback_ip.inc();
+                if let Some(tl) = self.tl() {
+                    tl.add(series::DRIVER_FALLBACKS, now.micros(), 1.0);
+                }
                 self.record_recovery_latency(waited_s);
                 self.sessions[idx].vc_given_up = true;
                 self.tracer.span_exit_with(attempt_span, now.micros() as i64, |ev| {
@@ -790,7 +844,7 @@ impl Driver {
         if let Some(f) = self.faults.as_mut() {
             f.note_preemption();
         }
-        self.ftel.count_injected(FaultKind::Preemption);
+        self.ftel.count_injected_at(FaultKind::Preemption, now.micros());
         self.ftel.tracer.emit_with(|| {
             TraceEvent::new(now.micros() as i64, "fault.injected")
                 .field("fault", FaultKind::Preemption.as_str())
@@ -816,7 +870,7 @@ impl Driver {
         if let Some(f) = self.faults.as_mut() {
             f.note_link_flap();
         }
-        self.ftel.count_injected(FaultKind::LinkFlap);
+        self.ftel.count_injected_at(FaultKind::LinkFlap, self.sim.now().micros());
         let t_us = self.sim.now().micros() as i64;
         self.ftel.tracer.emit_with(|| {
             TraceEvent::new(t_us, "fault.injected")
@@ -890,7 +944,7 @@ impl Driver {
         if forced {
             prepared.overhead_s += self.failures.sample_forced_penalty_s(&mut fail_rng);
             prepared.failed = true;
-            self.ftel.count_injected(FaultKind::ServerRestart);
+            self.ftel.count_injected_at(FaultKind::ServerRestart, self.sim.now().micros());
             let t_us = self.sim.now().micros() as i64;
             self.ftel.tracer.emit_with(|| {
                 TraceEvent::new(t_us, "fault.injected")
@@ -993,6 +1047,9 @@ impl Driver {
             t.transfers_completed.inc();
             t.transferred_bytes.add(info.job.size_bytes);
             t.throughput_mbps.record(mbps);
+            if let Some(tl) = &t.timeline {
+                tl.add(series::DRIVER_TRANSFERS, c.end.micros(), 1.0);
+            }
             let (bytes, streams, lossy, failed) =
                 (info.job.size_bytes, info.job.streams, info.lossy, info.failed);
             t.tracer.emit_with(|| {
@@ -1027,6 +1084,9 @@ impl Driver {
             self.tracer.span_exit(session_span, self.sim.now().micros() as i64);
             if let Some(t) = &self.telemetry {
                 t.sessions_completed.inc();
+                if let Some(tl) = &t.timeline {
+                    tl.add(series::DRIVER_SESSION_COMPLETIONS, self.sim.now().micros(), 1.0);
+                }
                 t.tracer.emit_with(|| {
                     TraceEvent::new(self.sim.now().micros() as i64, "transfer.session_complete")
                         .field("session", idx)
@@ -1224,12 +1284,7 @@ impl Driver {
     /// same topology, every cluster and session slot registered in
     /// global order (preserving ids and per-session RNG streams), but
     /// only the lane's own items scheduled.
-    fn build_lane(
-        &self,
-        k: usize,
-        members: &[usize],
-        parent: SpanId,
-    ) -> (Driver, Option<Arc<BufferSink>>, Option<Arc<Registry>>) {
+    fn build_lane(&self, k: usize, members: &[usize], parent: SpanId) -> LaneParts {
         let s_n = self.script.sessions.len();
         let b_n = self.script.backgrounds.len();
         let r_n = self.script.resizes.len();
@@ -1269,6 +1324,7 @@ impl Driver {
         }
         let mut sink = None;
         let mut registry = None;
+        let mut timeline = None;
         if let Some(ctx) = &self.telemetry_ctx {
             let tracer = if ctx.tracer.enabled() {
                 let buf = Arc::new(BufferSink::new());
@@ -1279,8 +1335,16 @@ impl Driver {
             } else {
                 Tracer::disabled()
             };
-            let lane_ctx =
-                Telemetry { registry: Arc::new(Registry::new()), tracer, perf: Perf::disabled() };
+            // Each lane records into its own flight recorder (same
+            // window width); the coordinator absorbs them in lane
+            // order, so the merged timeline is shard-invariant.
+            timeline = ctx.timeline.as_ref().map(|tl| TimelineHandle::new(tl.width_us()));
+            let lane_ctx = Telemetry {
+                registry: Arc::new(Registry::new()),
+                tracer,
+                perf: Perf::disabled(),
+                timeline: timeline.clone(),
+            };
             registry = Some(Arc::clone(&lane_ctx.registry));
             lane = lane.with_telemetry(&lane_ctx);
         }
@@ -1303,7 +1367,7 @@ impl Driver {
                 lane.pending.schedule(*at, Event::ResizeCluster(*cluster, *n));
             }
         }
-        (lane, sink, registry)
+        (lane, sink, registry, timeline)
     }
 
     /// Runs the recorded schedule as independent event lanes —
@@ -1344,11 +1408,13 @@ impl Driver {
         let mut drivers = Vec::with_capacity(lane_count);
         let mut sinks = Vec::with_capacity(lane_count);
         let mut registries = Vec::with_capacity(lane_count);
+        let mut timelines = Vec::with_capacity(lane_count);
         for (k, members) in lanes.iter().enumerate() {
-            let (d, sink, registry) = self.build_lane(k, members, run_span);
+            let (d, sink, registry, timeline) = self.build_lane(k, members, run_span);
             drivers.push(d);
             sinks.push(sink);
             registries.push(registry);
+            timelines.push(timeline);
         }
         let results = run_lanes(drivers, limit, shards.threads());
         // Stitch the trace: coordinator events first, then each
@@ -1363,6 +1429,14 @@ impl Driver {
         if let Some(ctx) = &self.telemetry_ctx {
             for registry in registries.into_iter().flatten() {
                 ctx.registry.merge_from(&registry);
+            }
+            // Fold lane flight recorders in lane order. Per-window
+            // cell merges are commutative, so the merged timeline is
+            // identical for every shard count and thread schedule.
+            if let Some(parent_tl) = &ctx.timeline {
+                for tl in timelines.into_iter().flatten() {
+                    parent_tl.absorb(&tl);
+                }
             }
         }
         let end_us = results.iter().map(|(o, _)| o.sim.now().micros() as i64).max().unwrap_or(0);
@@ -1384,6 +1458,7 @@ impl Driver {
         let (mut lat_sum, mut lat_n) = (0.0_f64, 0_u64);
         for (o, ls) in results {
             self.sim.absorb_snmp(o.sim.snmp());
+            self.sim.absorb_bg_snmp(o.sim.bg_snmp());
             records.extend(o.log.into_records());
             transfers.extend(o.tstat.transfers);
             if let Some(s) = o.idc_stats {
@@ -2458,6 +2533,47 @@ mod tests {
         }
     }
 
+    /// The flight-recorder arm of the determinism contract: the
+    /// merged timeline (driver, kernel, IDC, fault, and derived SNMP
+    /// series alike) is byte-identical at every shard count — and,
+    /// because this test also runs under `--no-default-features`, in
+    /// the sequential build.
+    #[test]
+    fn sharded_timeline_bytes_identical_across_shard_counts() {
+        use gvc_faults::FaultPlan;
+        use gvc_telemetry::DEFAULT_WIDTH_US;
+        let t = study_topology();
+        let watch = t.path(Site::Nersc, Site::Slac).links[2];
+        let run = |shards: Shards| -> String {
+            let tl = TimelineHandle::new(DEFAULT_WIDTH_US);
+            let ctx = Telemetry::metrics_only().with_timeline(tl.clone());
+            let mut d = disjoint_pairs_driver(18, Some(&ctx), true)
+                .with_faults(FaultPlan { fail_first_provisions: 1, ..FaultPlan::default() });
+            d.sim_mut().monitor_link(watch);
+            let out = d.run_sharded(SimTime::from_secs(1_000_000), shards);
+            out.sim.record_timeline(&tl);
+            tl.to_json()
+        };
+        let one = run(Shards::Fixed(1));
+        let two = run(Shards::Fixed(2));
+        let auto = run(Shards::Auto);
+        assert_eq!(one, two, "timeline bytes differ between shard counts 1 and 2");
+        assert_eq!(one, auto, "timeline bytes differ between shard counts 1 and auto");
+        for name in [
+            series::KERNEL_SCHEDULED,
+            series::KERNEL_DISPATCHED,
+            series::DRIVER_SESSION_STARTS,
+            series::DRIVER_SESSION_COMPLETIONS,
+            series::DRIVER_TRANSFERS,
+            series::DRIVER_VC_SETUP,
+            series::FAULT_INJECTED,
+            series::OSCARS_OPEN_RESERVATIONS,
+            series::NET_LINK_UTIL,
+        ] {
+            assert!(one.contains(&format!("\"{name}")), "series {name} missing:\n{one}");
+        }
+    }
+
     #[test]
     fn sharded_background_and_resize_stay_on_their_lanes() {
         let t = study_topology();
@@ -2523,7 +2639,10 @@ mod tests {
             use gvc_faults::FaultPlan;
             let run = |shards: Shards| {
                 let t = study_topology();
-                let mut d = Driver::new(NetworkSim::new(t.graph.clone(), 0), seed);
+                let tl = TimelineHandle::new(gvc_telemetry::DEFAULT_WIDTH_US);
+                let ctx = Telemetry::metrics_only().with_timeline(tl.clone());
+                let mut d = Driver::new(NetworkSim::new(t.graph.clone(), 0), seed)
+                    .with_telemetry(&ctx);
                 if with_vc {
                     d = d.with_idc(Idc::new(t.graph.clone(), SetupDelayModel::one_minute()));
                 }
@@ -2547,11 +2666,13 @@ mod tests {
                     e,
                     SessionSpec::sequential(vec![job(64); jobs_b], gap_s),
                 );
-                d.run_sharded(SimTime::from_secs(1_000_000), shards)
+                let out = d.run_sharded(SimTime::from_secs(1_000_000), shards);
+                out.sim.record_timeline(&tl);
+                (out, tl.to_json())
             };
-            let one = run(Shards::Fixed(1));
-            let two = run(Shards::Fixed(2));
-            let many = run(Shards::Fixed(9));
+            let (one, tl_one) = run(Shards::Fixed(1));
+            let (two, tl_two) = run(Shards::Fixed(2));
+            let (many, tl_many) = run(Shards::Fixed(9));
             prop_assert_eq!(&one.log, &two.log);
             prop_assert_eq!(&one.log, &many.log);
             prop_assert_eq!(&one.tstat.transfers, &two.tstat.transfers);
@@ -2560,6 +2681,8 @@ mod tests {
             prop_assert_eq!(one.resilience, many.resilience);
             prop_assert_eq!(one.idc_stats, many.idc_stats);
             prop_assert_eq!(one.open_reservations, many.open_reservations);
+            prop_assert_eq!(&tl_one, &tl_two);
+            prop_assert_eq!(&tl_one, &tl_many);
         }
     }
 }

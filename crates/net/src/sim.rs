@@ -15,7 +15,8 @@ use crate::fairshare::{max_min_allocation, CapacityConstraint, FlowDemand};
 use crate::flow::{FlowCompletion, FlowId, FlowSpec, ResourceId};
 use crate::snmp_rec::SnmpRecorder;
 use gvc_engine::{SimSpan, SimTime};
-use gvc_telemetry::{Counter, Gauge, Registry, TraceEvent, Tracer};
+use gvc_telemetry::timeline::series;
+use gvc_telemetry::{Counter, Gauge, Registry, TimelineHandle, TraceEvent, Tracer};
 use gvc_topology::{Graph, LinkId};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -112,6 +113,13 @@ pub struct NetworkSim {
     now: SimTime,
     rates_dirty: bool,
     snmp: SnmpRecorder,
+    /// Background-tagged share of the same monitored interfaces:
+    /// flows carrying [`NetworkSim::set_background_tag`]'s tag
+    /// deposit here *in addition to* the main recorder, so the
+    /// timeline can report the cross-traffic share per window.
+    bg_snmp: SnmpRecorder,
+    /// The tag marking background cross-traffic, if any.
+    background_tag: Option<u64>,
     /// Unix microseconds corresponding to `SimTime::ZERO` (for SNMP
     /// bin timestamps).
     epoch_unix_us: i64,
@@ -133,6 +141,8 @@ impl NetworkSim {
             now: SimTime::ZERO,
             rates_dirty: false,
             snmp: SnmpRecorder::new(),
+            bg_snmp: SnmpRecorder::new(),
+            background_tag: None,
             epoch_unix_us,
             traces: HashMap::new(),
             traced_tags: std::collections::HashSet::new(),
@@ -221,6 +231,7 @@ impl NetworkSim {
         let l = self.graph.link(link);
         let name = format!("{}->{}", self.graph.node(l.src).name, self.graph.node(l.dst).name);
         self.snmp.monitor(link, &name, self.epoch_unix_us);
+        self.bg_snmp.monitor(link, &name, self.epoch_unix_us);
     }
 
     /// Access to recorded SNMP counters.
@@ -228,11 +239,65 @@ impl NetworkSim {
         &self.snmp
     }
 
+    /// Access to the background-only SNMP counters.
+    pub fn bg_snmp(&self) -> &SnmpRecorder {
+        &self.bg_snmp
+    }
+
+    /// Marks `tag` as background cross-traffic: flows carrying it
+    /// additionally deposit into the background-only counters of
+    /// monitored interfaces.
+    pub fn set_background_tag(&mut self, tag: u64) {
+        self.background_tag = Some(tag);
+    }
+
     /// Folds another recorder's SNMP counters into this sim's (see
     /// [`SnmpRecorder::absorb`]). Sharded runs use this to merge each
     /// lane's counters back into the coordinator's sim.
     pub fn absorb_snmp(&mut self, other: &SnmpRecorder) {
         self.snmp.absorb(other);
+    }
+
+    /// Folds another recorder's background-only counters in (the
+    /// sharded-merge twin of [`NetworkSim::absorb_snmp`]).
+    pub fn absorb_bg_snmp(&mut self, other: &SnmpRecorder) {
+        self.bg_snmp.absorb(other);
+    }
+
+    /// Derives the per-link timeline series from the (merged) SNMP
+    /// counters: `net.link_util[<iface>]` and `net.bg_util[<iface>]`
+    /// as utilization fractions of link capacity per timeline window,
+    /// each counter bin distributed over the windows it overlaps.
+    ///
+    /// Called exactly once after a run completes (after sharded lanes
+    /// are absorbed), so the series inherit the integer-bin shard
+    /// invariance of the recorder instead of depending on float
+    /// integration order. Utilization is relative to the link's
+    /// capacity at derivation time.
+    pub fn record_timeline(&self, tl: &TimelineHandle) {
+        let width_s = tl.width_us() as f64 / 1e6;
+        for (rec, base) in
+            [(&self.snmp, series::NET_LINK_UTIL), (&self.bg_snmp, series::NET_BG_UTIL)]
+        {
+            for link in rec.monitored_links() {
+                let Some(s) = rec.series(link) else { continue };
+                let cap = self.graph.link(link).capacity_bps;
+                if cap <= 0.0 {
+                    continue;
+                }
+                let name = format!("{base}[{}]", s.interface);
+                for i in 0..s.len() {
+                    let bytes = s.bytes_in_bin(i);
+                    if bytes == 0 {
+                        continue;
+                    }
+                    let sim_start = (s.bin_start(i) - self.epoch_unix_us).max(0) as u64;
+                    let sim_end = sim_start + s.bin_width_us.max(1) as u64;
+                    let util = bytes as f64 * 8.0 / (cap * width_s);
+                    tl.add_span(&name, sim_start, sim_end, util);
+                }
+            }
+        }
     }
 
     /// Number of active flows.
@@ -393,8 +458,12 @@ impl NetworkSim {
             }
             let bytes = (f.rate_bps * dt / 8.0).min(f.remaining_bytes);
             f.remaining_bytes -= bytes;
+            let is_background = self.background_tag == Some(f.spec.tag);
             for &l in &f.spec.route {
                 deposited += self.snmp.deposit(l, start_us, end_us, bytes.round() as u64);
+                if is_background {
+                    self.bg_snmp.deposit(l, start_us, end_us, bytes.round() as u64);
+                }
             }
         }
         if let Some(tel) = &self.telemetry {
@@ -593,6 +662,39 @@ mod tests {
         assert!((s.total_bytes() as f64 - 1e9).abs() < 2.0);
         // The 1 s transfer lands in the first 30 s bin.
         assert!((s.bytes_in_bin(0) as f64 - 1e9).abs() < 2.0);
+    }
+
+    #[test]
+    fn background_share_and_timeline_derivation() {
+        use gvc_telemetry::TimelineHandle;
+        let (mut sim, l) = sim_one_link();
+        sim.monitor_link(l);
+        sim.set_background_tag(99);
+        // Foreground and background flows, 1e9 bytes each, share the
+        // link and finish inside the first 30 s bin.
+        sim.add_flow(FlowSpec::best_effort(vec![l], 1e9).with_tag(1));
+        sim.add_flow(FlowSpec::best_effort(vec![l], 1e9).with_tag(99));
+        sim.drain(SimTime::from_secs(100));
+        let total = sim.snmp().series(l).unwrap().total_bytes();
+        let bg = sim.bg_snmp().series(l).unwrap().total_bytes();
+        assert!((total as f64 - 2e9).abs() < 4.0, "total {total}");
+        assert!((bg as f64 - 1e9).abs() < 2.0, "bg {bg}");
+
+        let tl = TimelineHandle::new(30_000_000);
+        sim.record_timeline(&tl);
+        let doc = gvc_telemetry::TimelineDoc::parse(&tl.to_json()).expect("parse");
+        let util = |name: &str| {
+            doc.series
+                .iter()
+                .find(|s| s.name == name)
+                .and_then(|s| s.windows.first())
+                .and_then(|w| w.get("value"))
+                .expect("window value")
+        };
+        // 2e9 B over a 30 s window of an 8 Gbps link: 1/15 utilization;
+        // the background share is half of that.
+        assert!((util("net.link_util[a->b]") - 1.0 / 15.0).abs() < 1e-6);
+        assert!((util("net.bg_util[a->b]") - 1.0 / 30.0).abs() < 1e-6);
     }
 
     #[test]

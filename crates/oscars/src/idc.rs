@@ -11,7 +11,10 @@ use crate::calendar::NetworkCalendar;
 use crate::reservation::{Reservation, ReservationId, ReservationRequest, ReservationState};
 use crate::setup::SetupDelayModel;
 use gvc_engine::SimTime;
-use gvc_telemetry::{Counter, Gauge, Histogram, Registry, SpanId, TraceEvent, Tracer};
+use gvc_telemetry::timeline::series;
+use gvc_telemetry::{
+    Counter, Gauge, Histogram, Registry, SpanId, TimelineHandle, TraceEvent, Tracer,
+};
 use gvc_topology::{constrained_shortest_path, Graph};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -38,6 +41,10 @@ pub struct IdcTelemetry {
     pub path_utilization: Arc<Histogram>,
     /// Trace handle for `idc.*` events.
     pub tracer: Tracer,
+    /// Sim-time flight recorder feeding the `oscars.*` windowed
+    /// series (`None` unless [`IdcTelemetry::with_timeline`] attached
+    /// one).
+    pub timeline: Option<TimelineHandle>,
 }
 
 impl IdcTelemetry {
@@ -68,7 +75,17 @@ impl IdcTelemetry {
                 Histogram::new(0.01, 1.6, 11)
             }),
             tracer,
+            timeline: None,
         }
+    }
+
+    /// Attaches a sim-time flight recorder. The IDC lives in exactly
+    /// one shard lane, so its calendar-occupancy samples are
+    /// shard-invariant by construction.
+    #[must_use]
+    pub fn with_timeline(mut self, timeline: Option<TimelineHandle>) -> IdcTelemetry {
+        self.timeline = timeline;
+        self
     }
 }
 
@@ -226,6 +243,26 @@ impl Idc {
         self.stats
     }
 
+    /// Samples calendar occupancy into the timeline at `at`: open
+    /// reservation count and the sum of reserved rates. Rates are
+    /// summed in reservation-id order so the float total never
+    /// depends on hash-map iteration order.
+    fn sample_timeline(&self, at: SimTime) {
+        let Some(tl) = self.telemetry.as_ref().and_then(|t| t.timeline.as_ref()) else {
+            return;
+        };
+        let mut open: Vec<(u64, f64)> = self
+            .reservations
+            .values()
+            .filter(|r| r.state != ReservationState::Released)
+            .map(|r| (r.id.0, r.request.rate_bps))
+            .collect();
+        open.sort_unstable_by_key(|&(id, _)| id);
+        let reserved: f64 = open.iter().map(|&(_, bps)| bps).sum();
+        tl.sample(series::OSCARS_OPEN_RESERVATIONS, at.micros(), open.len() as f64);
+        tl.sample(series::OSCARS_RESERVED_BPS, at.micros(), reserved);
+    }
+
     /// Processes a `createReservation`: CSPF over calendar
     /// availability; commits the path on success.
     pub fn create_reservation(
@@ -313,6 +350,7 @@ impl Idc {
             },
         );
         self.stats.admitted += 1;
+        self.sample_timeline(req.start);
         Ok(id)
     }
 
@@ -387,6 +425,7 @@ impl Idc {
                 t.tracer.span_exit(span, now.micros() as i64);
             }
         }
+        self.sample_timeline(now);
         Ok(())
     }
 
@@ -608,6 +647,33 @@ mod tests {
         let util =
             reg.histogram("idc_path_utilization", &[], || Histogram::new(0.01, 1.6, 11)).snapshot();
         assert_eq!(util.count(), 2);
+    }
+
+    #[test]
+    fn timeline_samples_calendar_occupancy() {
+        use gvc_telemetry::{TimelineDoc, TimelineHandle};
+        let (mut i, req) = idc();
+        let reg = Registry::new();
+        let tl = TimelineHandle::new(30_000_000);
+        i.set_telemetry(
+            IdcTelemetry::register(&reg, Tracer::disabled()).with_timeline(Some(tl.clone())),
+        );
+        let a = i.create_reservation(req).unwrap();
+        let _b = i.create_reservation(req).unwrap();
+        i.teardown(a, SimTime::from_secs(45)).unwrap();
+
+        let doc = TimelineDoc::parse(&tl.to_json()).expect("parse");
+        let series_by = |name: &str| {
+            doc.series.iter().find(|s| s.name == name).unwrap_or_else(|| panic!("{name} missing"))
+        };
+        let open = series_by("oscars.open_reservations");
+        // Two admits in window 0 (1 then 2 open), teardown in window 1.
+        assert_eq!(open.windows[0].get("max"), Some(2.0));
+        assert_eq!(open.windows[0].get("n"), Some(2.0));
+        assert_eq!(open.windows[1].get("max"), Some(1.0));
+        let bps = series_by("oscars.reserved_bps");
+        assert_eq!(bps.windows[0].get("max"), Some(8e9));
+        assert_eq!(bps.windows[1].get("max"), Some(4e9));
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //!     paper-ncar-nics/
 //!       report.json   — canonical FeasibilityReport (byte-exact)
 //!       stats.txt     — headline stats (byte-exact)
+//!       timeline.json — sim-time flight recorder (byte-exact;
+//!                       synthetic scenarios only)
 //! ```
 //!
 //! Discovery sorts by file name, so iteration order is deterministic
@@ -37,6 +39,9 @@ pub struct Goldens {
     pub report_json: String,
     /// Headline stats text.
     pub stats_text: String,
+    /// Sim-time flight-recorder JSON; `None` for scenarios recorded
+    /// without a timeline (paper profiles never produce one).
+    pub timeline_json: Option<String>,
 }
 
 fn io_err<T>(path: &Path, e: &std::io::Error) -> Result<T, ScenarioError> {
@@ -104,15 +109,26 @@ pub fn read_goldens(corpus_dir: &Path, name: &str) -> Result<Goldens, ScenarioEr
         Ok(t) => t,
         Err(e) => return io_err(&stats_path, &e),
     };
-    Ok(Goldens { report_json, stats_text })
+    // The timeline golden is optional: absent for paper profiles and
+    // for corpora recorded before the flight recorder existed.
+    let timeline_path = dir.join("timeline.json");
+    let timeline_json = match fs::read_to_string(&timeline_path) {
+        Ok(t) => Some(t),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => return io_err(&timeline_path, &e),
+    };
+    Ok(Goldens { report_json, stats_text, timeline_json })
 }
 
-/// Writes (or overwrites) a scenario's goldens.
+/// Writes (or overwrites) a scenario's goldens. A `None` timeline
+/// removes any stale `timeline.json` so the golden set always mirrors
+/// the outcome exactly.
 pub fn write_goldens(
     corpus_dir: &Path,
     name: &str,
     report_json: &str,
     stats_text: &str,
+    timeline_json: Option<&str>,
 ) -> Result<PathBuf, ScenarioError> {
     let dir = golden_dir(corpus_dir, name);
     if let Err(e) = fs::create_dir_all(&dir) {
@@ -125,6 +141,21 @@ pub fn write_goldens(
     let stats_path = dir.join("stats.txt");
     if let Err(e) = fs::write(&stats_path, stats_text) {
         return io_err(&stats_path, &e);
+    }
+    let timeline_path = dir.join("timeline.json");
+    match timeline_json {
+        Some(text) => {
+            if let Err(e) = fs::write(&timeline_path, text) {
+                return io_err(&timeline_path, &e);
+            }
+        }
+        None => {
+            if let Err(e) = fs::remove_file(&timeline_path) {
+                if e.kind() != std::io::ErrorKind::NotFound {
+                    return io_err(&timeline_path, &e);
+                }
+            }
+        }
     }
     Ok(dir)
 }

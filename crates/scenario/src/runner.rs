@@ -17,7 +17,7 @@ use gvc_gridftp::driver::{Driver, Shards};
 use gvc_gridftp::ServerCaps;
 use gvc_net::NetworkSim;
 use gvc_oscars::{Idc, InterDomainController, SetupDelayModel};
-use gvc_telemetry::{BufferSink, CheckConfig, Telemetry};
+use gvc_telemetry::{BufferSink, CheckConfig, Telemetry, TimelineHandle, DEFAULT_WIDTH_US};
 use gvc_workload::{builtin_generator, EPOCH_FEB_2012_US};
 
 use crate::spec::{PaperProfile, ScenarioSpec, WorkloadSpec};
@@ -37,6 +37,10 @@ pub struct ScenarioOutcome {
     pub report_json: String,
     /// Headline stats, one `key value` per line (the second golden).
     pub stats_text: String,
+    /// Canonical sim-time flight-recorder JSON (the third golden);
+    /// `None` for paper profiles, which sample a calibrated generator
+    /// instead of driving the simulation.
+    pub timeline_json: Option<String>,
     /// Expectation-bound and trace-check violations (empty = pass).
     pub violations: Vec<String>,
 }
@@ -80,7 +84,7 @@ fn run_paper(
     push_headline(&mut stats, &report);
     let violations = eval_expect(spec, &report, None);
     let report_json = golden::report_json(&report);
-    Ok(ScenarioOutcome { report, report_json, stats_text: stats, violations })
+    Ok(ScenarioOutcome { report, report_json, stats_text: stats, timeline_json: None, violations })
 }
 
 fn push_headline(stats: &mut String, report: &FeasibilityReport) {
@@ -100,7 +104,11 @@ fn run_synthetic(spec: &ScenarioSpec, shards: Shards) -> Result<ScenarioOutcome,
     let built = build(spec)?;
 
     let sink = Arc::new(BufferSink::new());
-    let telemetry = Telemetry::with_sink(sink.clone());
+    // The flight recorder aggregates purely in sim time, so its JSON
+    // is as deterministic as the report and rides along as a third
+    // golden for synthetic scenarios.
+    let timeline = TimelineHandle::new(DEFAULT_WIDTH_US);
+    let telemetry = Telemetry::with_sink(sink.clone()).with_timeline(timeline.clone());
 
     let idc = Idc::new(built.graph.clone(), SetupDelayModel::one_minute());
     let sim = NetworkSim::new(built.graph, EPOCH_FEB_2012_US);
@@ -136,6 +144,7 @@ fn run_synthetic(spec: &ScenarioSpec, shards: Shards) -> Result<ScenarioOutcome,
 
     let limit = SimTime::from_secs_f64(wl.horizon_s + DRAIN_SLACK_S);
     let result = driver.run_sharded(limit, shards);
+    result.sim.record_timeline(&timeline);
 
     let mut report = feasibility_report(&result.log);
     if let Some(r) = &result.resilience {
@@ -229,7 +238,13 @@ fn run_synthetic(spec: &ScenarioSpec, shards: Shards) -> Result<ScenarioOutcome,
     violations.extend(trace_violations);
 
     let report_json = golden::report_json(&report);
-    Ok(ScenarioOutcome { report, report_json, stats_text: stats, violations })
+    Ok(ScenarioOutcome {
+        report,
+        report_json,
+        stats_text: stats,
+        timeline_json: Some(timeline.to_json()),
+        violations,
+    })
 }
 
 /// Evaluates the expectation bounds common to both runner paths.

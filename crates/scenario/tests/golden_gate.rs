@@ -92,7 +92,23 @@ fn corpus_goldens_match_at_every_shard_count() {
         // calibrated generators sample directly), so re-running them
         // at other shard counts proves nothing — skip the variants.
         if matches!(entry.spec.workload, WorkloadSpec::Paper { .. }) {
+            assert!(
+                baseline.timeline_json.is_none(),
+                "{}: paper profiles must not produce a timeline",
+                entry.name
+            );
             continue;
+        }
+        // Synthetic scenarios also commit the sim-time flight
+        // recorder as a third golden.
+        let want_timeline = fs::read_to_string(golden_dir.join("timeline.json"))
+            .unwrap_or_else(|e| panic!("{}: missing golden timeline.json: {e}", entry.name));
+        let baseline_timeline = baseline
+            .timeline_json
+            .as_deref()
+            .unwrap_or_else(|| panic!("{}: synthetic run produced no timeline", entry.name));
+        if let Some(diff) = line_diff(&want_timeline, baseline_timeline) {
+            panic!("{}: timeline.json drifted from golden:\n{diff}", entry.name);
         }
         for shards in [Shards::Fixed(2), Shards::Fixed(5), Shards::Auto] {
             let run = run_scenario(&entry.spec, shards)
@@ -102,6 +118,11 @@ fn corpus_goldens_match_at_every_shard_count() {
             }
             if let Some(diff) = line_diff(&baseline.stats_text, &run.stats_text) {
                 panic!("{}: stats not shard-invariant at {shards:?}:\n{diff}", entry.name);
+            }
+            if let Some(diff) =
+                line_diff(baseline_timeline, run.timeline_json.as_deref().unwrap_or(""))
+            {
+                panic!("{}: timeline not shard-invariant at {shards:?}:\n{diff}", entry.name);
             }
         }
     }

@@ -21,6 +21,14 @@
 //!   back into records and a span forest, compute per-phase profiles
 //!   (self/total time, folded stacks), per-session timelines, and
 //!   structural checks. Powers the `gvc trace` subcommands.
+//! * [`timeline`] — the sim-time flight recorder: fixed-width
+//!   windowed series ([`TimelineRecorder`]) with deterministic
+//!   cross-lane merging, SLO burn rules, and canonical JSON/CSV
+//!   renderings. Powers `gvc simulate --timeline` and the
+//!   `gvc timeline` subcommands.
+//! * [`serve`] — a minimal std-only HTTP scrape endpoint
+//!   ([`MetricsServer`]) exposing the registry on `/metrics` and the
+//!   timeline-so-far on `/timeline.json`.
 //!
 //! The trace-event schema and metric naming conventions are specified
 //! in `docs/observability.md` at the workspace root; the span
@@ -43,7 +51,9 @@ pub mod analyze;
 pub mod manifest;
 pub mod metrics;
 pub mod perf;
+pub mod serve;
 pub mod span;
+pub mod timeline;
 pub mod trace;
 
 pub use analyze::{
@@ -56,7 +66,12 @@ pub use perf::{
     diff_snapshots, BenchMetric, DiffReport, DiffRow, DiffStatus, HostFingerprint, Perf,
     PerfReport, PerfSnapshot, PhaseGuard,
 };
+pub use serve::MetricsServer;
 pub use span::SpanId;
+pub use timeline::{
+    check_rules, parse_rule, parse_rules, sparkline, SeriesKind, SloOutcome, SloRule, TimelineDoc,
+    TimelineHandle, TimelineRecorder, DEFAULT_WIDTH_US,
+};
 pub use trace::{
     BufferSink, JsonlSink, RingSink, SpanTimer, Stopwatch, TraceEvent, TraceSink, Tracer, Value,
 };
@@ -76,6 +91,11 @@ pub struct Telemetry {
     /// The host-performance recorder for this run (disabled unless
     /// [`Telemetry::with_perf`] was called).
     pub perf: Perf,
+    /// The sim-time flight recorder for this run (`None` unless
+    /// [`Telemetry::with_timeline`] was called). Subsystems clone
+    /// this handle into their hooks; `None` keeps the hot paths at
+    /// one branch per potential emit.
+    pub timeline: Option<TimelineHandle>,
 }
 
 impl Telemetry {
@@ -85,6 +105,7 @@ impl Telemetry {
             registry: Arc::new(Registry::new()),
             tracer: Tracer::to_sink(sink),
             perf: Perf::disabled(),
+            timeline: None,
         }
     }
 
@@ -94,6 +115,7 @@ impl Telemetry {
             registry: Arc::new(Registry::new()),
             tracer: Tracer::disabled(),
             perf: Perf::disabled(),
+            timeline: None,
         }
     }
 
@@ -102,6 +124,14 @@ impl Telemetry {
     #[must_use]
     pub fn with_perf(mut self) -> Telemetry {
         self.perf = Perf::recording(&self.registry);
+        self
+    }
+
+    /// Attaches a sim-time flight recorder ([`timeline`]) to this
+    /// context.
+    #[must_use]
+    pub fn with_timeline(mut self, timeline: TimelineHandle) -> Telemetry {
+        self.timeline = Some(timeline);
         self
     }
 }

@@ -1,0 +1,185 @@
+//! Minimal std-only HTTP endpoint for live observability.
+//!
+//! Serves the registry's Prometheus exposition on `/metrics` and the
+//! timeline-so-far on `/timeline.json`, so an operator (or the CI
+//! smoke test) can scrape a long-running simulation the way the
+//! paper's measurement hosts were scraped over SNMP.
+//!
+//! Deliberately tiny: HTTP/1.0 semantics, request line only,
+//! `Connection: close` on every response. Wall-clock use (socket
+//! timeouts, the accept loop) is confined to this telemetry module —
+//! nothing here feeds back into simulation state, which is the
+//! determinism boundary `gvc-tidy` enforces.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::metrics::Registry;
+use crate::timeline::TimelineHandle;
+
+/// How long a single request may take to arrive before the
+/// connection is dropped.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A bound scrape endpoint.
+pub struct MetricsServer {
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    timeline: Option<TimelineHandle>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// returns a server ready to accept scrapes of `registry` and,
+    /// when present, `timeline`.
+    pub fn bind(
+        addr: &str,
+        registry: Arc<Registry>,
+        timeline: Option<TimelineHandle>,
+    ) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(MetricsServer { listener, registry, timeline })
+    }
+
+    /// The actually-bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts and answers requests on the calling thread. With
+    /// `max_requests` set, returns after that many requests — the
+    /// deterministic-exit mode the CI smoke test uses; with `None`
+    /// it loops until the process exits.
+    pub fn serve_requests(&self, max_requests: Option<u64>) -> std::io::Result<u64> {
+        let mut served = 0u64;
+        loop {
+            if max_requests.is_some_and(|m| served >= m) {
+                return Ok(served);
+            }
+            let (stream, _) = self.listener.accept()?;
+            // A stalled client must not wedge the endpoint.
+            let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+            let _ = stream.set_write_timeout(Some(READ_TIMEOUT));
+            if self.handle(stream).is_ok() {
+                served += 1;
+            }
+        }
+    }
+
+    /// Serves forever on a detached background thread (the `--listen`
+    /// mode alongside a running command).
+    pub fn spawn(self) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            let _ = self.serve_requests(None);
+        })
+    }
+
+    fn handle(&self, mut stream: TcpStream) -> std::io::Result<()> {
+        let mut buf = [0u8; 4096];
+        let mut len = 0usize;
+        // Read until the end of the request head (or buffer full):
+        // the request line is all we route on.
+        loop {
+            match stream.read(&mut buf[len..]) {
+                Ok(0) => break,
+                Ok(n) => {
+                    len += n;
+                    if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") || len == buf.len() {
+                        break;
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let head = String::from_utf8_lossy(&buf[..len]);
+        let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+        let method = parts.next().unwrap_or("");
+        let path = parts.next().unwrap_or("");
+        let (status, content_type, body) = if method != "GET" {
+            (
+                "405 Method Not Allowed",
+                "text/plain; charset=utf-8",
+                "method not allowed\n".to_string(),
+            )
+        } else {
+            match path {
+                "/metrics" => {
+                    ("200 OK", "text/plain; version=0.0.4; charset=utf-8", self.registry.render())
+                }
+                "/timeline.json" => match &self.timeline {
+                    Some(t) => ("200 OK", "application/json; charset=utf-8", t.to_json()),
+                    None => (
+                        "404 Not Found",
+                        "text/plain; charset=utf-8",
+                        "no timeline recorder attached (run with --timeline)\n".to_string(),
+                    ),
+                },
+                _ => (
+                    "404 Not Found",
+                    "text/plain; charset=utf-8",
+                    "try /metrics or /timeline.json\n".to_string(),
+                ),
+            }
+        };
+        let response = format!(
+            "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(response.as_bytes())?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::DEFAULT_WIDTH_US;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes()).expect("write request");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read response");
+        out
+    }
+
+    #[test]
+    fn serves_metrics_timeline_and_404() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("demo_total", &[]).inc();
+        let timeline = TimelineHandle::new(DEFAULT_WIDTH_US);
+        timeline.add("driver.transfers", 0, 3.0);
+
+        let server = MetricsServer::bind("127.0.0.1:0", registry, Some(timeline))
+            .expect("bind ephemeral port");
+        let addr = server.local_addr().expect("local addr");
+        let handle = std::thread::spawn(move || server.serve_requests(Some(4)));
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.0 200 OK"), "{metrics}");
+        assert!(metrics.contains("text/plain; version=0.0.4"), "{metrics}");
+        assert!(metrics.contains("# TYPE demo_total counter"), "{metrics}");
+        assert!(metrics.contains("demo_total 1"), "{metrics}");
+
+        let tl = get(addr, "/timeline.json");
+        assert!(tl.contains("application/json"), "{tl}");
+        assert!(tl.contains("\"driver.transfers\""), "{tl}");
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+
+        let post = {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.write_all(b"POST /metrics HTTP/1.0\r\n\r\n").expect("write");
+            let mut out = String::new();
+            stream.read_to_string(&mut out).expect("read");
+            out
+        };
+        assert!(post.starts_with("HTTP/1.0 405"), "{post}");
+
+        let served = handle.join().expect("join").expect("serve");
+        assert_eq!(served, 4);
+    }
+}
